@@ -1,0 +1,29 @@
+//! # cupid-baselines — the comparison systems of the Cupid study (§9)
+//!
+//! From-scratch reimplementations of the two systems the paper compares
+//! Cupid against. Neither was ever released with a published algorithmic
+//! specification, so these follow the papers' and §9's descriptions of
+//! their *behaviour* (see DESIGN.md §4 for the substitution argument):
+//!
+//! * [`dike`] — DIKE (Palopoli, Terracina, Ursino): an ER matcher whose
+//!   pairwise similarities are seeded from a Lexical Synonymy Property
+//!   Dictionary (LSPD), data domains and keyness, then re-evaluated from
+//!   the similarity of nodes in their vicinity with distance-decayed
+//!   influence; entities/attributes above a threshold are merged into an
+//!   abstracted schema. It operates on the *unexpanded* schema graph, so
+//!   it cannot make context-dependent matches (canonical test 6).
+//! * [`artemis`] — ARTEMIS, the schema-matching component of the MOMIS
+//!   mediator (Bergamaschi, Castano, Vincini): class-level name
+//!   affinities from user-selected WordNet senses, structural affinities
+//!   over attribute sets, hierarchical clustering into global classes and
+//!   attribute fusion inside clusters. Class granularity makes it
+//!   insensitive to nesting (test 5) and context (test 6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artemis;
+pub mod dike;
+
+pub use artemis::{Artemis, ArtemisConfig, ArtemisResult, SenseDictionary};
+pub use dike::{Dike, DikeConfig, DikeResult, Lspd};

@@ -1,0 +1,50 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! leaf-count pruning, optionality, eager vs lazy expansion, and
+//! leaf-depth limiting (immediate children vs full leaf sets).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cupid_core::{lazy, linguistic, treematch, Cupid};
+use cupid_corpus::{cidx_excel, thesauri};
+use cupid_eval::configs;
+use cupid_model::{expand, ExpandOptions};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    let th = thesauri::paper_thesaurus();
+    let (s1, s2) = (cidx_excel::excel(), cidx_excel::cidx());
+
+    type Mutator = fn(&mut cupid_core::CupidConfig);
+    let variants: [(&str, Option<Mutator>); 4] = [
+        ("baseline", None),
+        ("no_pruning", Some(|c| c.leaf_ratio_prune = None)),
+        ("no_optionality", Some(|c| c.use_optionality = false)),
+        ("children_only", Some(|c| c.leaf_depth_limit = Some(1))),
+    ];
+    for (name, mutate) in variants {
+        let mut cfg = configs::shallow_xml();
+        if let Some(f) = mutate {
+            f(&mut cfg);
+        }
+        let cupid = Cupid::with_config(cfg, th.clone());
+        g.bench_function(name, |bch| {
+            bch.iter(|| black_box(cupid.match_schemas(&s1, &s2).unwrap()))
+        });
+    }
+
+    // eager vs lazy on the shared-type (Excel-as-source) direction
+    let cfg = configs::shallow_xml();
+    let t1 = expand(&s1, &ExpandOptions::none()).unwrap();
+    let t2 = expand(&s2, &ExpandOptions::none()).unwrap();
+    let la = linguistic::analyze(&s1, &s2, &th, &cfg);
+    g.bench_function("expansion_eager", |bch| {
+        bch.iter(|| black_box(treematch::tree_match(&t1, &t2, &la.lsim, &cfg)))
+    });
+    g.bench_function("expansion_lazy", |bch| {
+        bch.iter(|| black_box(lazy::tree_match_lazy(&t1, &t2, &la.lsim, &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Baseline-system benchmarks: DIKE and MOMIS/ARTEMIS on the Table 2/3
+//! corpora, for cost comparison against Cupid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cupid_baselines::{Artemis, Dike};
+use cupid_corpus::{canonical, cidx_excel, thesauri};
+use cupid_eval::{adapters, configs};
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines");
+
+    let case = canonical::case5();
+    let lspd = cupid_baselines::Lspd::default();
+    g.bench_function("dike_canonical5", |bch| {
+        bch.iter(|| black_box(Dike::new().run(&case.schema1, &case.schema2, &lspd)))
+    });
+    let senses = cupid_baselines::SenseDictionary::default();
+    g.bench_function("artemis_canonical5", |bch| {
+        bch.iter(|| black_box(Artemis::new().run(&case.schema1, &case.schema2, &senses)))
+    });
+
+    let (s1, s2) = (cidx_excel::cidx(), cidx_excel::excel());
+    let lspd =
+        adapters::lspd_from_cupid(&s1, &s2, &thesauri::paper_thesaurus(), &configs::shallow_xml());
+    g.bench_function("dike_cidx_excel", |bch| {
+        bch.iter(|| black_box(Dike::new().run(&s1, &s2, &lspd)))
+    });
+    let senses = adapters::momis_senses_cidx_excel();
+    g.bench_function("artemis_cidx_excel", |bch| {
+        bch.iter(|| black_box(Artemis::new().run(&s1, &s2, &senses)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

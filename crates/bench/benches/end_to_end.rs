@@ -1,0 +1,40 @@
+//! End-to-end benchmarks: the experiments behind Figures 1/2, Table 3
+//! and Figure 8 — expansion + linguistic + TreeMatch + mapping
+//! generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cupid_core::Cupid;
+use cupid_corpus::{cidx_excel, fig1, fig2, star_rdb, thesauri};
+use cupid_eval::configs;
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+
+    let cupid = Cupid::with_config(configs::shallow_xml(), fig1::thesaurus());
+    let (a, b) = (fig1::po(), fig1::porder());
+    g.bench_function("fig1", |bch| {
+        bch.iter(|| black_box(cupid.match_schemas(&a, &b).unwrap()))
+    });
+
+    let cupid = Cupid::with_config(configs::shallow_xml(), thesauri::paper_thesaurus());
+    let (a, b) = (fig2::po(), fig2::purchase_order());
+    g.bench_function("fig2", |bch| {
+        bch.iter(|| black_box(cupid.match_schemas(&a, &b).unwrap()))
+    });
+
+    let (a, b) = (cidx_excel::cidx(), cidx_excel::excel());
+    g.bench_function("table3_cidx_excel", |bch| {
+        bch.iter(|| black_box(cupid.match_schemas(&a, &b).unwrap()))
+    });
+
+    let cupid = Cupid::with_config(configs::relational(), thesauri::empty_thesaurus());
+    let (a, b) = (star_rdb::rdb(), star_rdb::star());
+    g.bench_function("fig8_star_rdb", |bch| {
+        bch.iter(|| black_box(cupid.match_schemas(&a, &b).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Linguistic-phase benchmarks (§5): normalization, categorization and
+//! lsim-table construction per corpus pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cupid_core::linguistic::analyze;
+use cupid_corpus::{cidx_excel, fig2, star_rdb, thesauri};
+use cupid_eval::configs;
+use std::hint::black_box;
+
+fn bench_linguistic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linguistic");
+    let cfg = configs::shallow_xml();
+
+    let (a, b) = (fig2::po(), fig2::purchase_order());
+    let th = thesauri::paper_thesaurus();
+    g.bench_function("fig2", |bch| {
+        bch.iter(|| black_box(analyze(&a, &b, &th, &cfg)))
+    });
+
+    let (a, b) = (cidx_excel::cidx(), cidx_excel::excel());
+    g.bench_function("cidx_excel", |bch| {
+        bch.iter(|| black_box(analyze(&a, &b, &th, &cfg)))
+    });
+
+    let (a, b) = (star_rdb::rdb(), star_rdb::star());
+    let empty = thesauri::empty_thesaurus();
+    let rcfg = configs::relational();
+    g.bench_function("star_rdb", |bch| {
+        bch.iter(|| black_box(analyze(&a, &b, &empty, &rcfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_linguistic);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Scalability sweep (§10 future work): full pipeline over synthetic
+//! pairs of doubling size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cupid_core::Cupid;
+use cupid_corpus::synthetic::{generate, SyntheticConfig};
+use cupid_eval::configs;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("treematch_scaling");
+    g.sample_size(10);
+    for size in [16usize, 32, 64, 128, 256] {
+        let pair = generate(&SyntheticConfig::sized(size, 42));
+        let cupid = Cupid::with_config(configs::synthetic(), pair.thesaurus.clone());
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |bch, _| {
+            bch.iter(|| black_box(cupid.match_schemas(&pair.source, &pair.target).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! TreeMatch benchmarks (§6): the structural phase per corpus pair, with
+//! linguistic analysis precomputed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cupid_core::{linguistic, treematch};
+use cupid_corpus::{cidx_excel, fig2, star_rdb, thesauri};
+use cupid_eval::configs;
+use cupid_model::{expand, ExpandOptions};
+use std::hint::black_box;
+
+fn bench_treematch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("treematch");
+
+    let cfg = configs::shallow_xml();
+    let th = thesauri::paper_thesaurus();
+    for (name, s1, s2, opts) in [
+        ("fig2", fig2::po(), fig2::purchase_order(), ExpandOptions::none()),
+        ("cidx_excel", cidx_excel::cidx(), cidx_excel::excel(), ExpandOptions::none()),
+    ] {
+        let t1 = expand(&s1, &opts).unwrap();
+        let t2 = expand(&s2, &opts).unwrap();
+        let la = linguistic::analyze(&s1, &s2, &th, &cfg);
+        g.bench_function(name, |bch| {
+            bch.iter(|| black_box(treematch::tree_match(&t1, &t2, &la.lsim, &cfg)))
+        });
+    }
+
+    let rcfg = configs::relational();
+    let empty = thesauri::empty_thesaurus();
+    let (s1, s2) = (star_rdb::rdb(), star_rdb::star());
+    let t1 = expand(&s1, &ExpandOptions::all()).unwrap();
+    let t2 = expand(&s2, &ExpandOptions::all()).unwrap();
+    let la = linguistic::analyze(&s1, &s2, &empty, &rcfg);
+    g.bench_function("star_rdb_with_join_views", |bch| {
+        bch.iter(|| black_box(treematch::tree_match(&t1, &t2, &la.lsim, &rcfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_treematch);
+criterion_main!(benches);

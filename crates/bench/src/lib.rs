@@ -1,0 +1,3 @@
+//! Shared fixtures for the benchmark harness. The benches themselves live
+//! in `benches/`; one group per paper table/figure plus scaling and
+//! ablation sweeps. See EXPERIMENTS.md for the mapping to the paper.

@@ -1,0 +1,139 @@
+//! Minimal fixed-width bitsets for TreeMatch's strong-link bookkeeping.
+//!
+//! TreeMatch repeatedly asks *"does leaf x have a strong link to any leaf
+//! under node t?"*. With per-leaf strong-link rows and per-node leaf-set
+//! masks, that is one word-wise intersection test instead of a nested
+//! scan, which keeps the O(n²) node-pair loop tractable on the
+//! scalability sweep.
+
+/// A fixed-capacity bitset over `len` bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bits {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl Bits {
+    /// An empty bitset with capacity for `len` bits.
+    pub fn new(len: usize) -> Self {
+        Bits { len, words: vec![0; len.div_ceil(64)] }
+    }
+
+    /// Bit capacity.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// True if the two bitsets share any set bit.
+    #[inline]
+    pub fn intersects(&self, other: &Bits) -> bool {
+        self.words.iter().zip(&other.words).any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of set bits shared with `other`.
+    pub fn intersection_count(&self, other: &Bits) -> usize {
+        self.words.iter().zip(&other.words).map(|(&a, &b)| (a & b).count_ones() as usize).sum()
+    }
+
+    /// Indices of set bits, ascending.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Build from a sorted slice of indices.
+    pub fn from_indices(len: usize, indices: &[u32]) -> Self {
+        let mut b = Bits::new(len);
+        for &i in indices {
+            b.set(i as usize);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bits::new(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn intersects_across_words() {
+        let mut a = Bits::new(200);
+        let mut b = Bits::new(200);
+        a.set(150);
+        assert!(!a.intersects(&b));
+        b.set(150);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection_count(&b), 1);
+    }
+
+    #[test]
+    fn ones_iterates_ascending() {
+        let b = Bits::from_indices(100, &[3, 64, 99]);
+        let v: Vec<usize> = b.ones().collect();
+        assert_eq!(v, [3, 64, 99]);
+    }
+
+    #[test]
+    fn empty_and_zero_len() {
+        let b = Bits::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.ones().count(), 0);
+        let b = Bits::new(65);
+        assert!(b.is_empty());
+    }
+}

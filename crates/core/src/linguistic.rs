@@ -1,0 +1,383 @@
+//! Linguistic matching (§5): name similarity and the `lsim` table.
+//!
+//! The three steps — normalization, categorization, comparison — produce
+//! a table of linguistic similarity coefficients between elements of the
+//! two schemas. *"The similarity is assumed to be zero for schema
+//! elements that do not belong to any compatible categories."*
+
+use cupid_lexical::strsim::{token_similarity, AffixConfig};
+use cupid_lexical::{NormalizedName, Normalizer, Thesaurus, Token, TokenType};
+use cupid_model::{ElementId, Schema};
+
+use crate::categories::{categorize, is_linguistically_comparable, SchemaCategories};
+use crate::config::{CupidConfig, TokenTypeWeights};
+use crate::simmatrix::SimMatrix;
+
+/// Name similarity of two token *sets* (§5.2):
+///
+/// ```text
+/// ns(T1,T2) = ( Σ_{t1∈T1} max_{t2∈T2} sim(t1,t2)
+///             + Σ_{t2∈T2} max_{t1∈T1} sim(t1,t2) ) / (|T1| + |T2|)
+/// ```
+pub fn ns_token_sets(
+    t1: &[&Token],
+    t2: &[&Token],
+    thesaurus: &Thesaurus,
+    affix: &AffixConfig,
+) -> f64 {
+    if t1.is_empty() && t2.is_empty() {
+        return 0.0;
+    }
+    let best_against = |t: &Token, others: &[&Token]| -> f64 {
+        others.iter().map(|o| token_similarity(t, o, thesaurus, affix)).fold(0.0, f64::max)
+    };
+    let sum1: f64 = t1.iter().map(|t| best_against(t, t2)).sum();
+    let sum2: f64 = t2.iter().map(|t| best_against(t, t1)).sum();
+    (sum1 + sum2) / (t1.len() + t2.len()) as f64
+}
+
+/// Element-level name similarity (§5.3): a weighted mean of the
+/// per-token-type name similarities, weighted by the configured token
+/// type weight and by the token mass of each type:
+///
+/// ```text
+/// ns(m1,m2) = Σ_i  w_i · ns(T1i,T2i) · (|T1i|+|T2i|)
+///           / Σ_i  w_i · (|T1i|+|T2i|)
+/// ```
+///
+/// This matches the paper's prose — content and concept tokens weigh more
+/// than numbers and common words — and degenerates to plain `ns` when one
+/// token type is present.
+pub fn ns_elements(
+    m1: &NormalizedName,
+    m2: &NormalizedName,
+    thesaurus: &Thesaurus,
+    weights: &TokenTypeWeights,
+    affix: &AffixConfig,
+) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for ttype in TokenType::ALL {
+        let w = weights.weight(ttype);
+        if w == 0.0 {
+            continue;
+        }
+        let t1: Vec<&Token> = m1.tokens_of(ttype).collect();
+        let t2: Vec<&Token> = m2.tokens_of(ttype).collect();
+        let mass = (t1.len() + t2.len()) as f64;
+        if mass == 0.0 {
+            continue;
+        }
+        num += w * ns_token_sets(&t1, &t2, thesaurus, affix) * mass;
+        den += w * mass;
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// The `lsim` lookup table, indexed by element ids of the two schemas.
+#[derive(Debug, Clone)]
+pub struct LsimTable {
+    m: SimMatrix,
+}
+
+impl LsimTable {
+    /// A zero table for `n1 × n2` elements.
+    pub fn zeros(n1: usize, n2: usize) -> Self {
+        LsimTable { m: SimMatrix::zeros(n1, n2) }
+    }
+
+    /// `lsim` of two elements.
+    #[inline]
+    pub fn get(&self, e1: ElementId, e2: ElementId) -> f64 {
+        self.m.get(e1.index(), e2.index())
+    }
+
+    /// Override an entry (used for initial mappings, §8.4).
+    pub fn set(&mut self, e1: ElementId, e2: ElementId, v: f64) {
+        self.m.set(e1.index(), e2.index(), v.clamp(0.0, 1.0));
+    }
+
+    /// Underlying matrix (diagnostics).
+    pub fn matrix(&self) -> &SimMatrix {
+        &self.m
+    }
+}
+
+/// The full output of the linguistic phase, kept for diagnostics and for
+/// the evaluation harness.
+#[derive(Debug, Clone)]
+pub struct LinguisticAnalysis {
+    /// Normalized names of schema 1's elements (by element index).
+    pub names1: Vec<NormalizedName>,
+    /// Normalized names of schema 2's elements.
+    pub names2: Vec<NormalizedName>,
+    /// Categories of schema 1.
+    pub categories1: SchemaCategories,
+    /// Categories of schema 2.
+    pub categories2: SchemaCategories,
+    /// The linguistic similarity table.
+    pub lsim: LsimTable,
+    /// Number of compatible category pairs found.
+    pub compatible_category_pairs: usize,
+    /// Number of element pairs actually compared (pruning diagnostics).
+    pub compared_pairs: usize,
+    /// Total element pairs (`|S1| × |S2|`), for pruning ratio reporting.
+    pub total_pairs: usize,
+}
+
+impl LinguisticAnalysis {
+    /// Fraction of element pairs skipped thanks to categorization.
+    pub fn pruning_ratio(&self) -> f64 {
+        if self.total_pairs == 0 {
+            return 0.0;
+        }
+        1.0 - self.compared_pairs as f64 / self.total_pairs as f64
+    }
+}
+
+/// Run the linguistic phase over two schemas.
+pub fn analyze(
+    s1: &Schema,
+    s2: &Schema,
+    thesaurus: &Thesaurus,
+    cfg: &CupidConfig,
+) -> LinguisticAnalysis {
+    let normalizer = Normalizer::default();
+    let names1: Vec<NormalizedName> =
+        s1.iter().map(|(_, e)| normalizer.normalize(&e.name, thesaurus)).collect();
+    let names2: Vec<NormalizedName> =
+        s2.iter().map(|(_, e)| normalizer.normalize(&e.name, thesaurus)).collect();
+    let categories1 = categorize(s1, &names1);
+    let categories2 = categorize(s2, &names2);
+
+    // Compatible category pairs: keyword sets name-similar above th_ns.
+    // The comparison uses the plain (unweighted) set formula over the
+    // comparable keyword tokens.
+    let mut compatible_pairs = 0usize;
+    // scale[e1][e2] = max ns(c1,c2) over compatible category pairs.
+    let mut scale = SimMatrix::zeros(s1.len(), s2.len());
+    for c1 in &categories1.categories {
+        let k1: Vec<&Token> = c1.keywords.comparable_tokens().collect();
+        for c2 in &categories2.categories {
+            let k2: Vec<&Token> = c2.keywords.comparable_tokens().collect();
+            let ns_k = ns_token_sets(&k1, &k2, thesaurus, &cfg.affix);
+            if ns_k <= cfg.th_ns {
+                continue;
+            }
+            compatible_pairs += 1;
+            for &m1 in &c1.members {
+                for &m2 in &c2.members {
+                    if ns_k > scale.get(m1.index(), m2.index()) {
+                        scale.set(m1.index(), m2.index(), ns_k);
+                    }
+                }
+            }
+        }
+    }
+
+    // lsim = ns(m1,m2) × max category ns, for pairs with any compatible
+    // category; zero elsewhere.
+    let mut lsim = LsimTable::zeros(s1.len(), s2.len());
+    let mut compared = 0usize;
+    for (e1, _) in s1.iter() {
+        if !is_linguistically_comparable(s1, e1) {
+            continue;
+        }
+        for (e2, _) in s2.iter() {
+            if !is_linguistically_comparable(s2, e2) {
+                continue;
+            }
+            let sc = scale.get(e1.index(), e2.index());
+            if sc <= 0.0 {
+                continue;
+            }
+            compared += 1;
+            let ns = ns_elements(
+                &names1[e1.index()],
+                &names2[e2.index()],
+                thesaurus,
+                &cfg.token_weights,
+                &cfg.affix,
+            );
+            lsim.set(e1, e2, ns * sc);
+        }
+    }
+
+    LinguisticAnalysis {
+        total_pairs: s1.len() * s2.len(),
+        names1,
+        names2,
+        categories1,
+        categories2,
+        lsim,
+        compatible_category_pairs: compatible_pairs,
+        compared_pairs: compared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cupid_lexical::ThesaurusBuilder;
+    use cupid_model::{DataType, ElementKind, SchemaBuilder};
+
+    fn cfg() -> CupidConfig {
+        CupidConfig::default()
+    }
+
+    fn paper_thesaurus() -> Thesaurus {
+        ThesaurusBuilder::new()
+            .abbreviation("UOM", &["unit", "of", "measure"])
+            .abbreviation("PO", &["purchase", "order"])
+            .abbreviation("Qty", &["quantity"])
+            .abbreviation("Num", &["number"])
+            .synonym("Invoice", "Bill", 1.0)
+            .synonym("Ship", "Deliver", 1.0)
+            .build()
+            .unwrap()
+    }
+
+    fn normalize(name: &str, t: &Thesaurus) -> NormalizedName {
+        Normalizer::default().normalize(name, t)
+    }
+
+    #[test]
+    fn ns_identical_names_is_one() {
+        let t = Thesaurus::with_default_stopwords();
+        let n1 = normalize("City", &t);
+        let n2 = normalize("city", &t);
+        let v = ns_elements(&n1, &n2, &t, &TokenTypeWeights::default(), &AffixConfig::default());
+        assert_eq!(v, 1.0);
+    }
+
+    #[test]
+    fn ns_qty_vs_quantity_via_expansion() {
+        let t = paper_thesaurus();
+        let n1 = normalize("Qty", &t);
+        let n2 = normalize("Quantity", &t);
+        let v = ns_elements(&n1, &n2, &t, &TokenTypeWeights::default(), &AffixConfig::default());
+        assert_eq!(v, 1.0);
+    }
+
+    #[test]
+    fn ns_pobillto_vs_invoiceto() {
+        // {purchase, order, bill} vs {invoice} (common word "to" weight 0):
+        // bill↔invoice = 1.0, purchase/order unmatched → (1+1)/4 = 0.5.
+        let t = paper_thesaurus();
+        let n1 = normalize("POBillTo", &t);
+        let n2 = normalize("InvoiceTo", &t);
+        let v = ns_elements(&n1, &n2, &t, &TokenTypeWeights::default(), &AffixConfig::default());
+        assert!((v - 0.5).abs() < 1e-9, "{v}");
+    }
+
+    #[test]
+    fn ns_deliverto_vs_pobillto_zero() {
+        let t = paper_thesaurus();
+        let n1 = normalize("POBillTo", &t);
+        let n2 = normalize("DeliverTo", &t);
+        let v = ns_elements(&n1, &n2, &t, &TokenTypeWeights::default(), &AffixConfig::default());
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn ns_token_sets_empty_cases() {
+        let t = Thesaurus::empty();
+        let a = AffixConfig::default();
+        assert_eq!(ns_token_sets(&[], &[], &t, &a), 0.0);
+        let tok = Token::new("x", TokenType::Content);
+        assert_eq!(ns_token_sets(&[&tok], &[], &t, &a), 0.0);
+    }
+
+    fn customer_schema(name: &str, suffix: &str) -> Schema {
+        let mut b = SchemaBuilder::new(name);
+        let c = b.structured(b.root(), "Customer", ElementKind::Class);
+        b.atomic(c, format!("CustomerNumber{suffix}"), ElementKind::Attribute, DataType::Int);
+        b.atomic(c, format!("Name{suffix}"), ElementKind::Attribute, DataType::String);
+        b.atomic(c, format!("Address{suffix}"), ElementKind::Attribute, DataType::String);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn analyze_identical_schemas_diagonal_is_one() {
+        let s1 = customer_schema("Schema1", "");
+        let s2 = customer_schema("Schema2", "");
+        let t = Thesaurus::with_default_stopwords();
+        let a = analyze(&s1, &s2, &t, &cfg());
+        let name1 = s1.find("Name").unwrap();
+        let name2 = s2.find("Name").unwrap();
+        assert_eq!(a.lsim.get(name1, name2), 1.0);
+        let addr2 = s2.find("Address").unwrap();
+        // Name vs Address share the container and text categories but
+        // have no token overlap.
+        assert_eq!(a.lsim.get(name1, addr2), 0.0);
+    }
+
+    #[test]
+    fn analyze_prefixed_names_still_similar() {
+        // §9.1 test 3: Address → StreetAddress, Name → CustomerName.
+        let s1 = customer_schema("Schema1", "");
+        let mut b = SchemaBuilder::new("Schema2");
+        let c = b.structured(b.root(), "Customer", ElementKind::Class);
+        b.atomic(c, "CustomerNumber", ElementKind::Attribute, DataType::Int);
+        b.atomic(c, "CustomerName", ElementKind::Attribute, DataType::String);
+        b.atomic(c, "StreetAddress", ElementKind::Attribute, DataType::String);
+        let s2 = b.build().unwrap();
+        let t = Thesaurus::with_default_stopwords();
+        let a = analyze(&s1, &s2, &t, &cfg());
+        let name1 = s1.find("Name").unwrap();
+        let cname2 = s2.find("CustomerName").unwrap();
+        // {name} vs {customer, name}: (1 + (1+0))/3 = 2/3.
+        let v = a.lsim.get(name1, cname2);
+        assert!(v > 0.6, "lsim(Name, CustomerName) = {v}");
+        let addr1 = s1.find("Address").unwrap();
+        let saddr2 = s2.find("StreetAddress").unwrap();
+        assert!(a.lsim.get(addr1, saddr2) > 0.6);
+    }
+
+    #[test]
+    fn analyze_prunes_incompatible_categories() {
+        let s1 = customer_schema("Schema1", "");
+        let s2 = customer_schema("Schema2", "");
+        let t = Thesaurus::with_default_stopwords();
+        let a = analyze(&s1, &s2, &t, &cfg());
+        assert!(a.compared_pairs < a.total_pairs);
+        assert!(a.pruning_ratio() > 0.0);
+        assert!(a.compatible_category_pairs > 0);
+    }
+
+    #[test]
+    fn lsim_scaled_by_category_similarity() {
+        // Same leaf names under differently-named but related containers.
+        let mut b1 = SchemaBuilder::new("S1");
+        let po = b1.structured(b1.root(), "POBillTo", ElementKind::XmlElement);
+        b1.atomic(po, "City", ElementKind::XmlElement, DataType::String);
+        let s1 = b1.build().unwrap();
+        let mut b2 = SchemaBuilder::new("S2");
+        let inv = b2.structured(b2.root(), "InvoiceTo", ElementKind::XmlElement);
+        b2.atomic(inv, "City", ElementKind::XmlElement, DataType::String);
+        let s2 = b2.build().unwrap();
+        let t = paper_thesaurus();
+        let a = analyze(&s1, &s2, &t, &cfg());
+        let c1 = s1.find("City").unwrap();
+        let c2 = s2.find("City").unwrap();
+        // ns(City, City) = 1, categories: text/text compatible at 1.0 →
+        // lsim = 1.
+        assert_eq!(a.lsim.get(c1, c2), 1.0);
+    }
+
+    #[test]
+    fn initial_mapping_override() {
+        let s1 = customer_schema("Schema1", "");
+        let s2 = customer_schema("Schema2", "");
+        let t = Thesaurus::empty();
+        let mut a = analyze(&s1, &s2, &t, &cfg());
+        let x = s1.find("Name").unwrap();
+        let y = s2.find("Address").unwrap();
+        a.lsim.set(x, y, 5.0); // clamps
+        assert_eq!(a.lsim.get(x, y), 1.0);
+    }
+}

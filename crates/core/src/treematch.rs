@@ -1,0 +1,500 @@
+//! The TreeMatch structure-matching algorithm (§6, Figure 3).
+//!
+//! ```text
+//! TreeMatch(SourceTree S, TargetTree T)
+//!   for each s ∈ S, t ∈ T where s,t are leaves
+//!     set ssim(s,t) = datatype-compatibility(s,t)
+//!   S' = post-order(S), T' = post-order(T)
+//!   for each s in S'
+//!     for each t in T'
+//!       compute ssim(s,t) = structural-similarity(s,t)
+//!       wsim(s,t) = wstruct·ssim(s,t) + (1−wstruct)·lsim(s,t)
+//!       if wsim(s,t) > thhigh
+//!         increase-struct-similarity(leaves(s), leaves(t), cinc)
+//!       if wsim(s,t) < thlow
+//!         decrease-struct-similarity(leaves(s), leaves(t), cdec)
+//! ```
+//!
+//! The structural similarity of two non-leaf elements is the fraction of
+//! leaves in the two subtrees with at least one *strong link* (a leaf pair
+//! whose weighted similarity exceeds `thaccept`) to the other subtree.
+//! The paper deliberately avoids a 1:1 bipartite matching here (§6).
+//!
+//! Strong-link membership is tracked with per-leaf bitsets so the test
+//! *"does leaf x link into subtree t?"* is a word-wise intersection.
+
+use cupid_model::{NodeId, SchemaTree};
+
+use crate::bitset::Bits;
+use crate::config::CupidConfig;
+use crate::linguistic::LsimTable;
+use crate::simmatrix::SimMatrix;
+
+/// Counters describing a TreeMatch run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeMatchStats {
+    /// Node pairs whose structural similarity was computed.
+    pub compared_pairs: usize,
+    /// Node pairs skipped by the leaf-count ratio pruning.
+    pub pruned_pairs: usize,
+    /// Number of `increase-struct-similarity` invocations.
+    pub increases: usize,
+    /// Number of `decrease-struct-similarity` invocations.
+    pub decreases: usize,
+    /// Node-pair computations skipped by lazy-expansion block copying.
+    pub lazy_copied_pairs: usize,
+}
+
+/// Result of a TreeMatch run, with the recomputed final similarities used
+/// for mapping generation (§7's *"second post-order traversal … to
+/// re-compute the similarities of non-leaf elements"*).
+#[derive(Debug, Clone)]
+pub struct TreeMatchResult {
+    /// Final structural similarity of leaf pairs (`leaf₁ × leaf₂`,
+    /// indexed by leaf indices).
+    pub leaf_ssim: SimMatrix,
+    /// Final (recomputed) structural similarity per node pair.
+    pub ssim: SimMatrix,
+    /// Final weighted similarity per node pair.
+    pub wsim: SimMatrix,
+    /// Run counters.
+    pub stats: TreeMatchStats,
+}
+
+/// Shared state of a TreeMatch run. `pub(crate)` so the lazy-expansion
+/// driver ([`crate::lazy`]) can reuse the exact same primitives.
+pub(crate) struct Workspace<'a> {
+    pub t1: &'a SchemaTree,
+    pub t2: &'a SchemaTree,
+    pub lsim: &'a LsimTable,
+    pub cfg: &'a CupidConfig,
+    /// `lsim` cached per leaf pair.
+    pub leaf_lsim: SimMatrix,
+    /// Mutable structural similarity per leaf pair.
+    pub leaf_ssim: SimMatrix,
+    /// strong_rows[x] = bitset over target leaves y with strong link.
+    pub strong_rows: Vec<Bits>,
+    /// strong_cols[y] = bitset over source leaves x with strong link.
+    pub strong_cols: Vec<Bits>,
+    /// Per source node: leaf bitset used for ssim counting (possibly
+    /// depth-limited).
+    pub masks1: Vec<Bits>,
+    /// Per target node: ditto.
+    pub masks2: Vec<Bits>,
+    /// Per source node: required-leaf bitset (§8.4 optionality).
+    pub req1: Vec<Bits>,
+    /// Per target node: ditto.
+    pub req2: Vec<Bits>,
+    /// Main-pass node similarities.
+    pub node_ssim: SimMatrix,
+    pub node_wsim: SimMatrix,
+    pub stats: TreeMatchStats,
+}
+
+fn leaf_masks(tree: &SchemaTree, depth_limit: Option<u32>) -> Vec<Bits> {
+    let nl = tree.leaf_count();
+    (0..tree.len())
+        .map(|i| {
+            let id = NodeId::from_index(i);
+            match depth_limit {
+                None => Bits::from_indices(nl, tree.leaves(id)),
+                Some(k) => {
+                    // Leaves within k levels of the node (§8.4 "Pruning
+                    // leaves"). Internal frontier nodes at depth k simply
+                    // cut deeper leaves off.
+                    let mut b = Bits::new(nl);
+                    for f in tree.frontier_at_depth(id, k) {
+                        if let Some(li) = tree.leaf_index(f) {
+                            b.set(li as usize);
+                        }
+                    }
+                    b
+                }
+            }
+        })
+        .collect()
+}
+
+fn required_masks(tree: &SchemaTree) -> Vec<Bits> {
+    let nl = tree.leaf_count();
+    (0..tree.len())
+        .map(|i| Bits::from_indices(nl, tree.required_leaves(NodeId::from_index(i))))
+        .collect()
+}
+
+impl<'a> Workspace<'a> {
+    pub fn new(
+        t1: &'a SchemaTree,
+        t2: &'a SchemaTree,
+        lsim: &'a LsimTable,
+        cfg: &'a CupidConfig,
+    ) -> Self {
+        let (nl1, nl2) = (t1.leaf_count(), t2.leaf_count());
+        let mut leaf_lsim = SimMatrix::zeros(nl1, nl2);
+        let mut leaf_ssim = SimMatrix::zeros(nl1, nl2);
+        for x in 0..nl1 {
+            let nx = t1.node(t1.leaf_node(x as u32));
+            for y in 0..nl2 {
+                let ny = t2.node(t2.leaf_node(y as u32));
+                leaf_lsim.set(x, y, lsim.get(nx.element, ny.element));
+                leaf_ssim.set(x, y, cfg.type_compat.compat(nx.data_type, ny.data_type));
+            }
+        }
+        let mut ws = Workspace {
+            t1,
+            t2,
+            lsim,
+            cfg,
+            leaf_lsim,
+            leaf_ssim,
+            strong_rows: vec![Bits::new(nl2); nl1],
+            strong_cols: vec![Bits::new(nl1); nl2],
+            masks1: leaf_masks(t1, cfg.leaf_depth_limit),
+            masks2: leaf_masks(t2, cfg.leaf_depth_limit),
+            req1: required_masks(t1),
+            req2: required_masks(t2),
+            node_ssim: SimMatrix::zeros(t1.len(), t2.len()),
+            node_wsim: SimMatrix::zeros(t1.len(), t2.len()),
+            stats: TreeMatchStats::default(),
+        };
+        for x in 0..nl1 {
+            for y in 0..nl2 {
+                ws.refresh_strong(x, y);
+            }
+        }
+        ws
+    }
+
+    /// Weighted similarity of a leaf pair: `w_struct_leaf·ssim +
+    /// (1−w_struct_leaf)·lsim`.
+    #[inline]
+    pub fn leaf_wsim(&self, x: usize, y: usize) -> f64 {
+        let w = self.cfg.w_struct_leaf;
+        w * self.leaf_ssim.get(x, y) + (1.0 - w) * self.leaf_lsim.get(x, y)
+    }
+
+    /// Recompute the strong-link flag for a leaf pair. A *strong link*
+    /// means `wsim(x,y) ≥ thaccept` — a potentially acceptable mapping.
+    #[inline]
+    pub fn refresh_strong(&mut self, x: usize, y: usize) {
+        if self.leaf_wsim(x, y) >= self.cfg.th_accept {
+            self.strong_rows[x].set(y);
+            self.strong_cols[y].set(x);
+        } else {
+            self.strong_rows[x].clear(y);
+            self.strong_cols[y].clear(x);
+        }
+    }
+
+    /// `increase-/decrease-struct-similarity(leaves(s), leaves(t), f)`:
+    /// scale the structural similarity of every leaf pair under the two
+    /// nodes (clamped to `[0,1]`), refreshing strong links.
+    pub fn scale_leaves(&mut self, s: NodeId, t: NodeId, factor: f64) {
+        // Updates always use the *full* leaf sets of the subtrees, even if
+        // ssim counting is depth-limited.
+        let ls = self.t1.leaves(s);
+        let lt = self.t2.leaves(t);
+        for &x in ls {
+            for &y in lt {
+                self.leaf_ssim.scale_clamped(x as usize, y as usize, factor);
+                self.refresh_strong(x as usize, y as usize);
+            }
+        }
+    }
+
+    /// Leaf-count ratio pruning (§6): skip pairs whose subtree leaf counts
+    /// differ by more than the configured factor.
+    #[inline]
+    pub fn pruned(&self, s: NodeId, t: NodeId) -> bool {
+        let Some(r) = self.cfg.leaf_ratio_prune else { return false };
+        let a = self.t1.leaves(s).len() as f64;
+        let b = self.t2.leaves(t).len() as f64;
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        hi > r * lo
+    }
+
+    /// Structural similarity of a node pair (the strong-link fraction).
+    /// For a leaf pair this is the current leaf `ssim` entry.
+    pub fn structural_sim(&self, s: NodeId, t: NodeId) -> f64 {
+        if let (Some(x), Some(y)) = (self.t1.leaf_index(s), self.t2.leaf_index(t)) {
+            return self.leaf_ssim.get(x as usize, y as usize);
+        }
+        let m1 = &self.masks1[s.index()];
+        let m2 = &self.masks2[t.index()];
+        let mut num = 0usize;
+        let mut den = m1.count() + m2.count();
+        for x in m1.ones() {
+            if self.strong_rows[x].intersects(m2) {
+                num += 1;
+            } else if self.cfg.use_optionality && !self.req1[s.index()].get(x) {
+                den -= 1; // optional leaf with no strong link: dropped
+            }
+        }
+        for y in m2.ones() {
+            if self.strong_cols[y].intersects(m1) {
+                num += 1;
+            } else if self.cfg.use_optionality && !self.req2[t.index()].get(y) {
+                den -= 1;
+            }
+        }
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    }
+
+    /// One iteration of the inner loop body of Figure 3 for the pair
+    /// `(s, t)`.
+    pub fn process_pair(&mut self, s: NodeId, t: NodeId) {
+        let both_leaves = self.t1.is_leaf(s) && self.t2.is_leaf(t);
+        if !both_leaves && self.pruned(s, t) {
+            self.stats.pruned_pairs += 1;
+            return;
+        }
+        let ssim = self.structural_sim(s, t);
+        let w = self.cfg.w_struct_for(both_leaves);
+        let lsim =
+            self.lsim.get(self.t1.node(s).element, self.t2.node(t).element);
+        let wsim = w * ssim + (1.0 - w) * lsim;
+        self.node_ssim.set(s.index(), t.index(), ssim);
+        self.node_wsim.set(s.index(), t.index(), wsim);
+        self.stats.compared_pairs += 1;
+        // Figure 3 uses strict inequalities; the strictness matters: a
+        // structurally-perfect but linguistically-unsupported pair lands
+        // exactly on wstruct·1.0 = th_high and must *not* be reinforced,
+        // otherwise wrong contexts (POBillTo vs DeliverTo) get boosted.
+        if wsim > self.cfg.th_high {
+            self.scale_leaves(s, t, self.cfg.c_inc);
+            self.stats.increases += 1;
+        } else if wsim < self.cfg.th_low {
+            self.scale_leaves(s, t, self.cfg.c_dec);
+            self.stats.decreases += 1;
+        }
+    }
+
+    /// The eager main pass: both loops in post-order.
+    pub fn run_main_pass(&mut self) {
+        let order1: Vec<NodeId> = self.t1.post_order().to_vec();
+        let order2: Vec<NodeId> = self.t2.post_order().to_vec();
+        for &s in &order1 {
+            for &t in &order2 {
+                self.process_pair(s, t);
+            }
+        }
+    }
+
+    /// The mapping-stage recomputation (§7): with leaf similarities now
+    /// final, recompute `ssim`/`wsim` for every pair (no more updates).
+    pub fn final_matrices(&self) -> (SimMatrix, SimMatrix) {
+        let mut ssim = SimMatrix::zeros(self.t1.len(), self.t2.len());
+        let mut wsim = SimMatrix::zeros(self.t1.len(), self.t2.len());
+        for (s, ns) in self.t1.iter() {
+            for (t, nt) in self.t2.iter() {
+                let both_leaves = ns.is_leaf() && nt.is_leaf();
+                if !both_leaves && self.pruned(s, t) {
+                    continue;
+                }
+                let sv = self.structural_sim(s, t);
+                let w = self.cfg.w_struct_for(both_leaves);
+                let lv = self.lsim.get(ns.element, nt.element);
+                ssim.set(s.index(), t.index(), sv);
+                wsim.set(s.index(), t.index(), w * sv + (1.0 - w) * lv);
+            }
+        }
+        (ssim, wsim)
+    }
+
+    pub fn into_result(self) -> TreeMatchResult {
+        let (ssim, wsim) = self.final_matrices();
+        TreeMatchResult { leaf_ssim: self.leaf_ssim, ssim, wsim, stats: self.stats }
+    }
+}
+
+/// Run TreeMatch eagerly over two expanded schema trees.
+pub fn tree_match(
+    t1: &SchemaTree,
+    t2: &SchemaTree,
+    lsim: &LsimTable,
+    cfg: &CupidConfig,
+) -> TreeMatchResult {
+    let mut ws = Workspace::new(t1, t2, lsim, cfg);
+    ws.run_main_pass();
+    ws.into_result()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linguistic::analyze;
+    use cupid_lexical::{Thesaurus, ThesaurusBuilder};
+    use cupid_model::{expand, DataType, ElementKind, ExpandOptions, Schema, SchemaBuilder};
+
+    fn customer(name: &str) -> Schema {
+        let mut b = SchemaBuilder::new(name);
+        let c = b.structured(b.root(), "Customer", ElementKind::Class);
+        b.atomic(c, "CustomerNumber", ElementKind::Attribute, DataType::Int);
+        b.atomic(c, "Name", ElementKind::Attribute, DataType::String);
+        b.atomic(c, "Address", ElementKind::Attribute, DataType::String);
+        b.build().unwrap()
+    }
+
+    fn run(s1: &Schema, s2: &Schema, t: &Thesaurus) -> (TreeMatchResult, Vec<String>, Vec<String>) {
+        let cfg = CupidConfig::default();
+        let tr1 = expand(s1, &ExpandOptions::none()).unwrap();
+        let tr2 = expand(s2, &ExpandOptions::none()).unwrap();
+        let la = analyze(s1, s2, t, &cfg);
+        let res = tree_match(&tr1, &tr2, &la.lsim, &cfg);
+        let p1 = tr1.iter().map(|(id, _)| tr1.path(id).to_string()).collect();
+        let p2 = tr2.iter().map(|(id, _)| tr2.path(id).to_string()).collect();
+        (res, p1, p2)
+    }
+
+    #[test]
+    fn identical_schemas_leaves_bind() {
+        let s1 = customer("Schema1");
+        let s2 = customer("Schema2");
+        let t = Thesaurus::with_default_stopwords();
+        let cfg = CupidConfig::default();
+        let tr1 = expand(&s1, &ExpandOptions::none()).unwrap();
+        let tr2 = expand(&s2, &ExpandOptions::none()).unwrap();
+        let la = analyze(&s1, &s2, &t, &cfg);
+        let res = tree_match(&tr1, &tr2, &la.lsim, &cfg);
+
+        // matching leaf pairs end with higher wsim than non-matching.
+        let name1 = tr1.find_path("Schema1.Customer.Name").unwrap();
+        let name2 = tr2.find_path("Schema2.Customer.Name").unwrap();
+        let addr2 = tr2.find_path("Schema2.Customer.Address").unwrap();
+        let w_good = res.wsim.get(name1.index(), name2.index());
+        let w_bad = res.wsim.get(name1.index(), addr2.index());
+        assert!(w_good >= cfg.th_accept, "wsim(Name,Name) = {w_good}");
+        assert!(w_bad < w_good, "Name/Address {w_bad} !< Name/Name {w_good}");
+
+        // the Customer classes structurally match
+        let c1 = tr1.find_path("Schema1.Customer").unwrap();
+        let c2 = tr2.find_path("Schema2.Customer").unwrap();
+        assert!(res.ssim.get(c1.index(), c2.index()) > 0.9);
+    }
+
+    #[test]
+    fn context_binding_via_ancestor_boost() {
+        // Figure 2's insight: City under POBillTo must bind to City under
+        // InvoiceTo (synonym Bill≈Invoice), not to City under DeliverTo.
+        let thesaurus = ThesaurusBuilder::new()
+            .synonym("Invoice", "Bill", 1.0)
+            .synonym("Ship", "Deliver", 1.0)
+            .abbreviation("PO", &["purchase", "order"])
+            .build()
+            .unwrap();
+        let mut b = SchemaBuilder::new("PO");
+        for part in ["POShipTo", "POBillTo"] {
+            let p = b.structured(b.root(), part, ElementKind::XmlElement);
+            b.atomic(p, "Street", ElementKind::XmlElement, DataType::String);
+            b.atomic(p, "City", ElementKind::XmlElement, DataType::String);
+        }
+        let s1 = b.build().unwrap();
+        let mut b = SchemaBuilder::new("PurchaseOrder");
+        for part in ["DeliverTo", "InvoiceTo"] {
+            let p = b.structured(b.root(), part, ElementKind::XmlElement);
+            b.atomic(p, "Street", ElementKind::XmlElement, DataType::String);
+            b.atomic(p, "City", ElementKind::XmlElement, DataType::String);
+        }
+        let s2 = b.build().unwrap();
+
+        let cfg = CupidConfig::default();
+        let tr1 = expand(&s1, &ExpandOptions::none()).unwrap();
+        let tr2 = expand(&s2, &ExpandOptions::none()).unwrap();
+        let la = analyze(&s1, &s2, &thesaurus, &cfg);
+        let res = tree_match(&tr1, &tr2, &la.lsim, &cfg);
+
+        let bill_city = tr1.find_path("PO.POBillTo.City").unwrap();
+        let invoice_city = tr2.find_path("PurchaseOrder.InvoiceTo.City").unwrap();
+        let deliver_city = tr2.find_path("PurchaseOrder.DeliverTo.City").unwrap();
+        let w_invoice = res.wsim.get(bill_city.index(), invoice_city.index());
+        let w_deliver = res.wsim.get(bill_city.index(), deliver_city.index());
+        assert!(
+            w_invoice > w_deliver,
+            "POBillTo.City should bind to InvoiceTo.City ({w_invoice}) over DeliverTo.City ({w_deliver})"
+        );
+        // and symmetric for ship/deliver
+        let ship_city = tr1.find_path("PO.POShipTo.City").unwrap();
+        let w_ship_deliver = res.wsim.get(ship_city.index(), deliver_city.index());
+        let w_ship_invoice = res.wsim.get(ship_city.index(), invoice_city.index());
+        assert!(w_ship_deliver > w_ship_invoice);
+    }
+
+    #[test]
+    fn leaf_ratio_pruning_skips_lopsided_pairs() {
+        let mut b = SchemaBuilder::new("Big");
+        let t = b.structured(b.root(), "T", ElementKind::XmlElement);
+        for i in 0..10 {
+            b.atomic(t, format!("A{i}"), ElementKind::XmlElement, DataType::String);
+        }
+        let s1 = b.build().unwrap();
+        let mut b = SchemaBuilder::new("Small");
+        let t = b.structured(b.root(), "T", ElementKind::XmlElement);
+        b.atomic(t, "A0", ElementKind::XmlElement, DataType::String);
+        let s2 = b.build().unwrap();
+        let (res, _, _) = run(&s1, &s2, &Thesaurus::with_default_stopwords());
+        assert!(res.stats.pruned_pairs > 0);
+    }
+
+    #[test]
+    fn optionality_softens_unmatched_optional_leaves() {
+        // s1: E{a, b}; s2: E{a, b, c?}. With optionality, unmatched
+        // optional c drops from the denominator.
+        let build = |with_c: bool, optional: bool| {
+            let mut b = SchemaBuilder::new("S");
+            let e = b.structured(b.root(), "E", ElementKind::XmlElement);
+            b.atomic(e, "Amount", ElementKind::XmlElement, DataType::String);
+            b.atomic(e, "Brand", ElementKind::XmlElement, DataType::String);
+            if with_c {
+                let c = b.atomic(e, "Comment", ElementKind::XmlElement, DataType::String);
+                b.set_optional(c, optional);
+            }
+            b.build().unwrap()
+        };
+        let s1 = build(false, false);
+        let s2_opt = build(true, true);
+        let s2_req = build(true, false);
+        let thesaurus = Thesaurus::with_default_stopwords();
+        let cfg = CupidConfig::default();
+        let tr1 = expand(&s1, &ExpandOptions::none()).unwrap();
+
+        let ssim_with = |s2: &Schema| {
+            let tr2 = expand(s2, &ExpandOptions::none()).unwrap();
+            let la = analyze(&s1, s2, &thesaurus, &cfg);
+            let res = tree_match(&tr1, &tr2, &la.lsim, &cfg);
+            let e1 = tr1.find_path("S.E").unwrap();
+            let e2 = tr2.find_path("S.E").unwrap();
+            res.ssim.get(e1.index(), e2.index())
+        };
+        let with_optional = ssim_with(&s2_opt);
+        let with_required = ssim_with(&s2_req);
+        assert!(
+            with_optional > with_required,
+            "optional unmatched leaf should hurt less: {with_optional} vs {with_required}"
+        );
+        // optional case: 2+2 linked out of (2 + 3 - 1 dropped) = 4/4 = 1.
+        assert!((with_optional - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn increase_clamps_at_one() {
+        let s1 = customer("A");
+        let s2 = customer("B");
+        let (res, _, _) = run(&s1, &s2, &Thesaurus::with_default_stopwords());
+        for (_, _, v) in res.leaf_ssim.iter() {
+            assert!((0.0..=1.0).contains(&v), "leaf ssim out of range: {v}");
+        }
+        assert!(res.stats.increases > 0);
+    }
+
+    #[test]
+    fn stats_count_compared_pairs() {
+        let s1 = customer("A");
+        let s2 = customer("B");
+        let (res, p1, p2) = run(&s1, &s2, &Thesaurus::with_default_stopwords());
+        assert!(res.stats.compared_pairs + res.stats.pruned_pairs == p1.len() * p2.len());
+    }
+}

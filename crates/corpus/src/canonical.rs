@@ -1,0 +1,341 @@
+//! The six canonical examples of §9.1, used for Table 2.
+//!
+//! *"The test schemas used were object-oriented schemas with a small
+//! number of class definitions."* Each case isolates one matching
+//! property: data types, names, class names, nesting, type substitution.
+
+use cupid_model::{DataType, ElementKind, Schema, SchemaBuilder};
+
+use crate::gold::GoldMapping;
+
+/// One canonical test case: a schema pair, gold leaf mapping, and the
+/// paper's reported verdicts (Table 2).
+#[derive(Debug, Clone)]
+pub struct CanonicalCase {
+    /// Case number (1–6) as in Table 2.
+    pub id: usize,
+    /// Table 2's description.
+    pub description: &'static str,
+    /// Source schema (Schema1).
+    pub schema1: Schema,
+    /// Target schema (Schema2).
+    pub schema2: Schema,
+    /// Gold leaf-level correspondences.
+    pub gold: GoldMapping,
+    /// Table 2 verdicts: (Cupid, DIKE, MOMIS-ARTEMIS).
+    pub paper_verdicts: (bool, bool, bool),
+}
+
+fn customer_class(
+    b: &mut SchemaBuilder,
+    class: &str,
+    attrs: &[(&str, DataType)],
+) -> cupid_model::ElementId {
+    let c = b.structured(b.root(), class, ElementKind::Class);
+    for (name, dt) in attrs {
+        b.atomic(c, *name, ElementKind::Attribute, *dt);
+    }
+    c
+}
+
+/// Case 1 — identical schemas: `Customer(Customer_Number: integer (key),
+/// Name: string, Address: string)`.
+pub fn case1() -> CanonicalCase {
+    let attrs: [(&str, DataType); 3] = [
+        ("CustomerNumber", DataType::Int),
+        ("Name", DataType::String),
+        ("Address", DataType::String),
+    ];
+    let mut b = SchemaBuilder::new("Schema1");
+    customer_class(&mut b, "Customer", &attrs);
+    let s1 = b.build().unwrap();
+    let mut b = SchemaBuilder::new("Schema2");
+    customer_class(&mut b, "Customer", &attrs);
+    let s2 = b.build().unwrap();
+    CanonicalCase {
+        id: 1,
+        description: "Identical schemas",
+        schema1: s1,
+        schema2: s2,
+        gold: GoldMapping::new([
+            ("Schema1.Customer.CustomerNumber", "Schema2.Customer.CustomerNumber"),
+            ("Schema1.Customer.Name", "Schema2.Customer.Name"),
+            ("Schema1.Customer.Address", "Schema2.Customer.Address"),
+        ]),
+        paper_verdicts: (true, true, true),
+    }
+}
+
+/// Case 2 — same names, different data types: `Telephone` is a string in
+/// Schema1 and an integer in Schema2.
+pub fn case2() -> CanonicalCase {
+    let mut b = SchemaBuilder::new("Schema1");
+    customer_class(
+        &mut b,
+        "Customer",
+        &[
+            ("CustomerNumber", DataType::Int),
+            ("Name", DataType::String),
+            ("Address", DataType::String),
+            ("Telephone", DataType::String),
+        ],
+    );
+    let s1 = b.build().unwrap();
+    let mut b = SchemaBuilder::new("Schema2");
+    customer_class(
+        &mut b,
+        "Customer",
+        &[
+            ("CustomerNumber", DataType::Int),
+            ("Name", DataType::String),
+            ("Address", DataType::String),
+            ("Telephone", DataType::Int),
+        ],
+    );
+    let s2 = b.build().unwrap();
+    CanonicalCase {
+        id: 2,
+        description: "Atomic elements with same names, but different data types",
+        schema1: s1,
+        schema2: s2,
+        gold: GoldMapping::new([
+            ("Schema1.Customer.CustomerNumber", "Schema2.Customer.CustomerNumber"),
+            ("Schema1.Customer.Name", "Schema2.Customer.Name"),
+            ("Schema1.Customer.Address", "Schema2.Customer.Address"),
+            ("Schema1.Customer.Telephone", "Schema2.Customer.Telephone"),
+        ]),
+        paper_verdicts: (true, true, true),
+    }
+}
+
+/// Case 3 — same data types, names with a prefix/suffix added:
+/// `Address` → `StreetAddress`, `Name` → `CustomerName`, etc.
+pub fn case3() -> CanonicalCase {
+    let mut b = SchemaBuilder::new("Schema1");
+    customer_class(
+        &mut b,
+        "Customer",
+        &[
+            ("CustomerNumber", DataType::Int),
+            ("Name", DataType::String),
+            ("Address", DataType::String),
+        ],
+    );
+    let s1 = b.build().unwrap();
+    let mut b = SchemaBuilder::new("Schema2");
+    customer_class(
+        &mut b,
+        "Customer",
+        &[
+            ("CustomerNumberId", DataType::Int),
+            ("CustomerName", DataType::String),
+            ("StreetAddress", DataType::String),
+        ],
+    );
+    let s2 = b.build().unwrap();
+    CanonicalCase {
+        id: 3,
+        description: "Same data types, slightly different names (prefix/suffix added)",
+        schema1: s1,
+        schema2: s2,
+        gold: GoldMapping::new([
+            ("Schema1.Customer.CustomerNumber", "Schema2.Customer.CustomerNumberId"),
+            ("Schema1.Customer.Name", "Schema2.Customer.CustomerName"),
+            ("Schema1.Customer.Address", "Schema2.Customer.StreetAddress"),
+        ]),
+        paper_verdicts: (true, true, true), // DIKE needs LSPD entries; MOMIS needs user synonyms
+    }
+}
+
+/// Case 4 — class renamed (`Customer` → `Person`), attributes unchanged.
+pub fn case4() -> CanonicalCase {
+    let attrs: [(&str, DataType); 3] = [
+        ("CustomerNumber", DataType::Int),
+        ("Name", DataType::String),
+        ("Address", DataType::String),
+    ];
+    let mut b = SchemaBuilder::new("Schema1");
+    customer_class(&mut b, "Customer", &attrs);
+    let s1 = b.build().unwrap();
+    let mut b = SchemaBuilder::new("Schema2");
+    customer_class(&mut b, "Person", &attrs);
+    let s2 = b.build().unwrap();
+    CanonicalCase {
+        id: 4,
+        description: "Different class names, atomic elements with same names and data types",
+        schema1: s1,
+        schema2: s2,
+        gold: GoldMapping::new([
+            ("Schema1.Customer.CustomerNumber", "Schema2.Person.CustomerNumber"),
+            ("Schema1.Customer.Name", "Schema2.Person.Name"),
+            ("Schema1.Customer.Address", "Schema2.Person.Address"),
+        ]),
+        paper_verdicts: (true, true, true),
+    }
+}
+
+/// Case 5 — different nesting: the nested schema groups name and address
+/// parts into sub-elements; the flat schema does not.
+pub fn case5() -> CanonicalCase {
+    // Nested-Schema: Customer(SSN, Telephone, Name(FirstName, LastName),
+    //                         Address(Street, City, State, Zip))
+    let mut b = SchemaBuilder::new("Schema1");
+    let c = b.structured(b.root(), "Customer", ElementKind::Class);
+    b.atomic(c, "SSN", ElementKind::Attribute, DataType::String);
+    b.atomic(c, "Telephone", ElementKind::Attribute, DataType::String);
+    let name = b.structured(c, "Name", ElementKind::Class);
+    b.atomic(name, "FirstName", ElementKind::Attribute, DataType::String);
+    b.atomic(name, "LastName", ElementKind::Attribute, DataType::String);
+    let addr = b.structured(c, "Address", ElementKind::Class);
+    b.atomic(addr, "Street", ElementKind::Attribute, DataType::String);
+    b.atomic(addr, "City", ElementKind::Attribute, DataType::String);
+    b.atomic(addr, "State", ElementKind::Attribute, DataType::String);
+    b.atomic(addr, "Zip", ElementKind::Attribute, DataType::String);
+    let s1 = b.build().unwrap();
+
+    // Flat-Schema: Customer(SSN, Telephone, FirstName, LastName, Street,
+    //                       City, State, Zip)
+    let mut b = SchemaBuilder::new("Schema2");
+    customer_class(
+        &mut b,
+        "Customer",
+        &[
+            ("SSN", DataType::String),
+            ("Telephone", DataType::String),
+            ("FirstName", DataType::String),
+            ("LastName", DataType::String),
+            ("Street", DataType::String),
+            ("City", DataType::String),
+            ("State", DataType::String),
+            ("Zip", DataType::String),
+        ],
+    );
+    let s2 = b.build().unwrap();
+    CanonicalCase {
+        id: 5,
+        description: "Different nesting of the data (nested vs flat structures)",
+        schema1: s1,
+        schema2: s2,
+        gold: GoldMapping::new([
+            ("Schema1.Customer.SSN", "Schema2.Customer.SSN"),
+            ("Schema1.Customer.Telephone", "Schema2.Customer.Telephone"),
+            ("Schema1.Customer.Name.FirstName", "Schema2.Customer.FirstName"),
+            ("Schema1.Customer.Name.LastName", "Schema2.Customer.LastName"),
+            ("Schema1.Customer.Address.Street", "Schema2.Customer.Street"),
+            ("Schema1.Customer.Address.City", "Schema2.Customer.City"),
+            ("Schema1.Customer.Address.State", "Schema2.Customer.State"),
+            ("Schema1.Customer.Address.Zip", "Schema2.Customer.Zip"),
+        ]),
+        paper_verdicts: (true, true, false),
+    }
+}
+
+/// Case 6 — type substitution / context-dependent mapping. `Address` is
+/// a shared class in Schema1; Schema2 uses separate but identical
+/// `ShipTo` / `BillTo` classes.
+pub fn case6() -> CanonicalCase {
+    let address_attrs: [(&str, DataType); 5] = [
+        ("Name", DataType::String),
+        ("Street", DataType::String),
+        ("City", DataType::String),
+        ("Zip", DataType::String),
+        ("Telephone", DataType::String),
+    ];
+    let mut b = SchemaBuilder::new("Schema1");
+    let po = b.structured(b.root(), "PurchaseOrder", ElementKind::Class);
+    b.atomic(po, "OrderNumber", ElementKind::Attribute, DataType::Int);
+    b.atomic(po, "ProductName", ElementKind::Attribute, DataType::String);
+    let addr = b.type_def("Address");
+    for (n, dt) in &address_attrs {
+        b.atomic(addr, *n, ElementKind::Attribute, *dt);
+    }
+    let ship = b.structured(po, "ShippingAddress", ElementKind::Class);
+    b.derive_from(ship, addr);
+    let bill = b.structured(po, "BillingAddress", ElementKind::Class);
+    b.derive_from(bill, addr);
+    let s1 = b.build().unwrap();
+
+    let mut b = SchemaBuilder::new("Schema2");
+    let po = b.structured(b.root(), "PurchaseOrder", ElementKind::Class);
+    b.atomic(po, "OrderNumber", ElementKind::Attribute, DataType::Int);
+    b.atomic(po, "ProductName", ElementKind::Attribute, DataType::String);
+    let shipto = b.type_def("ShipTo");
+    for (n, dt) in &address_attrs {
+        b.atomic(shipto, *n, ElementKind::Attribute, *dt);
+    }
+    let billto = b.type_def("BillTo");
+    for (n, dt) in &address_attrs {
+        b.atomic(billto, *n, ElementKind::Attribute, *dt);
+    }
+    let ship = b.structured(po, "ShippingAddress", ElementKind::Class);
+    b.derive_from(ship, shipto);
+    let bill = b.structured(po, "BillingAddress", ElementKind::Class);
+    b.derive_from(bill, billto);
+    let s2 = b.build().unwrap();
+
+    let mut pairs: Vec<(String, String)> = vec![
+        ("Schema1.PurchaseOrder.OrderNumber".into(), "Schema2.PurchaseOrder.OrderNumber".into()),
+        ("Schema1.PurchaseOrder.ProductName".into(), "Schema2.PurchaseOrder.ProductName".into()),
+    ];
+    for ctx in ["ShippingAddress", "BillingAddress"] {
+        for (n, _) in &address_attrs {
+            pairs.push((
+                format!("Schema1.PurchaseOrder.{ctx}.{n}"),
+                format!("Schema2.PurchaseOrder.{ctx}.{n}"),
+            ));
+        }
+    }
+    CanonicalCase {
+        id: 6,
+        description: "Type substitution / context-dependent mapping",
+        schema1: s1,
+        schema2: s2,
+        gold: GoldMapping::new(pairs),
+        paper_verdicts: (true, false, false),
+    }
+}
+
+/// All six cases, in Table 2 order.
+pub fn all_cases() -> Vec<CanonicalCase> {
+    vec![case1(), case2(), case3(), case4(), case5(), case6()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cupid_model::{expand, ExpandOptions};
+
+    #[test]
+    fn all_cases_build_and_expand() {
+        for case in all_cases() {
+            let t1 = expand(&case.schema1, &ExpandOptions::none()).unwrap();
+            let t2 = expand(&case.schema2, &ExpandOptions::none()).unwrap();
+            assert!(t1.leaf_count() >= 3, "case {} s1", case.id);
+            assert!(t2.leaf_count() >= 3, "case {} s2", case.id);
+            // every gold path exists in the expanded trees
+            for (s, t) in case.gold.pairs() {
+                assert!(t1.find_path(s).is_some(), "case {}: missing source path {s}", case.id);
+                assert!(t2.find_path(t).is_some(), "case {}: missing target path {t}", case.id);
+            }
+        }
+    }
+
+    #[test]
+    fn case6_has_context_copies() {
+        let case = case6();
+        let t1 = expand(&case.schema1, &ExpandOptions::none()).unwrap();
+        assert!(t1.find_path("Schema1.PurchaseOrder.ShippingAddress.Street").is_some());
+        assert!(t1.find_path("Schema1.PurchaseOrder.BillingAddress.Street").is_some());
+    }
+
+    #[test]
+    fn paper_verdicts_follow_table_2() {
+        let cases = all_cases();
+        let cupid: Vec<bool> = cases.iter().map(|c| c.paper_verdicts.0).collect();
+        let dike: Vec<bool> = cases.iter().map(|c| c.paper_verdicts.1).collect();
+        let momis: Vec<bool> = cases.iter().map(|c| c.paper_verdicts.2).collect();
+        assert_eq!(cupid, [true; 6].to_vec());
+        assert_eq!(dike, vec![true, true, true, true, true, false]);
+        assert_eq!(momis, vec![true, true, true, true, false, false]);
+    }
+}

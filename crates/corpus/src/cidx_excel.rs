@@ -1,0 +1,257 @@
+//! Figure 7: the CIDX and Excel XML purchase orders from BizTalk.org —
+//! the paper's real-world example (§9.2, Table 3).
+//!
+//! *"We chose these particular schemas because, while somewhat similar,
+//! they also have XML elements with differences in nesting, some missing
+//! elements, non-matching data types and slightly different names."*
+//!
+//! In the Excel schema, the `Address` and `Contact` structures are shared
+//! types instantiated under both `DeliverTo` and `InvoiceTo` — these are
+//! the XML attributes occurring in multiple contexts that §9.3(3) counts.
+//! The CIDX schema nests the address fields directly under
+//! `POShipTo`/`POBillTo` (no intermediate `Address` level) and keeps a
+//! single `Contact` element at top level: the nesting differences the
+//! paper highlights.
+
+use cupid_model::{DataType, ElementId, ElementKind, Schema, SchemaBuilder};
+
+use crate::gold::GoldMapping;
+
+const ADDRESS_FIELDS: [&str; 8] = [
+    "Street1",
+    "Street2",
+    "Street3",
+    "Street4",
+    "City",
+    "StateProvince",
+    "PostalCode",
+    "Country",
+];
+
+fn lower_first(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_lowercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+fn address_fields(b: &mut SchemaBuilder, parent: ElementId, capitalized: bool) {
+    for f in ADDRESS_FIELDS {
+        let name = if capitalized { f.to_string() } else { lower_first(f) };
+        b.atomic(parent, name, ElementKind::XmlAttribute, DataType::String);
+    }
+}
+
+/// The CIDX purchase order (left side of Figure 7).
+pub fn cidx() -> Schema {
+    let mut b = SchemaBuilder::new("PO");
+    let header = b.structured(b.root(), "POHeader", ElementKind::XmlElement);
+    b.atomic(header, "PONumber", ElementKind::XmlAttribute, DataType::String);
+    b.atomic(header, "PODate", ElementKind::XmlAttribute, DataType::Date);
+
+    let contact = b.structured(b.root(), "Contact", ElementKind::XmlElement);
+    b.atomic(contact, "ContactName", ElementKind::XmlAttribute, DataType::String);
+    b.atomic(contact, "ContactEmail", ElementKind::XmlAttribute, DataType::String);
+    b.atomic(contact, "ContactPhone", ElementKind::XmlAttribute, DataType::String);
+    b.atomic(contact, "ContactFunctionCode", ElementKind::XmlAttribute, DataType::String);
+
+    for part in ["POShipTo", "POBillTo"] {
+        let p = b.structured(b.root(), part, ElementKind::XmlElement);
+        address_fields(&mut b, p, true);
+        let attn = b.atomic(p, "attn", ElementKind::XmlAttribute, DataType::String);
+        b.set_optional(attn, true);
+        let eid = b.atomic(p, "entityIdentifier", ElementKind::XmlAttribute, DataType::String);
+        b.set_optional(eid, true);
+    }
+
+    let start = b.atomic(b.root(), "startAt", ElementKind::XmlAttribute, DataType::Date);
+    b.set_optional(start, true);
+
+    let lines = b.structured(b.root(), "POLines", ElementKind::XmlElement);
+    b.atomic(lines, "count", ElementKind::XmlAttribute, DataType::Int);
+    let item = b.structured(lines, "Item", ElementKind::XmlElement);
+    b.atomic(item, "line", ElementKind::XmlAttribute, DataType::Int);
+    b.atomic(item, "partno", ElementKind::XmlAttribute, DataType::String);
+    b.atomic(item, "qty", ElementKind::XmlAttribute, DataType::Decimal);
+    b.atomic(item, "uom", ElementKind::XmlAttribute, DataType::String);
+    b.atomic(item, "unitPrice", ElementKind::XmlAttribute, DataType::Money);
+    b.build().expect("static schema is valid")
+}
+
+/// The Excel purchase order (right side of Figure 7). `Address` and
+/// `Contact` are shared complex types; `DeliverTo` and `InvoiceTo` each
+/// contain an `Address` and a `Contact` element deriving from them.
+pub fn excel() -> Schema {
+    let mut b = SchemaBuilder::new("PurchaseOrder");
+    let header = b.structured(b.root(), "Header", ElementKind::XmlElement);
+    b.atomic(header, "orderNum", ElementKind::XmlAttribute, DataType::String);
+    b.atomic(header, "orderDate", ElementKind::XmlAttribute, DataType::Date);
+    b.atomic(header, "yourAccountCode", ElementKind::XmlAttribute, DataType::String);
+    b.atomic(header, "ourAccountCode", ElementKind::XmlAttribute, DataType::String);
+
+    let addr_type = b.type_def("AddressType");
+    address_fields(&mut b, addr_type, false);
+    let contact_type = b.type_def("ContactType");
+    b.atomic(contact_type, "companyName", ElementKind::XmlAttribute, DataType::String);
+    b.atomic(contact_type, "contactName", ElementKind::XmlAttribute, DataType::String);
+    b.atomic(contact_type, "e-mail", ElementKind::XmlAttribute, DataType::String);
+    b.atomic(contact_type, "telephone", ElementKind::XmlAttribute, DataType::String);
+
+    for part in ["DeliverTo", "InvoiceTo"] {
+        let p = b.structured(b.root(), part, ElementKind::XmlElement);
+        let a = b.structured(p, "Address", ElementKind::XmlElement);
+        b.derive_from(a, addr_type);
+        let c = b.structured(p, "Contact", ElementKind::XmlElement);
+        b.derive_from(c, contact_type);
+    }
+
+    let items = b.structured(b.root(), "Items", ElementKind::XmlElement);
+    b.atomic(items, "itemCount", ElementKind::XmlAttribute, DataType::Int);
+    let item = b.structured(items, "Item", ElementKind::XmlElement);
+    b.atomic(item, "itemNumber", ElementKind::XmlAttribute, DataType::Int);
+    b.atomic(item, "partNumber", ElementKind::XmlAttribute, DataType::String);
+    let ypn = b.atomic(item, "yourPartNumber", ElementKind::XmlAttribute, DataType::String);
+    b.set_optional(ypn, true);
+    let pd = b.atomic(item, "partDescription", ElementKind::XmlAttribute, DataType::String);
+    b.set_optional(pd, true);
+    b.atomic(item, "Quantity", ElementKind::XmlAttribute, DataType::Decimal);
+    b.atomic(item, "unitOfMeasure", ElementKind::XmlAttribute, DataType::String);
+    b.atomic(item, "unitPrice", ElementKind::XmlAttribute, DataType::Money);
+
+    let footer = b.structured(b.root(), "Footer", ElementKind::XmlElement);
+    b.atomic(footer, "totalValue", ElementKind::XmlAttribute, DataType::Money);
+    b.build().expect("static schema is valid")
+}
+
+/// Leaf-level gold for CIDX → Excel. Context-dependent: `POShipTo`'s
+/// address feeds `DeliverTo.Address`, `POBillTo`'s feeds
+/// `InvoiceTo.Address`. The single CIDX `Contact` legitimately feeds both
+/// Excel `Contact` copies (a 1:n mapping).
+pub fn gold() -> GoldMapping {
+    let mut pairs: Vec<(String, String)> = vec![
+        ("PO.POHeader.PONumber".into(), "PurchaseOrder.Header.orderNum".into()),
+        ("PO.POHeader.PODate".into(), "PurchaseOrder.Header.orderDate".into()),
+        ("PO.POLines.count".into(), "PurchaseOrder.Items.itemCount".into()),
+        ("PO.POLines.Item.line".into(), "PurchaseOrder.Items.Item.itemNumber".into()),
+        ("PO.POLines.Item.partno".into(), "PurchaseOrder.Items.Item.partNumber".into()),
+        ("PO.POLines.Item.qty".into(), "PurchaseOrder.Items.Item.Quantity".into()),
+        ("PO.POLines.Item.uom".into(), "PurchaseOrder.Items.Item.unitOfMeasure".into()),
+        ("PO.POLines.Item.unitPrice".into(), "PurchaseOrder.Items.Item.unitPrice".into()),
+    ];
+    for (cidx_part, excel_part) in [("POShipTo", "DeliverTo"), ("POBillTo", "InvoiceTo")] {
+        for field in ADDRESS_FIELDS {
+            pairs.push((
+                format!("PO.{cidx_part}.{field}"),
+                format!("PurchaseOrder.{excel_part}.Address.{}", lower_first(field)),
+            ));
+        }
+    }
+    for excel_part in ["DeliverTo", "InvoiceTo"] {
+        pairs.push((
+            "PO.Contact.ContactName".into(),
+            format!("PurchaseOrder.{excel_part}.Contact.contactName"),
+        ));
+        pairs.push((
+            "PO.Contact.ContactEmail".into(),
+            format!("PurchaseOrder.{excel_part}.Contact.e-mail"),
+        ));
+        pairs.push((
+            "PO.Contact.ContactPhone".into(),
+            format!("PurchaseOrder.{excel_part}.Contact.telephone"),
+        ));
+    }
+    GoldMapping::new(pairs)
+}
+
+/// The XML-element level correspondences of Table 3.
+pub fn gold_elements() -> GoldMapping {
+    GoldMapping::new([
+        ("PO.POHeader", "PurchaseOrder.Header"),
+        ("PO.POLines.Item", "PurchaseOrder.Items.Item"),
+        ("PO.POLines", "PurchaseOrder.Items"),
+        ("PO.POBillTo", "PurchaseOrder.InvoiceTo"),
+        ("PO.POShipTo", "PurchaseOrder.DeliverTo"),
+        ("PO.Contact", "PurchaseOrder.DeliverTo.Contact"),
+        ("PO.Contact", "PurchaseOrder.InvoiceTo.Contact"),
+        ("PO", "PurchaseOrder"),
+    ])
+}
+
+/// The Table 3 rows: (label, CIDX path, acceptable Excel paths).
+pub fn table3_rows() -> Vec<(&'static str, &'static str, Vec<&'static str>)> {
+    vec![
+        ("POHeader -> Header", "PO.POHeader", vec!["PurchaseOrder.Header"]),
+        ("Item -> Item", "PO.POLines.Item", vec!["PurchaseOrder.Items.Item"]),
+        ("POLines -> Items", "PO.POLines", vec!["PurchaseOrder.Items"]),
+        ("POBillTo -> InvoiceTo", "PO.POBillTo", vec!["PurchaseOrder.InvoiceTo"]),
+        ("POShipTo -> DeliverTo", "PO.POShipTo", vec!["PurchaseOrder.DeliverTo"]),
+        (
+            "Contact -> Contact",
+            "PO.Contact",
+            vec!["PurchaseOrder.DeliverTo.Contact", "PurchaseOrder.InvoiceTo.Contact"],
+        ),
+        ("PO -> PurchaseOrder", "PO", vec!["PurchaseOrder"]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cupid_model::{expand, ExpandOptions};
+
+    #[test]
+    fn cidx_shape() {
+        let s = cidx();
+        let t = expand(&s, &ExpandOptions::none()).unwrap();
+        // 2 header + 4 contact + 2×10 addresses + startAt + count + 5 item
+        assert_eq!(t.leaf_count(), 33);
+        assert!(t.find_path("PO.POShipTo.Street4").is_some());
+        assert!(t.find_path("PO.POLines.Item.unitPrice").is_some());
+    }
+
+    #[test]
+    fn excel_shape_with_shared_types() {
+        let s = excel();
+        let t = expand(&s, &ExpandOptions::none()).unwrap();
+        // 4 header + 2×(8 addr + 4 contact) + itemCount + 7 item + 1 footer
+        assert_eq!(t.leaf_count(), 37);
+        assert!(t.find_path("PurchaseOrder.DeliverTo.Address.street2").is_some());
+        assert!(t.find_path("PurchaseOrder.InvoiceTo.Contact.telephone").is_some());
+        // the 12 shared attributes appear in two contexts each
+        let shared: usize =
+            s.iter().filter(|(id, _)| t.nodes_of_element(*id).len() > 1).count();
+        assert_eq!(shared, 12);
+    }
+
+    #[test]
+    fn gold_paths_exist() {
+        let t1 = expand(&cidx(), &ExpandOptions::none()).unwrap();
+        let t2 = expand(&excel(), &ExpandOptions::none()).unwrap();
+        for (s, t) in gold().pairs() {
+            assert!(t1.find_path(s).is_some(), "missing CIDX path {s}");
+            assert!(t2.find_path(t).is_some(), "missing Excel path {t}");
+        }
+        for (s, t) in gold_elements().pairs() {
+            assert!(t1.find_path(s).is_some(), "missing CIDX element {s}");
+            assert!(t2.find_path(t).is_some(), "missing Excel element {t}");
+        }
+        for (_, s, ts) in table3_rows() {
+            assert!(t1.find_path(s).is_some(), "missing table3 source {s}");
+            for t in ts {
+                assert!(t2.find_path(t).is_some(), "missing table3 target {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn optional_attributes_marked() {
+        let s = cidx();
+        let attn = s.iter().find(|(_, e)| e.name == "attn").map(|(id, _)| id).unwrap();
+        assert!(s.element(attn).optional);
+        let e = excel();
+        let ypn =
+            e.iter().find(|(_, el)| el.name == "yourPartNumber").map(|(id, _)| id).unwrap();
+        assert!(e.element(ypn).optional);
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 1: the introductory example.
+//!
+//! ```text
+//! PO                    POrder
+//!   Lines                 Items
+//!     Item                  Item
+//!       Line                  ItemNumber
+//!       Qty                   Quantity
+//!       Uom                   UnitOfMeasure
+//! ```
+
+use cupid_lexical::{Thesaurus, ThesaurusBuilder};
+use cupid_model::{DataType, ElementKind, Schema, SchemaBuilder};
+
+use crate::gold::GoldMapping;
+
+/// The experiment thesaurus for Figure 1: the paper's four abbreviations
+/// plus the obvious short form `POrder` = purchase order (the root names
+/// must be recognized as the same concept for the root comparison to
+/// reinforce the leaves).
+pub fn thesaurus() -> Thesaurus {
+    ThesaurusBuilder::new()
+        .abbreviation("UOM", &["unit", "of", "measure"])
+        .abbreviation("PO", &["purchase", "order"])
+        .abbreviation("POrder", &["purchase", "order"])
+        .abbreviation("Qty", &["quantity"])
+        .abbreviation("Num", &["number"])
+        .synonym("Invoice", "Bill", 1.0)
+        .synonym("Ship", "Deliver", 1.0)
+        .build()
+        .expect("static thesaurus is valid")
+}
+
+/// The `PO` schema (left side of Figure 1).
+pub fn po() -> Schema {
+    let mut b = SchemaBuilder::new("PO");
+    let lines = b.structured(b.root(), "Lines", ElementKind::XmlElement);
+    let item = b.structured(lines, "Item", ElementKind::XmlElement);
+    b.atomic(item, "Line", ElementKind::XmlElement, DataType::Int);
+    b.atomic(item, "Qty", ElementKind::XmlElement, DataType::Decimal);
+    b.atomic(item, "Uom", ElementKind::XmlElement, DataType::String);
+    b.build().expect("static schema is valid")
+}
+
+/// The `POrder` schema (right side of Figure 1).
+pub fn porder() -> Schema {
+    let mut b = SchemaBuilder::new("POrder");
+    let items = b.structured(b.root(), "Items", ElementKind::XmlElement);
+    let item = b.structured(items, "Item", ElementKind::XmlElement);
+    b.atomic(item, "ItemNumber", ElementKind::XmlElement, DataType::Int);
+    b.atomic(item, "Quantity", ElementKind::XmlElement, DataType::Decimal);
+    b.atomic(item, "UnitOfMeasure", ElementKind::XmlElement, DataType::String);
+    b.build().expect("static schema is valid")
+}
+
+/// The mapping §2 describes, including
+/// `Lines.Item.Line → Items.Item.ItemNumber`.
+pub fn gold() -> GoldMapping {
+    GoldMapping::new([
+        ("PO.Lines.Item.Line", "POrder.Items.Item.ItemNumber"),
+        ("PO.Lines.Item.Qty", "POrder.Items.Item.Quantity"),
+        ("PO.Lines.Item.Uom", "POrder.Items.Item.UnitOfMeasure"),
+    ])
+}
+
+/// Gold correspondences at the XML-element (non-leaf) level.
+pub fn gold_nonleaf() -> GoldMapping {
+    GoldMapping::new([
+        ("PO.Lines.Item", "POrder.Items.Item"),
+        ("PO.Lines", "POrder.Items"),
+        ("PO", "POrder"),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_have_the_figure_shape() {
+        let po = po();
+        assert_eq!(po.len(), 6);
+        assert_eq!(po.containment_path(po.find("Qty").unwrap()), "PO.Lines.Item.Qty");
+        let porder = porder();
+        assert_eq!(porder.len(), 6);
+        assert!(porder.find("UnitOfMeasure").is_some());
+    }
+
+    #[test]
+    fn gold_covers_all_leaves() {
+        assert_eq!(gold().len(), 3);
+        assert_eq!(gold_nonleaf().len(), 3);
+    }
+}

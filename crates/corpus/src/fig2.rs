@@ -1,0 +1,116 @@
+//! Figure 2: the running example — two XML purchase-order schemas with
+//! naming and structural variation.
+//!
+//! ```text
+//! PO                          PurchaseOrder
+//!   POShipTo                    DeliverTo
+//!     Street City                 Address (shared)
+//!   POBillTo                        Street City
+//!     Street City                InvoiceTo
+//!   POLines                       Address (shared)
+//!     Count                     Items
+//!     Item                        ItemCount
+//!       Line Qty UoM              Item
+//!                                   ItemNumber Quantity UnitOfMeasure
+//! ```
+//!
+//! In `PurchaseOrder`, `Address` is modeled as a shared type referenced
+//! by both `DeliverTo` and `InvoiceTo` (the variation §8.2 discusses),
+//! so context-dependent mappings are required.
+
+use cupid_model::{DataType, ElementKind, Schema, SchemaBuilder};
+
+use crate::gold::GoldMapping;
+
+/// The `PO` schema (left side of Figure 2).
+pub fn po() -> Schema {
+    let mut b = SchemaBuilder::new("PO");
+    for part in ["POShipTo", "POBillTo"] {
+        let p = b.structured(b.root(), part, ElementKind::XmlElement);
+        b.atomic(p, "Street", ElementKind::XmlElement, DataType::String);
+        b.atomic(p, "City", ElementKind::XmlElement, DataType::String);
+    }
+    let lines = b.structured(b.root(), "POLines", ElementKind::XmlElement);
+    b.atomic(lines, "Count", ElementKind::XmlElement, DataType::Int);
+    let item = b.structured(lines, "Item", ElementKind::XmlElement);
+    b.atomic(item, "Line", ElementKind::XmlElement, DataType::Int);
+    b.atomic(item, "Qty", ElementKind::XmlElement, DataType::Decimal);
+    b.atomic(item, "UoM", ElementKind::XmlElement, DataType::String);
+    b.build().expect("static schema is valid")
+}
+
+/// The `PurchaseOrder` schema (right side of Figure 2), with `Address`
+/// as a shared type under both `DeliverTo` and `InvoiceTo`.
+pub fn purchase_order() -> Schema {
+    let mut b = SchemaBuilder::new("PurchaseOrder");
+    let addr = b.type_def("Address");
+    b.atomic(addr, "Street", ElementKind::XmlElement, DataType::String);
+    b.atomic(addr, "City", ElementKind::XmlElement, DataType::String);
+    for part in ["DeliverTo", "InvoiceTo"] {
+        let p = b.structured(b.root(), part, ElementKind::XmlElement);
+        b.derive_from(p, addr);
+    }
+    let items = b.structured(b.root(), "Items", ElementKind::XmlElement);
+    b.atomic(items, "ItemCount", ElementKind::XmlElement, DataType::Int);
+    let item = b.structured(items, "Item", ElementKind::XmlElement);
+    b.atomic(item, "ItemNumber", ElementKind::XmlElement, DataType::Int);
+    b.atomic(item, "Quantity", ElementKind::XmlElement, DataType::Decimal);
+    b.atomic(item, "UnitOfMeasure", ElementKind::XmlElement, DataType::String);
+    b.build().expect("static schema is valid")
+}
+
+/// Leaf-level gold (context-dependent: POShipTo's leaves must land under
+/// DeliverTo, POBillTo's under InvoiceTo — §4's worked example).
+pub fn gold() -> GoldMapping {
+    GoldMapping::new([
+        ("PO.POShipTo.Street", "PurchaseOrder.DeliverTo.Street"),
+        ("PO.POShipTo.City", "PurchaseOrder.DeliverTo.City"),
+        ("PO.POBillTo.Street", "PurchaseOrder.InvoiceTo.Street"),
+        ("PO.POBillTo.City", "PurchaseOrder.InvoiceTo.City"),
+        ("PO.POLines.Count", "PurchaseOrder.Items.ItemCount"),
+        ("PO.POLines.Item.Line", "PurchaseOrder.Items.Item.ItemNumber"),
+        ("PO.POLines.Item.Qty", "PurchaseOrder.Items.Item.Quantity"),
+        ("PO.POLines.Item.UoM", "PurchaseOrder.Items.Item.UnitOfMeasure"),
+    ])
+}
+
+/// Element-level gold.
+pub fn gold_nonleaf() -> GoldMapping {
+    GoldMapping::new([
+        ("PO.POShipTo", "PurchaseOrder.DeliverTo"),
+        ("PO.POBillTo", "PurchaseOrder.InvoiceTo"),
+        ("PO.POLines", "PurchaseOrder.Items"),
+        ("PO.POLines.Item", "PurchaseOrder.Items.Item"),
+        ("PO", "PurchaseOrder"),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cupid_model::{expand, ExpandOptions};
+
+    #[test]
+    fn purchase_order_expands_shared_address_into_two_contexts() {
+        let t = expand(&purchase_order(), &ExpandOptions::none()).unwrap();
+        assert!(t.find_path("PurchaseOrder.DeliverTo.Street").is_some());
+        assert!(t.find_path("PurchaseOrder.InvoiceTo.Street").is_some());
+        assert!(t.find_path("PurchaseOrder.DeliverTo.City").is_some());
+        assert!(t.find_path("PurchaseOrder.InvoiceTo.City").is_some());
+    }
+
+    #[test]
+    fn po_is_a_plain_tree() {
+        let t = expand(&po(), &ExpandOptions::none()).unwrap();
+        assert_eq!(t.leaf_count(), 8);
+        assert!(t.find_path("PO.POBillTo.City").is_some());
+    }
+
+    #[test]
+    fn gold_is_context_dependent() {
+        let g = gold();
+        assert!(g.contains("PO.POBillTo.City", "PurchaseOrder.InvoiceTo.City"));
+        assert!(!g.contains("PO.POBillTo.City", "PurchaseOrder.DeliverTo.City"));
+        assert_eq!(g.len(), 8);
+    }
+}

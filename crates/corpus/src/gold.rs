@@ -1,0 +1,96 @@
+//! Gold-standard mappings, expressed over context paths of the expanded
+//! schema trees.
+
+use std::collections::BTreeSet;
+
+/// A gold-standard mapping: the set of correspondences a human validator
+/// accepts. Pairs are `(source context path, target context path)`; when
+/// a target has several acceptable sources (or a source legitimately maps
+/// into several contexts, e.g. one CIDX `Contact` feeding both Excel
+/// `Contact` copies), *all* acceptable pairs are enumerated.
+#[derive(Debug, Clone, Default)]
+pub struct GoldMapping {
+    pairs: BTreeSet<(String, String)>,
+}
+
+impl GoldMapping {
+    /// Build from a pair list.
+    pub fn new<I, S1, S2>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S1, S2)>,
+        S1: Into<String>,
+        S2: Into<String>,
+    {
+        GoldMapping {
+            pairs: pairs.into_iter().map(|(a, b)| (a.into(), b.into())).collect(),
+        }
+    }
+
+    /// Is a found correspondence correct?
+    pub fn contains(&self, source_path: &str, target_path: &str) -> bool {
+        self.pairs.contains(&(source_path.to_string(), target_path.to_string()))
+    }
+
+    /// All gold pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.pairs.iter().map(|(a, b)| (a.as_str(), b.as_str()))
+    }
+
+    /// Number of gold pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no gold pairs are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The distinct target paths that have at least one acceptable
+    /// source — the denominator of target-oriented recall.
+    pub fn target_count(&self) -> usize {
+        self.pairs.iter().map(|(_, t)| t.as_str()).collect::<BTreeSet<_>>().len()
+    }
+
+    /// True if the target path has any acceptable source.
+    pub fn has_target(&self, target_path: &str) -> bool {
+        self.pairs.iter().any(|(_, t)| t == target_path)
+    }
+
+    /// Merge another gold set into this one.
+    pub fn extend(&mut self, other: &GoldMapping) {
+        for (a, b) in other.pairs() {
+            self.pairs.insert((a.to_string(), b.to_string()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_queries() {
+        let g = GoldMapping::new([("A.x", "B.y"), ("A.x", "B.z")]);
+        assert!(g.contains("A.x", "B.y"));
+        assert!(!g.contains("A.x", "B.w"));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.target_count(), 2);
+        assert!(g.has_target("B.z"));
+        assert!(!g.has_target("B.w"));
+    }
+
+    #[test]
+    fn extend_unions() {
+        let mut g = GoldMapping::new([("a", "b")]);
+        g.extend(&GoldMapping::new([("a", "b"), ("c", "d")]));
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn empty() {
+        let g = GoldMapping::default();
+        assert!(g.is_empty());
+        assert_eq!(g.target_count(), 0);
+    }
+}

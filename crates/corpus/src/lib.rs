@@ -1,0 +1,35 @@
+//! # cupid-corpus — the evaluation corpus of the Cupid paper
+//!
+//! Faithful transcriptions of every schema in the paper's figures and
+//! experiments, with gold-standard mappings and the exact auxiliary
+//! thesauri the paper describes:
+//!
+//! * [`fig1`] — the introductory PO / POrder example (Figure 1);
+//! * [`fig2`] — the running example: PO vs PurchaseOrder (Figure 2);
+//! * [`canonical`] — the six canonical examples of §9.1 (identical
+//!   schemas, data-type variation, name variation, class renaming,
+//!   nesting differences, type substitution);
+//! * [`cidx_excel`] — the CIDX and Excel purchase orders from
+//!   BizTalk.org (Figure 7, Table 3);
+//! * [`star_rdb`] — the RDB → Star warehouse schemas (Figure 8);
+//! * [`thesauri`] — the experiment thesauri (§9.2: *"the thesauri had a
+//!   total of 4 abbreviations (UOM, PO, Qty, Num) and 2 synonymy entries
+//!   (Invoice,Bill; Ship,Deliver)"*);
+//! * [`gold`] — gold-standard mapping representation;
+//! * [`synthetic`] — a seeded random schema-pair generator with a
+//!   perturbation model, for the scalability analysis the paper calls
+//!   for in its future work (§10).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canonical;
+pub mod cidx_excel;
+pub mod fig1;
+pub mod fig2;
+pub mod gold;
+pub mod star_rdb;
+pub mod synthetic;
+pub mod thesauri;
+
+pub use gold::GoldMapping;

@@ -1,0 +1,425 @@
+//! Seeded synthetic schema-pair generator.
+//!
+//! The paper's future work calls for scalability analysis (§10:
+//! *"Scalability analysis and testing are necessary to study the
+//! performance on large-sized schemas"*). This module generates schema
+//! pairs of controlled size with a perturbation model that mirrors the
+//! real-world variation of Figure 7: word-level renames via synonyms,
+//! abbreviations, dropped elements, flattened nesting and child
+//! reordering — together with the gold mapping induced by construction
+//! and a thesaurus covering exactly the introduced renames.
+
+use cupid_lexical::{Thesaurus, ThesaurusBuilder};
+use cupid_model::{DataType, ElementId, ElementKind, Schema, SchemaBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::gold::GoldMapping;
+
+/// Word pool with synonym partners used for renames. The synonym pairs
+/// are registered in the generated thesaurus with coefficient 0.9.
+const WORD_PAIRS: &[(&str, &str)] = &[
+    ("order", "purchase"),
+    ("customer", "client"),
+    ("price", "cost"),
+    ("quantity", "amount"),
+    ("street", "road"),
+    ("phone", "telephone"),
+    ("bill", "invoice"),
+    ("ship", "deliver"),
+    ("item", "article"),
+    ("vendor", "supplier"),
+    ("payment", "remittance"),
+    ("freight", "cargo"),
+    ("employee", "worker"),
+    ("region", "zone"),
+    ("category", "group"),
+    ("product", "goods"),
+    ("account", "ledger"),
+    ("branch", "office"),
+    ("warehouse", "depot"),
+    ("discount", "rebate"),
+];
+
+/// Second words for compound names (never renamed, so every name keeps a
+/// recognizable token).
+const SUFFIX_WORDS: &[&str] = &[
+    "id", "name", "code", "number", "date", "total", "status", "type", "flag", "line",
+];
+
+const LEAF_TYPES: &[DataType] = &[
+    DataType::Int,
+    DataType::String,
+    DataType::Decimal,
+    DataType::Date,
+    DataType::Bool,
+    DataType::Money,
+];
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// RNG seed; equal seeds give identical pairs.
+    pub seed: u64,
+    /// Approximate number of leaves in the source schema.
+    pub target_leaves: usize,
+    /// Maximum children per internal node.
+    pub max_fanout: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Probability a leaf/internal word is replaced by its synonym.
+    pub rename_prob: f64,
+    /// Probability a name is abbreviated (prefix truncation, registered
+    /// in the thesaurus).
+    pub abbreviate_prob: f64,
+    /// Probability a leaf is dropped from the target.
+    pub drop_prob: f64,
+    /// Probability an internal node is flattened (children spliced into
+    /// its parent), changing nesting as in canonical example 5.
+    pub flatten_prob: f64,
+    /// Shuffle child order in the target.
+    pub shuffle: bool,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            seed: 42,
+            target_leaves: 32,
+            max_fanout: 6,
+            max_depth: 5,
+            rename_prob: 0.25,
+            abbreviate_prob: 0.1,
+            drop_prob: 0.08,
+            flatten_prob: 0.15,
+            shuffle: true,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// Convenience: a pair with roughly `leaves` leaves.
+    pub fn sized(leaves: usize, seed: u64) -> Self {
+        SyntheticConfig { target_leaves: leaves, seed, ..Default::default() }
+    }
+}
+
+/// A generated pair: source/target schemas, the thesaurus covering the
+/// introduced renames, and the construction-induced gold mapping.
+#[derive(Debug, Clone)]
+pub struct SyntheticPair {
+    /// Source schema.
+    pub source: Schema,
+    /// Perturbed target schema.
+    pub target: Schema,
+    /// Thesaurus with the synonym/abbreviation entries the perturbation
+    /// used.
+    pub thesaurus: Thesaurus,
+    /// Gold leaf mapping (source path → target path for surviving
+    /// leaves).
+    pub gold: GoldMapping,
+}
+
+#[derive(Debug, Clone)]
+struct GenNode {
+    key: u64,
+    words: Vec<String>,
+    dtype: DataType,
+    children: Vec<GenNode>,
+}
+
+impl GenNode {
+    fn name(&self) -> String {
+        self.words
+            .iter()
+            .map(|w| {
+                let mut c = w.chars();
+                match c.next() {
+                    Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                    None => String::new(),
+                }
+            })
+            .collect()
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+struct Generator {
+    rng: StdRng,
+    next_key: u64,
+    leaves_made: usize,
+}
+
+impl Generator {
+    fn fresh_key(&mut self) -> u64 {
+        self.next_key += 1;
+        self.next_key
+    }
+
+    fn word(&mut self) -> String {
+        WORD_PAIRS[self.rng.gen_range(0..WORD_PAIRS.len())].0.to_string()
+    }
+
+    fn compound(&mut self) -> Vec<String> {
+        let first = self.word();
+        if self.rng.gen_bool(0.7) {
+            let suffix = SUFFIX_WORDS[self.rng.gen_range(0..SUFFIX_WORDS.len())];
+            vec![first, suffix.to_string()]
+        } else {
+            vec![first]
+        }
+    }
+
+    fn build(&mut self, cfg: &SyntheticConfig, depth: usize) -> GenNode {
+        let key = self.fresh_key();
+        let words = self.compound();
+        let want_internal = depth < cfg.max_depth
+            && depth > 0
+            && self.leaves_made < cfg.target_leaves
+            && self.rng.gen_bool(0.35);
+        if depth == 0 || want_internal {
+            let fanout = self.rng.gen_range(2..=cfg.max_fanout.max(2));
+            let mut children = Vec::new();
+            for _ in 0..fanout {
+                if self.leaves_made < cfg.target_leaves || depth == 0 {
+                    children.push(self.build(cfg, depth + 1));
+                }
+            }
+            if !children.is_empty() {
+                return GenNode { key, words, dtype: DataType::Complex, children };
+            }
+        }
+        self.leaves_made += 1;
+        let dtype = LEAF_TYPES[self.rng.gen_range(0..LEAF_TYPES.len())];
+        GenNode { key, words, dtype, children: Vec::new() }
+    }
+}
+
+fn synonym_of(word: &str) -> Option<&'static str> {
+    WORD_PAIRS.iter().find_map(|(a, b)| {
+        if *a == word {
+            Some(*b)
+        } else if *b == word {
+            Some(*a)
+        } else {
+            None
+        }
+    })
+}
+
+struct Perturber<'a> {
+    rng: StdRng,
+    cfg: &'a SyntheticConfig,
+    thesaurus: ThesaurusBuilder,
+}
+
+impl<'a> Perturber<'a> {
+    /// Perturb a subtree; `None` means the node was dropped.
+    fn perturb(&mut self, node: &GenNode) -> Option<GenNode> {
+        if node.is_leaf() && self.rng.gen_bool(self.cfg.drop_prob) {
+            return None;
+        }
+        let mut out = node.clone();
+        // word-level renames via synonyms
+        for w in &mut out.words {
+            if self.rng.gen_bool(self.cfg.rename_prob) {
+                if let Some(s) = synonym_of(w) {
+                    let (a, b) = (w.clone(), s.to_string());
+                    self.thesaurus = self.thesaurus.clone().synonym(&a, &b, 0.9);
+                    *w = b;
+                }
+            }
+        }
+        // abbreviation of the first word
+        if out.words[0].len() > 4 && self.rng.gen_bool(self.cfg.abbreviate_prob) {
+            let full = out.words[0].clone();
+            let short: String = full.chars().take(3).collect();
+            self.thesaurus = self.thesaurus.clone().abbreviation(&short, &[&full]);
+            out.words[0] = short;
+        }
+        // children
+        let mut new_children: Vec<GenNode> = Vec::new();
+        for c in &node.children {
+            if let Some(mut pc) = self.perturb(c) {
+                if !pc.is_leaf() && self.rng.gen_bool(self.cfg.flatten_prob) {
+                    // flatten: splice grandchildren in (canonical case 5)
+                    new_children.append(&mut pc.children);
+                } else {
+                    new_children.push(pc);
+                }
+            }
+        }
+        if self.cfg.shuffle {
+            new_children.shuffle(&mut self.rng);
+        }
+        if !node.is_leaf() && new_children.is_empty() {
+            return None; // container lost all content
+        }
+        out.children = new_children;
+        Some(out)
+    }
+}
+
+fn emit(
+    node: &GenNode,
+    b: &mut SchemaBuilder,
+    parent: ElementId,
+    paths: &mut Vec<(u64, String)>,
+    prefix: &str,
+) {
+    let name = node.name();
+    let path = format!("{prefix}.{name}");
+    let id = if node.is_leaf() {
+        b.atomic(parent, name, ElementKind::XmlElement, node.dtype)
+    } else {
+        b.structured(parent, name, ElementKind::XmlElement)
+    };
+    let _ = id;
+    paths.push((node.key, path.clone()));
+    for c in &node.children {
+        emit(c, b, id, paths, &path);
+    }
+}
+
+fn emit_schema(root_name: &str, root: &GenNode) -> (Schema, Vec<(u64, String)>) {
+    let mut b = SchemaBuilder::new(root_name);
+    let mut paths = Vec::new();
+    let root_id = b.root();
+    for c in &root.children {
+        emit(c, &mut b, root_id, &mut paths, root_name);
+    }
+    (b.build().expect("generated schema is valid"), paths)
+}
+
+/// Generate a schema pair.
+pub fn generate(cfg: &SyntheticConfig) -> SyntheticPair {
+    let mut g = Generator { rng: StdRng::seed_from_u64(cfg.seed), next_key: 0, leaves_made: 0 };
+    let mut source_root = g.build(cfg, 0);
+    // Keep adding top-level subtrees until the leaf budget is met (a
+    // single recursive descent can bottom out early on small budgets).
+    while g.leaves_made < cfg.target_leaves {
+        let extra = g.build(cfg, 1);
+        source_root.children.push(extra);
+    }
+    let mut p = Perturber {
+        rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15)),
+        cfg,
+        thesaurus: ThesaurusBuilder::new(),
+    };
+    let target_root = p
+        .perturb(&source_root)
+        .unwrap_or_else(|| GenNode { children: vec![], ..source_root.clone() });
+
+    let (source, src_paths) = emit_schema("SourceDoc", &source_root);
+    let (target, tgt_paths) = emit_schema("TargetDoc", &target_root);
+
+    // gold: leaves present on both sides, matched by generation key
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    let leaf_keys: std::collections::HashMap<u64, &str> = collect_leaves(&source_root)
+        .into_iter()
+        .map(|k| (k, ""))
+        .collect();
+    let tgt_map: std::collections::HashMap<u64, &String> =
+        tgt_paths.iter().map(|(k, p)| (*k, p)).collect();
+    for (k, sp) in &src_paths {
+        if leaf_keys.contains_key(k) {
+            if let Some(tp) = tgt_map.get(k) {
+                pairs.push((sp.clone(), (*tp).clone()));
+            }
+        }
+    }
+    SyntheticPair {
+        source,
+        target,
+        thesaurus: p.thesaurus.build().expect("generated thesaurus is valid"),
+        gold: GoldMapping::new(pairs),
+    }
+}
+
+fn collect_leaves(node: &GenNode) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut stack = vec![node];
+    while let Some(n) = stack.pop() {
+        if n.is_leaf() {
+            out.push(n.key);
+        }
+        stack.extend(n.children.iter());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cupid_model::{expand, ExpandOptions};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = generate(&SyntheticConfig::default());
+        let b = generate(&SyntheticConfig::default());
+        assert_eq!(a.source.len(), b.source.len());
+        assert_eq!(a.target.len(), b.target.len());
+        assert_eq!(a.gold.len(), b.gold.len());
+        let c = generate(&SyntheticConfig { seed: 7, ..Default::default() });
+        // different seed, almost surely different shape
+        assert!(
+            a.source.len() != c.source.len() || a.gold.len() != c.gold.len(),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn sizes_scale_with_target() {
+        for leaves in [8, 32, 128] {
+            let p = generate(&SyntheticConfig::sized(leaves, 1));
+            let t = expand(&p.source, &ExpandOptions::none()).unwrap();
+            assert!(
+                t.leaf_count() >= leaves / 2 && t.leaf_count() <= leaves * 2 + 8,
+                "requested ~{leaves} leaves, got {}",
+                t.leaf_count()
+            );
+        }
+    }
+
+    #[test]
+    fn gold_paths_exist_in_both_trees() {
+        let p = generate(&SyntheticConfig::sized(48, 3));
+        let t1 = expand(&p.source, &ExpandOptions::none()).unwrap();
+        let t2 = expand(&p.target, &ExpandOptions::none()).unwrap();
+        assert!(!p.gold.is_empty());
+        for (s, t) in p.gold.pairs() {
+            assert!(t1.find_path(s).is_some(), "missing source path {s}");
+            assert!(t2.find_path(t).is_some(), "missing target path {t}");
+        }
+    }
+
+    #[test]
+    fn perturbation_produces_differences() {
+        let p = generate(&SyntheticConfig::sized(64, 11));
+        let t1 = expand(&p.source, &ExpandOptions::none()).unwrap();
+        let t2 = expand(&p.target, &ExpandOptions::none()).unwrap();
+        // some drops or renames should have happened
+        let src_names: std::collections::BTreeSet<String> =
+            t1.iter().map(|(_, n)| n.name.clone()).collect();
+        let tgt_names: std::collections::BTreeSet<String> =
+            t2.iter().map(|(_, n)| n.name.clone()).collect();
+        assert_ne!(src_names, tgt_names, "perturbation should change names");
+        assert!(p.thesaurus.relation_count() + p.thesaurus.abbreviation_count() > 0);
+    }
+
+    #[test]
+    fn gold_never_maps_dropped_leaves() {
+        let p = generate(&SyntheticConfig {
+            drop_prob: 0.5,
+            ..SyntheticConfig::sized(40, 5)
+        });
+        let t2 = expand(&p.target, &ExpandOptions::none()).unwrap();
+        for (_, t) in p.gold.pairs() {
+            assert!(t2.find_path(t).is_some());
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! The auxiliary thesauri used in the paper's experiments.
+
+use cupid_lexical::{Thesaurus, ThesaurusBuilder};
+
+/// The CIDX–Excel experiment thesaurus (§9.2): *"the thesauri had a total
+/// of 4 abbreviations (UOM, PO, Qty, Num) and 2 synonymy entries
+/// (Invoice,Bill; Ship,Deliver) that were relevant to the example"*.
+pub fn paper_thesaurus() -> Thesaurus {
+    ThesaurusBuilder::new()
+        .abbreviation("UOM", &["unit", "of", "measure"])
+        .abbreviation("PO", &["purchase", "order"])
+        .abbreviation("Qty", &["quantity"])
+        .abbreviation("Num", &["number"])
+        .synonym("Invoice", "Bill", 1.0)
+        .synonym("Ship", "Deliver", 1.0)
+        .build()
+        .expect("static thesaurus is valid")
+}
+
+/// The RDB–Star experiment used no domain thesaurus: *"There were no
+/// relevant synonym and hypernym entries in the thesaurus"* (§9.2).
+/// Stop words remain available (they are part of normalization, not of
+/// the domain thesaurus).
+pub fn empty_thesaurus() -> Thesaurus {
+    Thesaurus::with_default_stopwords()
+}
+
+/// The §9.2 remark: matching `CustomerName` to `ContactFirstName` /
+/// `ContactLastName` *"would have been possible if there had existed a
+/// synonymy entry for (Customer:Contact) in the thesaurus"*. This
+/// thesaurus adds exactly that entry, for the corresponding ablation.
+pub fn star_rdb_customer_contact_thesaurus() -> Thesaurus {
+    ThesaurusBuilder::new()
+        .synonym("Customer", "Contact", 0.8)
+        .build()
+        .expect("static thesaurus is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_thesaurus_has_exactly_the_published_entries() {
+        let t = paper_thesaurus();
+        assert_eq!(t.abbreviation_count(), 4);
+        assert_eq!(t.relation_count(), 2);
+        assert_eq!(t.token_sim("bill", "invoice"), Some(1.0));
+        assert_eq!(t.token_sim("ship", "deliver"), Some(1.0));
+        assert_eq!(t.expand("UOM").unwrap().join(" "), "unit of measure");
+        assert_eq!(t.expand("Num").unwrap(), ["number"]);
+    }
+
+    #[test]
+    fn empty_thesaurus_still_normalizes() {
+        let t = empty_thesaurus();
+        assert_eq!(t.relation_count(), 0);
+        assert_eq!(t.abbreviation_count(), 0);
+        assert!(t.is_stopword("of"));
+    }
+
+    #[test]
+    fn customer_contact_entry() {
+        let t = star_rdb_customer_contact_thesaurus();
+        assert_eq!(t.token_sim("customer", "contact"), Some(0.8));
+    }
+}

@@ -1,0 +1,64 @@
+//! # cupid — generic schema matching
+//!
+//! A complete, from-scratch Rust implementation of *Generic Schema
+//! Matching with Cupid* (Madhavan, Bernstein, Rahm; VLDB 2001), including
+//! the generic schema model, the three-phase match algorithm, the
+//! extensions for shared types and referential constraints, the DIKE and
+//! MOMIS/ARTEMIS baselines of the paper's comparative study, the full
+//! evaluation corpus, and schema importers.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cupid::prelude::*;
+//!
+//! // Two purchase-order schemas with different vocabularies.
+//! let mut b = SchemaBuilder::new("PO");
+//! let item = b.structured(b.root(), "Item", ElementKind::XmlElement);
+//! b.atomic(item, "Qty", ElementKind::XmlAttribute, DataType::Int);
+//! b.atomic(item, "UoM", ElementKind::XmlAttribute, DataType::String);
+//! let po = b.build().unwrap();
+//!
+//! let mut b = SchemaBuilder::new("Order");
+//! let item = b.structured(b.root(), "Item", ElementKind::XmlElement);
+//! b.atomic(item, "Quantity", ElementKind::XmlAttribute, DataType::Int);
+//! b.atomic(item, "UnitOfMeasure", ElementKind::XmlAttribute, DataType::String);
+//! let order = b.build().unwrap();
+//!
+//! // A thesaurus resolving the short forms (§5.1).
+//! let thesaurus = Thesaurus::parse(
+//!     "abbrev Qty = quantity\nabbrev UoM = unit of measure",
+//! ).unwrap();
+//!
+//! let outcome = Cupid::new(thesaurus).match_schemas(&po, &order).unwrap();
+//! assert!(outcome.has_leaf_mapping("PO.Item.Qty", "Order.Item.Quantity"));
+//! assert!(outcome.has_leaf_mapping("PO.Item.UoM", "Order.Item.UnitOfMeasure"));
+//! ```
+//!
+//! See the crate-level docs of the member crates for the algorithmic
+//! details: [`cupid_core`] (the matcher), [`cupid_model`] (the schema
+//! model), [`cupid_lexical`] (the linguistic substrate),
+//! [`cupid_baselines`] (DIKE / MOMIS-ARTEMIS), [`cupid_corpus`] (the
+//! paper's schemas and gold mappings), [`cupid_io`] (importers) and
+//! [`cupid_eval`] (the experiment harness).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cupid_baselines as baselines;
+pub use cupid_core as core;
+pub use cupid_corpus as corpus;
+pub use cupid_eval as eval;
+pub use cupid_io as io;
+pub use cupid_lexical as lexical;
+pub use cupid_model as model;
+
+/// The commonly used types, for glob import.
+pub mod prelude {
+    pub use cupid_core::{Cardinality, Cupid, CupidConfig, MappingElement, MatchOutcome};
+    pub use cupid_lexical::{Thesaurus, ThesaurusBuilder};
+    pub use cupid_model::{
+        expand, DataType, ElementId, ElementKind, ExpandOptions, Schema, SchemaBuilder,
+        SchemaTree,
+    };
+}

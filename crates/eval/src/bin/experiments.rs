@@ -1,0 +1,38 @@
+//! The experiment runner: regenerates every table and figure of the
+//! Cupid paper's evaluation.
+//!
+//! ```text
+//! cargo run -p cupid-eval --bin experiments            # run everything
+//! cargo run -p cupid-eval --bin experiments -- table2  # one experiment
+//! cargo run -p cupid-eval --bin experiments -- --list  # list ids
+//! ```
+
+use cupid_eval::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        for id in experiments::ALL {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.is_empty() {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failed = false;
+    for id in ids {
+        match experiments::run(id) {
+            Some(report) => print!("{}", report.render()),
+            None => {
+                eprintln!("unknown experiment `{id}` (use --list)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

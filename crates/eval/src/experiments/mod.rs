@@ -1,0 +1,47 @@
+//! One module per paper artifact. Each experiment returns a [`Report`]
+//! comparing the paper's claim with the measured result.
+
+use crate::Report;
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig2;
+pub mod fig8;
+pub mod ling_only;
+pub mod scalability;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+/// All experiment ids, in presentation order.
+pub const ALL: &[&str] = &[
+    "fig1",
+    "fig2",
+    "table1",
+    "table2",
+    "table3",
+    "fig7-leaves",
+    "fig8",
+    "ling-only",
+    "no-thesaurus",
+    "scalability",
+    "ablation",
+];
+
+/// Run an experiment by id.
+pub fn run(id: &str) -> Option<Report> {
+    match id {
+        "fig1" => Some(fig1::run()),
+        "fig2" => Some(fig2::run()),
+        "table1" => Some(table1::run()),
+        "table2" => Some(table2::run()),
+        "table3" => Some(table3::run()),
+        "fig7-leaves" => Some(table3::run_leaves()),
+        "fig8" => Some(fig8::run()),
+        "ling-only" => Some(ling_only::run()),
+        "no-thesaurus" => Some(ling_only::run_no_thesaurus()),
+        "scalability" => Some(scalability::run()),
+        "ablation" => Some(ablation::run()),
+        _ => None,
+    }
+}

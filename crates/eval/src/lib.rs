@@ -1,0 +1,62 @@
+//! # cupid-eval — the experiment harness of the Cupid reproduction
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (Section 9) plus the scalability/ablation studies its future work
+//! calls for. Run `cargo run -p cupid-eval --bin experiments` for the
+//! full suite, or pass an experiment id (`table2`, `table3`, `fig8`, …).
+//!
+//! * [`metrics`] — precision/recall/F1/overall against gold mappings;
+//! * [`table`] — plain-text table rendering;
+//! * [`configs`] — the per-experiment Cupid configurations with the
+//!   tuning rationale from Table 1;
+//! * [`adapters`] — LSPD and sense-dictionary builders for the baselines
+//!   (the paper seeded DIKE's LSPD *"similar to the linguistic similarity
+//!   coefficients computed by Cupid"*);
+//! * [`experiments`] — one module per paper artifact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod configs;
+pub mod experiments;
+pub mod metrics;
+pub mod table;
+
+pub use metrics::MatchQuality;
+pub use table::TextTable;
+
+/// A rendered experiment report.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment title.
+    pub title: String,
+    /// Rendered tables.
+    pub tables: Vec<TextTable>,
+    /// Free-form notes (paper-vs-measured commentary).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// New empty report.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report { title: title.into(), ..Default::default() }
+    }
+
+    /// Render to a printable string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("\n==== {} ====\n", self.title));
+        for t in &self.tables {
+            out.push('\n');
+            out.push_str(&t.render());
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("note: {n}\n"));
+            }
+        }
+        out
+    }
+}

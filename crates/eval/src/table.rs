@@ -1,0 +1,112 @@
+//! Minimal plain-text table rendering for experiment reports.
+
+/// A text table: header row plus data rows, rendered with aligned
+/// columns.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    /// Optional caption printed above the table.
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with a caption and headers.
+    pub fn new<S: Into<String>>(caption: impl Into<String>, headers: Vec<S>) -> Self {
+        TextTable {
+            caption: caption.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are padded/truncated to the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len().max(row.len()), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        let measure = |row: &[String], widths: &mut [usize]| {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&self.headers, &mut widths);
+        for r in &self.rows {
+            measure(r, &mut widths);
+        }
+        let fmt_row = |row: &[String], widths: &[usize]| -> String {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect();
+            format!("| {} |", cells.join(" | "))
+        };
+        let sep = format!(
+            "+{}+",
+            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+")
+        );
+        let mut out = String::new();
+        if !self.caption.is_empty() {
+            out.push_str(&self.caption);
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        if !self.headers.is_empty() {
+            out.push_str(&fmt_row(&self.headers, &widths));
+            out.push('\n');
+            out.push_str(&sep);
+            out.push('\n');
+        }
+        for r in &self.rows {
+            let mut r = r.clone();
+            r.resize(ncols, String::new());
+            out.push_str(&fmt_row(&r, &widths));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new("Caption", vec!["a", "bee"]);
+        t.row(vec!["xxxx", "y"]);
+        t.row(vec!["z", "wwwww"]);
+        let s = t.render();
+        assert!(s.contains("Caption"));
+        assert!(s.contains("| a    | bee   |"));
+        assert!(s.contains("| xxxx | y     |"));
+        // every line same width
+        let widths: Vec<usize> =
+            s.lines().skip(1).map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new("", vec!["a", "b", "c"]);
+        t.row(vec!["only one"]);
+        let s = t.render();
+        assert!(s.contains("only one"));
+    }
+}

@@ -1,0 +1,377 @@
+//! A SQL DDL subset: `CREATE TABLE` statements with column types,
+//! `PRIMARY KEY` and `FOREIGN KEY … REFERENCES` clauses — enough to
+//! express the Figure-8 schemas from their SQL form.
+//!
+//! ```sql
+//! CREATE TABLE Customers (
+//!     CustomerID INTEGER PRIMARY KEY,
+//!     CompanyName VARCHAR(40) NOT NULL,
+//!     PostalCode VARCHAR(10)
+//! );
+//! CREATE TABLE Orders (
+//!     OrderID INTEGER PRIMARY KEY,
+//!     CustomerID INTEGER,
+//!     FOREIGN KEY (CustomerID) REFERENCES Customers (CustomerID)
+//! );
+//! ```
+//!
+//! Keywords are case-insensitive. Columns are nullable (→ optional)
+//! unless `NOT NULL` or `PRIMARY KEY` is present.
+
+use std::collections::HashMap;
+
+use cupid_model::{DataType, ElementId, Schema, SchemaBuilder};
+
+use crate::ParseError;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Punct(char),
+}
+
+fn tokenize(text: &str) -> Vec<(usize, Tok)> {
+    let mut out = Vec::new();
+    let mut word = String::new();
+    let mut line = 1;
+    let mut word_line = 1;
+    let mut in_comment = false;
+    for c in text.chars() {
+        if c == '\n' {
+            line += 1;
+            in_comment = false;
+        }
+        if in_comment {
+            continue;
+        }
+        match c {
+            '-' if word == "-" => {
+                // "--" comment
+                word.clear();
+                in_comment = true;
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '-' => {
+                if word.is_empty() {
+                    word_line = line;
+                }
+                word.push(c);
+            }
+            _ => {
+                if !word.is_empty() {
+                    out.push((word_line, Tok::Word(std::mem::take(&mut word))));
+                }
+                if matches!(c, '(' | ')' | ',' | ';') {
+                    out.push((line, Tok::Punct(c)));
+                }
+            }
+        }
+    }
+    if !word.is_empty() {
+        out.push((word_line, Tok::Word(word)));
+    }
+    out
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map(|(l, _)| *l).unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_word(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Word(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_word(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Word(w)) => Ok(w),
+            other => Err(ParseError {
+                line: self.line(),
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => Err(ParseError {
+                line: self.line(),
+                message: format!("expected `{c}`, found {other:?}"),
+            }),
+        }
+    }
+
+    /// Skip a parenthesized group like `(40)` or `(10,2)`.
+    fn skip_parens(&mut self) {
+        if self.peek() == Some(&Tok::Punct('(')) {
+            let mut depth = 0;
+            while let Some(t) = self.next() {
+                match t {
+                    Tok::Punct('(') => depth += 1,
+                    Tok::Punct(')') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Parse a parenthesized identifier list `(a, b, c)`.
+    fn ident_list(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect_punct('(')?;
+        let mut out = Vec::new();
+        loop {
+            out.push(self.expect_word()?);
+            match self.next() {
+                Some(Tok::Punct(',')) => continue,
+                Some(Tok::Punct(')')) => break,
+                other => {
+                    return Err(ParseError {
+                        line: self.line(),
+                        message: format!("expected `,` or `)`, found {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct PendingFk {
+    table: String,
+    columns: Vec<String>,
+    target_table: String,
+    line: usize,
+}
+
+/// Parse a DDL script into a schema named `schema_name`.
+pub fn parse_ddl(schema_name: &str, text: &str) -> Result<Schema, ParseError> {
+    let mut p = Parser { toks: tokenize(text), pos: 0 };
+    let mut b = SchemaBuilder::new(schema_name);
+    let mut tables: HashMap<String, ElementId> = HashMap::new();
+    let mut columns: HashMap<(String, String), ElementId> = HashMap::new();
+    let mut pks: HashMap<String, ElementId> = HashMap::new();
+    let mut pending_fks: Vec<PendingFk> = Vec::new();
+
+    while p.peek().is_some() {
+        if !p.eat_word("CREATE") {
+            return Err(ParseError {
+                line: p.line(),
+                message: "expected CREATE TABLE".into(),
+            });
+        }
+        if !p.eat_word("TABLE") {
+            return Err(ParseError { line: p.line(), message: "expected TABLE".into() });
+        }
+        let tname = p.expect_word()?;
+        let table = b.table(&tname);
+        tables.insert(tname.to_lowercase(), table);
+        p.expect_punct('(')?;
+        let mut pk_cols: Vec<ElementId> = Vec::new();
+        loop {
+            if p.eat_word("PRIMARY") {
+                if !p.eat_word("KEY") {
+                    return Err(ParseError { line: p.line(), message: "expected KEY".into() });
+                }
+                for c in p.ident_list()? {
+                    let id = columns.get(&(tname.to_lowercase(), c.to_lowercase())).ok_or(
+                        ParseError {
+                            line: p.line(),
+                            message: format!("unknown key column `{c}`"),
+                        },
+                    )?;
+                    pk_cols.push(*id);
+                }
+            } else if p.eat_word("FOREIGN") {
+                if !p.eat_word("KEY") {
+                    return Err(ParseError { line: p.line(), message: "expected KEY".into() });
+                }
+                let cols = p.ident_list()?;
+                if !p.eat_word("REFERENCES") {
+                    return Err(ParseError {
+                        line: p.line(),
+                        message: "expected REFERENCES".into(),
+                    });
+                }
+                let target = p.expect_word()?;
+                p.skip_parens(); // referenced column list (informational)
+                pending_fks.push(PendingFk {
+                    table: tname.clone(),
+                    columns: cols,
+                    target_table: target,
+                    line: p.line(),
+                });
+            } else {
+                // column definition: NAME TYPE [(args)] [constraints…]
+                let cname = p.expect_word()?;
+                let ctype = p.expect_word()?;
+                p.skip_parens();
+                let mut optional = true;
+                // consume constraint words until , or )
+                loop {
+                    match p.peek() {
+                        Some(Tok::Punct(',')) | Some(Tok::Punct(')')) | None => break,
+                        Some(Tok::Word(w)) => {
+                            let w = w.clone();
+                            p.pos += 1;
+                            if w.eq_ignore_ascii_case("NOT") {
+                                // NOT NULL
+                                optional = false;
+                            } else if w.eq_ignore_ascii_case("PRIMARY") {
+                                optional = false;
+                                // inline PRIMARY KEY
+                                let _ = p.eat_word("KEY");
+                                let id = b.column(table, &cname, DataType::parse(&ctype));
+                                columns.insert(
+                                    (tname.to_lowercase(), cname.to_lowercase()),
+                                    id,
+                                );
+                                pk_cols.push(id);
+                            }
+                        }
+                        Some(Tok::Punct(_)) => {
+                            p.pos += 1;
+                        }
+                    }
+                }
+                columns
+                    .entry((tname.to_lowercase(), cname.to_lowercase()))
+                    .or_insert_with(|| b.column(table, &cname, DataType::parse(&ctype)));
+                let id = columns[&(tname.to_lowercase(), cname.to_lowercase())];
+                b.set_optional(id, optional);
+            }
+            match p.next() {
+                Some(Tok::Punct(',')) => continue,
+                Some(Tok::Punct(')')) => break,
+                other => {
+                    return Err(ParseError {
+                        line: p.line(),
+                        message: format!("expected `,` or `)`, found {other:?}"),
+                    })
+                }
+            }
+        }
+        let _ = p.expect_punct(';');
+        if !pk_cols.is_empty() {
+            let pk = b.primary_key(table, &pk_cols);
+            pks.insert(tname.to_lowercase(), pk);
+            for &c in &pk_cols {
+                b.set_optional(c, false);
+            }
+        }
+    }
+
+    for fk in pending_fks {
+        let table = *tables.get(&fk.table.to_lowercase()).expect("own table exists");
+        let target_pk = pks.get(&fk.target_table.to_lowercase()).ok_or(ParseError {
+            line: fk.line,
+            message: format!("foreign key references unknown table `{}`", fk.target_table),
+        })?;
+        let cols: Result<Vec<ElementId>, ParseError> = fk
+            .columns
+            .iter()
+            .map(|c| {
+                columns.get(&(fk.table.to_lowercase(), c.to_lowercase())).copied().ok_or(
+                    ParseError {
+                        line: fk.line,
+                        message: format!("foreign key uses unknown column `{c}`"),
+                    },
+                )
+            })
+            .collect();
+        b.foreign_key(table, format!("{}-{}-fk", fk.table, fk.target_table), &cols?, *target_pk);
+    }
+    b.build().map_err(|e| ParseError { line: 0, message: e.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cupid_model::{expand, ElementKind, ExpandOptions};
+
+    const SQL: &str = "\
+-- operational schema
+CREATE TABLE Customers (
+    CustomerID INTEGER PRIMARY KEY,
+    CompanyName VARCHAR(40) NOT NULL,
+    PostalCode VARCHAR(10)
+);
+CREATE TABLE Orders (
+    OrderID INTEGER PRIMARY KEY,
+    CustomerID INTEGER NOT NULL,
+    OrderDate DATETIME,
+    FOREIGN KEY (CustomerID) REFERENCES Customers (CustomerID)
+);
+";
+
+    #[test]
+    fn parses_tables_columns_keys() {
+        let s = parse_ddl("RDB", SQL).unwrap();
+        assert_eq!(s.name(), "RDB");
+        let orders = s.find("Orders").unwrap();
+        assert_eq!(s.element(orders).kind, ElementKind::Table);
+        let oid = s.find_path("RDB.Orders.OrderID").unwrap();
+        assert!(s.element(oid).is_key);
+        assert!(!s.element(oid).optional);
+        let date = s.find_path("RDB.Orders.OrderDate").unwrap();
+        assert!(s.element(date).optional, "nullable column is optional");
+        assert_eq!(s.element(date).data_type, DataType::DateTime);
+        assert_eq!(s.foreign_keys().len(), 1);
+    }
+
+    #[test]
+    fn join_views_reify_from_parsed_fks() {
+        let s = parse_ddl("RDB", SQL).unwrap();
+        let t = expand(&s, &ExpandOptions::all()).unwrap();
+        let join = t.find_path("RDB.Orders-Customers-fk").expect("join view");
+        assert_eq!(t.node(join).children.len(), 3 + 3);
+    }
+
+    #[test]
+    fn unknown_reference_fails() {
+        let err = parse_ddl(
+            "S",
+            "CREATE TABLE A (X INTEGER PRIMARY KEY, FOREIGN KEY (X) REFERENCES Nope (Y));",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("Nope"), "{err}");
+    }
+
+    #[test]
+    fn garbage_fails_with_line() {
+        let err = parse_ddl("S", "DROP TABLE x;").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let s = parse_ddl("S", "create table T (a integer primary key);").unwrap();
+        assert!(s.find("T").is_some());
+        assert!(s.find("a").is_some());
+    }
+}

@@ -1,0 +1,43 @@
+//! # cupid-io — schema import for the Cupid matcher
+//!
+//! The paper's prototype *"currently operates on XML and relational
+//! schemas"* (§9). This crate provides three hand-written importers that
+//! produce [`cupid_model::Schema`] graphs:
+//!
+//! * [`sdl`] — a compact indentation-based schema description language
+//!   (the native on-disk format of this reproduction);
+//! * [`ddl`] — a SQL `CREATE TABLE` subset with primary/foreign keys
+//!   (enough to express the Figure-8 schemas);
+//! * [`xml`] — schema inference from XML document instances (elements,
+//!   attributes, inferred atomic types).
+//!
+//! All three are pure-Rust recursive-descent parsers; no external parser
+//! crates are used.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ddl;
+pub mod sdl;
+pub mod xml;
+
+pub use ddl::parse_ddl;
+pub use sdl::parse_sdl;
+pub use xml::schema_from_xml;
+
+/// Parse errors shared by the importers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number (0 when unknown).
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,255 @@
+//! The schema description language (SDL): an indentation-based text
+//! format for schema graphs.
+//!
+//! ```text
+//! schema PurchaseOrder
+//!   type Address
+//!     attr Street : string
+//!     attr City : string
+//!   element DeliverTo uses Address
+//!   element InvoiceTo uses Address
+//!   element Items
+//!     attr ItemCount : int
+//!     element Item
+//!       attr Quantity : decimal optional
+//! ```
+//!
+//! Directives: `schema NAME` (first line), `element NAME [uses TYPE…]`,
+//! `type NAME` (a shared type definition), `attr NAME : TYPE [optional]
+//! [key]`. Indentation is two spaces per level; `#` starts a comment.
+
+use std::collections::HashMap;
+
+use cupid_model::{DataType, ElementId, ElementKind, Schema, SchemaBuilder};
+
+use crate::ParseError;
+
+struct Line<'a> {
+    no: usize,
+    indent: usize,
+    words: Vec<&'a str>,
+}
+
+fn lex(text: &str) -> Result<Vec<Line<'_>>, ParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let no = i + 1;
+        let content = raw.split('#').next().unwrap_or("");
+        if content.trim().is_empty() {
+            continue;
+        }
+        let spaces = content.len() - content.trim_start_matches(' ').len();
+        if spaces % 2 != 0 {
+            return Err(ParseError {
+                line: no,
+                message: "indentation must be a multiple of two spaces".into(),
+            });
+        }
+        out.push(Line { no, indent: spaces / 2, words: content.split_whitespace().collect() });
+    }
+    Ok(out)
+}
+
+/// Parse an SDL document into a schema.
+pub fn parse_sdl(text: &str) -> Result<Schema, ParseError> {
+    let lines = lex(text)?;
+    let mut iter = lines.iter();
+    let first = iter.next().ok_or(ParseError { line: 0, message: "empty document".into() })?;
+    if first.words.len() != 2 || first.words[0] != "schema" || first.indent != 0 {
+        return Err(ParseError {
+            line: first.no,
+            message: "document must start with `schema NAME`".into(),
+        });
+    }
+    let mut b = SchemaBuilder::new(first.words[1]);
+    // stack of (indent-level, element) — the parent of a line at indent d
+    // is the top entry with level d-1.
+    let mut stack: Vec<(usize, ElementId)> = vec![(0, b.root())];
+    // `uses` clauses are resolved after all types are declared.
+    let mut pending_uses: Vec<(usize, ElementId, String)> = Vec::new();
+    let mut types: HashMap<String, ElementId> = HashMap::new();
+
+    for line in iter {
+        if line.indent == 0 {
+            return Err(ParseError {
+                line: line.no,
+                message: "only the schema line may be at indent 0".into(),
+            });
+        }
+        while stack.last().map(|&(d, _)| d >= line.indent).unwrap_or(false) {
+            stack.pop();
+        }
+        let &(pdepth, parent) = stack.last().ok_or(ParseError {
+            line: line.no,
+            message: "indentation jumped past the schema root".into(),
+        })?;
+        if pdepth + 1 != line.indent {
+            return Err(ParseError {
+                line: line.no,
+                message: format!("indent {} has no parent at {}", line.indent, line.indent - 1),
+            });
+        }
+        match line.words[0] {
+            "element" | "type" => {
+                if line.words.len() < 2 {
+                    return Err(ParseError { line: line.no, message: "missing name".into() });
+                }
+                let name = line.words[1];
+                let id = if line.words[0] == "type" {
+                    if line.indent != 1 {
+                        return Err(ParseError {
+                            line: line.no,
+                            message: "type definitions live at top level".into(),
+                        });
+                    }
+                    let t = b.type_def(name);
+                    types.insert(name.to_string(), t);
+                    t
+                } else {
+                    b.structured(parent, name, ElementKind::XmlElement)
+                };
+                let mut rest = line.words[2..].iter();
+                while let Some(&w) = rest.next() {
+                    match w {
+                        "uses" => {
+                            let ty = rest.next().ok_or(ParseError {
+                                line: line.no,
+                                message: "`uses` needs a type name".into(),
+                            })?;
+                            pending_uses.push((line.no, id, (*ty).to_string()));
+                        }
+                        "optional" => {
+                            b.set_optional(id, true);
+                        }
+                        other => {
+                            return Err(ParseError {
+                                line: line.no,
+                                message: format!("unknown modifier `{other}`"),
+                            })
+                        }
+                    }
+                }
+                stack.push((line.indent, id));
+            }
+            "attr" => {
+                // attr NAME : TYPE [optional] [key]
+                let colon = line.words.iter().position(|&w| w == ":").ok_or(ParseError {
+                    line: line.no,
+                    message: "expected `attr NAME : TYPE`".into(),
+                })?;
+                if colon != 2 || line.words.len() < 4 {
+                    return Err(ParseError {
+                        line: line.no,
+                        message: "expected `attr NAME : TYPE`".into(),
+                    });
+                }
+                let id = b.atomic(
+                    parent,
+                    line.words[1],
+                    ElementKind::XmlAttribute,
+                    DataType::parse(line.words[3]),
+                );
+                for &w in &line.words[4..] {
+                    match w {
+                        "optional" => {
+                            b.set_optional(id, true);
+                        }
+                        "key" => {
+                            b.set_key(id, true);
+                        }
+                        other => {
+                            return Err(ParseError {
+                                line: line.no,
+                                message: format!("unknown modifier `{other}`"),
+                            })
+                        }
+                    }
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    line: line.no,
+                    message: format!("unknown directive `{other}`"),
+                })
+            }
+        }
+    }
+    for (no, id, ty) in pending_uses {
+        let t = types.get(&ty).ok_or(ParseError {
+            line: no,
+            message: format!("unknown type `{ty}`"),
+        })?;
+        b.derive_from(id, *t);
+    }
+    b.build().map_err(|e| ParseError { line: 0, message: e.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cupid_model::{expand, ExpandOptions};
+
+    const DOC: &str = "\
+# the running example
+schema PurchaseOrder
+  type Address
+    attr Street : string
+    attr City : string
+  element DeliverTo uses Address
+  element InvoiceTo uses Address
+  element Items
+    attr ItemCount : int
+    element Item
+      attr ItemNumber : int key
+      attr Quantity : decimal optional
+";
+
+    #[test]
+    fn parses_the_running_example() {
+        let s = parse_sdl(DOC).unwrap();
+        assert_eq!(s.name(), "PurchaseOrder");
+        let t = expand(&s, &ExpandOptions::none()).unwrap();
+        assert!(t.find_path("PurchaseOrder.DeliverTo.Street").is_some());
+        assert!(t.find_path("PurchaseOrder.InvoiceTo.City").is_some());
+        assert!(t.find_path("PurchaseOrder.Items.Item.Quantity").is_some());
+        let qty = s.find("Quantity").unwrap();
+        assert!(s.element(qty).optional);
+        assert_eq!(s.element(qty).data_type, DataType::Decimal);
+        let num = s.find("ItemNumber").unwrap();
+        assert!(s.element(num).is_key);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_sdl("schema S\n  frobnicate X\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_sdl("element X\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse_sdl("schema S\n   attr A : int\n").unwrap_err();
+        assert_eq!(err.line, 2); // 3 spaces
+        let err = parse_sdl("schema S\n    attr A : int\n").unwrap_err();
+        assert_eq!(err.line, 2); // indent jump
+    }
+
+    #[test]
+    fn unknown_type_reference_fails() {
+        let err = parse_sdl("schema S\n  element E uses Nope\n").unwrap_err();
+        assert!(err.message.contains("Nope"));
+    }
+
+    #[test]
+    fn empty_document_fails() {
+        assert!(parse_sdl("").is_err());
+        assert!(parse_sdl("# only a comment\n").is_err());
+    }
+
+    #[test]
+    fn round_trips_through_cupid() {
+        // A parsed schema is a first-class citizen of the matcher.
+        let s1 = parse_sdl(DOC).unwrap();
+        let s2 = parse_sdl(DOC.replace("PurchaseOrder", "PO").as_str()).unwrap();
+        let cupid = cupid_core::Cupid::new(cupid_lexical::Thesaurus::with_default_stopwords());
+        let out = cupid.match_schemas(&s1, &s2).unwrap();
+        assert!(out.has_leaf_mapping("PurchaseOrder.Items.Item.Quantity", "PO.Items.Item.Quantity"));
+    }
+}

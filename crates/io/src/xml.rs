@@ -1,0 +1,406 @@
+//! Schema inference from XML document instances.
+//!
+//! Given a well-formed XML document, build the schema tree it implies:
+//! elements become structured schema elements (merged by tag across
+//! repeats), attributes and text-only elements become atomic elements
+//! with types inferred from their values (`int`, `decimal`, `date`,
+//! `bool`, falling back to `string`).
+//!
+//! The parser is a hand-written, non-validating subset: elements,
+//! attributes, text, comments, XML declarations and self-closing tags.
+//! No namespaces, CDATA, or DTDs (the corpus schemas do not need them).
+
+use std::collections::HashMap;
+
+use cupid_model::{DataType, ElementId, ElementKind, Schema, SchemaBuilder};
+
+use crate::ParseError;
+
+#[derive(Debug, Default)]
+struct Inferred {
+    children: Vec<String>,
+    child_index: HashMap<String, usize>,
+    attrs: Vec<(String, DataType)>,
+    attr_index: HashMap<String, usize>,
+    text_type: Option<DataType>,
+    /// seen more than once under one parent → repeating (informational)
+    repeats: bool,
+}
+
+#[derive(Debug, Default)]
+struct Inference {
+    /// path (joined by '/') → node info
+    nodes: HashMap<String, Inferred>,
+}
+
+fn infer_type(value: &str) -> DataType {
+    let v = value.trim();
+    if v.is_empty() {
+        return DataType::String;
+    }
+    if v.parse::<i64>().is_ok() {
+        return DataType::Int;
+    }
+    if v.parse::<f64>().is_ok() {
+        return DataType::Decimal;
+    }
+    if matches!(v, "true" | "false" | "TRUE" | "FALSE") {
+        return DataType::Bool;
+    }
+    // ISO-ish dates: 2001-08-27 or 2001/08/27
+    let b = v.as_bytes();
+    if b.len() == 10
+        && b[0..4].iter().all(u8::is_ascii_digit)
+        && (b[4] == b'-' || b[4] == b'/')
+        && b[5..7].iter().all(u8::is_ascii_digit)
+        && (b[7] == b'-' || b[7] == b'/')
+        && b[8..10].iter().all(u8::is_ascii_digit)
+    {
+        return DataType::Date;
+    }
+    DataType::String
+}
+
+fn merge_type(old: DataType, new: DataType) -> DataType {
+    use DataType::*;
+    if old == new {
+        return old;
+    }
+    match (old, new) {
+        (Int, Decimal) | (Decimal, Int) => Decimal,
+        _ => String,
+    }
+}
+
+struct XmlParser<'a> {
+    text: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, message: message.into() }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.text.get(self.pos).copied();
+        if c == Some(b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+        c
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.text.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.text[start..self.pos]).into_owned())
+    }
+
+    fn skip_prolog_and_comments(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.text[self.pos..].starts_with(b"<?") {
+                while let Some(c) = self.bump() {
+                    if c == b'>' {
+                        break;
+                    }
+                }
+            } else if self.text[self.pos..].starts_with(b"<!--") {
+                while self.pos < self.text.len() && !self.text[self.pos..].starts_with(b"-->") {
+                    self.bump();
+                }
+                self.pos += 3.min(self.text.len() - self.pos);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Parse one element (cursor on `<`). Records structure into `inf`.
+    fn parse_element(&mut self, path: &str, inf: &mut Inference) -> Result<String, ParseError> {
+        if self.bump() != Some(b'<') {
+            return Err(self.err("expected `<`"));
+        }
+        let name = self.read_name()?;
+        let my_path = if path.is_empty() { name.clone() } else { format!("{path}/{name}") };
+        let mut attrs: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.bump();
+                    if self.bump() != Some(b'>') {
+                        return Err(self.err("expected `/>`"));
+                    }
+                    self.record(&my_path, &attrs, None, inf);
+                    return Ok(name);
+                }
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    let aname = self.read_name()?;
+                    self.skip_ws();
+                    if self.bump() != Some(b'=') {
+                        return Err(self.err("expected `=`"));
+                    }
+                    self.skip_ws();
+                    let quote = self.bump().ok_or_else(|| self.err("unexpected eof"))?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(self.err("expected quoted attribute value"));
+                    }
+                    let start = self.pos;
+                    while self.peek() != Some(quote) {
+                        if self.bump().is_none() {
+                            return Err(self.err("unterminated attribute value"));
+                        }
+                    }
+                    let value =
+                        String::from_utf8_lossy(&self.text[start..self.pos]).into_owned();
+                    self.bump(); // closing quote
+                    attrs.push((aname, value));
+                }
+                None => return Err(self.err("unexpected eof in tag")),
+            }
+        }
+        // content
+        let mut text = String::new();
+        let mut seen_children: HashMap<String, usize> = HashMap::new();
+        loop {
+            match self.peek() {
+                Some(b'<') => {
+                    if self.text[self.pos..].starts_with(b"</") {
+                        self.pos += 2;
+                        let close = self.read_name()?;
+                        if close != name {
+                            return Err(self.err(format!(
+                                "mismatched close tag `{close}` (open was `{name}`)"
+                            )));
+                        }
+                        self.skip_ws();
+                        if self.bump() != Some(b'>') {
+                            return Err(self.err("expected `>`"));
+                        }
+                        break;
+                    } else if self.text[self.pos..].starts_with(b"<!--") {
+                        while self.pos < self.text.len()
+                            && !self.text[self.pos..].starts_with(b"-->")
+                        {
+                            self.bump();
+                        }
+                        self.pos += 3.min(self.text.len() - self.pos);
+                    } else {
+                        let child = self.parse_element(&my_path, inf)?;
+                        let n = seen_children.entry(child.clone()).or_insert(0);
+                        *n += 1;
+                        if *n > 1 {
+                            if let Some(node) = inf.nodes.get_mut(&format!("{my_path}/{child}")) {
+                                node.repeats = true;
+                            }
+                        }
+                    }
+                }
+                Some(_) => {
+                    text.push(self.bump().unwrap() as char);
+                }
+                None => return Err(self.err(format!("unexpected eof inside `{name}`"))),
+            }
+        }
+        let text_type =
+            if text.trim().is_empty() || !seen_children.is_empty() { None } else { Some(infer_type(&text)) };
+        self.record(&my_path, &attrs, text_type, inf);
+        Ok(name)
+    }
+
+    fn record(
+        &self,
+        path: &str,
+        attrs: &[(String, String)],
+        text_type: Option<DataType>,
+        inf: &mut Inference,
+    ) {
+        let node = inf.nodes.entry(path.to_string()).or_default();
+        for (a, v) in attrs {
+            let t = infer_type(v);
+            match node.attr_index.get(a) {
+                Some(&i) => node.attrs[i].1 = merge_type(node.attrs[i].1, t),
+                None => {
+                    node.attr_index.insert(a.clone(), node.attrs.len());
+                    node.attrs.push((a.clone(), t));
+                }
+            }
+        }
+        if let Some(t) = text_type {
+            node.text_type = Some(match node.text_type {
+                Some(old) => merge_type(old, t),
+                None => t,
+            });
+        }
+        // children recorded by parse_element recursion via record of child
+        // paths; wire up the parent's child list here.
+        if let Some((parent, name)) = path.rsplit_once('/') {
+            let pnode = inf.nodes.entry(parent.to_string()).or_default();
+            if !pnode.child_index.contains_key(name) {
+                pnode.child_index.insert(name.to_string(), pnode.children.len());
+                pnode.children.push(name.to_string());
+            }
+        }
+    }
+}
+
+fn emit(
+    inf: &Inference,
+    path: &str,
+    name: &str,
+    b: &mut SchemaBuilder,
+    parent: ElementId,
+) {
+    let node = match inf.nodes.get(path) {
+        Some(n) => n,
+        None => return,
+    };
+    let is_atomic = node.children.is_empty() && node.attrs.is_empty();
+    if is_atomic {
+        b.atomic(
+            parent,
+            name,
+            ElementKind::XmlElement,
+            node.text_type.unwrap_or(DataType::String),
+        );
+        return;
+    }
+    let id = b.structured(parent, name, ElementKind::XmlElement);
+    for (a, t) in &node.attrs {
+        b.atomic(id, a, ElementKind::XmlAttribute, *t);
+    }
+    for c in &node.children {
+        emit(inf, &format!("{path}/{c}"), c, b, id);
+    }
+}
+
+/// Infer a schema from an XML document. The root element becomes the
+/// schema root.
+pub fn schema_from_xml(text: &str) -> Result<Schema, ParseError> {
+    let mut p = XmlParser { text: text.as_bytes(), pos: 0, line: 1 };
+    p.skip_prolog_and_comments();
+    if p.peek() != Some(b'<') {
+        return Err(p.err("expected a root element"));
+    }
+    let mut inf = Inference::default();
+    let root_name = p.parse_element("", &mut inf)?;
+    let root = inf.nodes.get(&root_name).ok_or(ParseError {
+        line: 0,
+        message: "empty document".into(),
+    })?;
+    let mut b = SchemaBuilder::new(&root_name);
+    let root_id = b.root();
+    for (a, t) in &root.attrs {
+        b.atomic(root_id, a, ElementKind::XmlAttribute, *t);
+    }
+    for c in root.children.clone() {
+        emit(&inf, &format!("{root_name}/{c}"), &c, &mut b, root_id);
+    }
+    b.build().map_err(|e| ParseError { line: 0, message: e.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"<?xml version="1.0"?>
+<!-- a purchase order instance -->
+<PurchaseOrder>
+  <Header orderNum="A123" orderDate="2001-08-27"/>
+  <Items itemCount="2">
+    <Item itemNumber="1" Quantity="10" unitPrice="2.50">
+      <partDescription>blue widget</partDescription>
+    </Item>
+    <Item itemNumber="2" Quantity="4" unitPrice="12.00">
+      <partDescription>red widget</partDescription>
+    </Item>
+  </Items>
+</PurchaseOrder>
+"#;
+
+    #[test]
+    fn infers_structure_and_types() {
+        let s = schema_from_xml(DOC).unwrap();
+        assert_eq!(s.name(), "PurchaseOrder");
+        let qty = s.find_path("PurchaseOrder.Items.Item.Quantity").unwrap();
+        assert_eq!(s.element(qty).data_type, DataType::Int);
+        let price = s.find_path("PurchaseOrder.Items.Item.unitPrice").unwrap();
+        assert_eq!(s.element(price).data_type, DataType::Decimal);
+        let date = s.find_path("PurchaseOrder.Header.orderDate").unwrap();
+        assert_eq!(s.element(date).data_type, DataType::Date);
+        let desc = s.find_path("PurchaseOrder.Items.Item.partDescription").unwrap();
+        assert_eq!(s.element(desc).data_type, DataType::String);
+    }
+
+    #[test]
+    fn repeated_elements_merge() {
+        let s = schema_from_xml(DOC).unwrap();
+        // two <Item> instances merge into one schema element
+        let items: Vec<_> = s.iter().filter(|(_, e)| e.name == "Item").collect();
+        assert_eq!(items.len(), 1);
+    }
+
+    #[test]
+    fn type_widening_across_instances() {
+        let doc = r#"<R><V x="1"/><V x="2.5"/></R>"#;
+        let s = schema_from_xml(doc).unwrap();
+        let x = s.find_path("R.V.x").unwrap();
+        assert_eq!(s.element(x).data_type, DataType::Decimal);
+        let doc = r#"<R><V x="1"/><V x="hello"/></R>"#;
+        let s = schema_from_xml(doc).unwrap();
+        let x = s.find_path("R.V.x").unwrap();
+        assert_eq!(s.element(x).data_type, DataType::String);
+    }
+
+    #[test]
+    fn malformed_documents_fail() {
+        assert!(schema_from_xml("<A><B></A>").is_err());
+        assert!(schema_from_xml("not xml").is_err());
+        assert!(schema_from_xml("<A x=unquoted/>").is_err());
+        assert!(schema_from_xml("<A>").is_err());
+    }
+
+    #[test]
+    fn self_closing_and_comments() {
+        let s = schema_from_xml("<R><!-- c --><Leaf/></R>").unwrap();
+        assert!(s.find_path("R.Leaf").is_some());
+    }
+
+    #[test]
+    fn inferred_schema_feeds_the_matcher() {
+        let s1 = schema_from_xml(DOC).unwrap();
+        let s2 = schema_from_xml(&DOC.replace("Quantity", "Qty")).unwrap();
+        let thesaurus = cupid_lexical::Thesaurus::parse("abbrev Qty = quantity").unwrap();
+        let out = cupid_core::Cupid::new(thesaurus).match_schemas(&s1, &s2).unwrap();
+        assert!(out.has_leaf_mapping(
+            "PurchaseOrder.Items.Item.Quantity",
+            "PurchaseOrder.Items.Item.Qty"
+        ));
+    }
+}

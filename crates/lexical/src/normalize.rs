@@ -1,0 +1,219 @@
+//! The normalization pipeline of Section 5.1: tokenization → expansion →
+//! elimination → concept tagging.
+//!
+//! The output of normalization is a [`NormalizedName`]: the set of name
+//! tokens with their token types, plus the set of concepts the element was
+//! tagged with. This is the unit the linguistic matcher compares.
+
+use std::collections::BTreeSet;
+
+use crate::stem::stem;
+use crate::thesaurus::Thesaurus;
+use crate::token::{Token, TokenType};
+use crate::tokenizer::Tokenizer;
+
+/// A schema element name after normalization.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NormalizedName {
+    /// All tokens (content, concept, number, special, common).
+    pub tokens: Vec<Token>,
+    /// Concept tags attached during normalization (canonical names).
+    pub concepts: BTreeSet<String>,
+}
+
+impl NormalizedName {
+    /// Tokens of a given type.
+    pub fn tokens_of(&self, ttype: TokenType) -> impl Iterator<Item = &Token> {
+        self.tokens.iter().filter(move |t| t.ttype == ttype)
+    }
+
+    /// Number of tokens of a given type.
+    pub fn count_of(&self, ttype: TokenType) -> usize {
+        self.tokens_of(ttype).count()
+    }
+
+    /// Comparison-relevant tokens (everything except eliminated common
+    /// words).
+    pub fn comparable_tokens(&self) -> impl Iterator<Item = &Token> {
+        self.tokens.iter().filter(|t| !t.is_ignored())
+    }
+
+    /// True if the name normalized to nothing comparable (e.g. a name made
+    /// only of separators and stop words).
+    pub fn is_vacuous(&self) -> bool {
+        self.comparable_tokens().next().is_none()
+    }
+
+    /// Canonical token texts, for diagnostics and tests.
+    pub fn texts(&self) -> Vec<&str> {
+        self.tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+}
+
+/// The normalizer: a tokenizer plus a thesaurus.
+///
+/// Per Section 5.1:
+/// * **Tokenization** — split the name into raw tokens.
+/// * **Expansion** — abbreviations and acronyms are expanded
+///   (`{PO, Lines}` → `{Purchase, Order, Lines}`).
+/// * **Elimination** — articles, prepositions and conjunctions are marked
+///   to be ignored during comparison (we keep them, typed `CommonWord`).
+/// * **Tagging** — elements with a token related to a known concept are
+///   tagged with the concept name; the tag is materialized as an extra
+///   `Concept` token so the name-similarity formula sees it.
+#[derive(Debug, Clone, Default)]
+pub struct Normalizer {
+    tokenizer: Tokenizer,
+}
+
+impl Normalizer {
+    /// Normalizer with a custom tokenizer.
+    pub fn new(tokenizer: Tokenizer) -> Self {
+        Normalizer { tokenizer }
+    }
+
+    /// Normalize one element name against a thesaurus.
+    pub fn normalize(&self, name: &str, thesaurus: &Thesaurus) -> NormalizedName {
+        let mut out = NormalizedName::default();
+        // Whole-name expansion first, so mixed-case acronyms (`UoM`) that
+        // the tokenizer would split are still recognized.
+        if let Some(expansion) = thesaurus.expand(name.trim()) {
+            let expansion = expansion.to_vec();
+            for word in &expansion {
+                self.push_word(&mut out, word, name.trim(), thesaurus);
+            }
+            return out;
+        }
+        let raw = self.tokenizer.tokenize(name);
+        for rt in raw {
+            match rt.ttype {
+                TokenType::Number | TokenType::SpecialSymbol => {
+                    out.tokens.push(Token {
+                        text: rt.text.to_lowercase(),
+                        raw: rt.text,
+                        ttype: rt.ttype,
+                    });
+                }
+                _ => {
+                    // Expansion happens on the surface form (pre-stem), so
+                    // acronym casing like `UoM` is honoured.
+                    if let Some(expansion) = thesaurus.expand(&rt.text) {
+                        for word in expansion {
+                            self.push_word(&mut out, word, &rt.text, thesaurus);
+                        }
+                    } else {
+                        let canonical = stem(&rt.text.to_lowercase());
+                        self.push_word(&mut out, &canonical, &rt.text, thesaurus);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Push one canonical word, classifying it (elimination) and tagging
+    /// concepts.
+    fn push_word(&self, out: &mut NormalizedName, word: &str, raw: &str, thesaurus: &Thesaurus) {
+        let ttype =
+            if thesaurus.is_stopword(word) { TokenType::CommonWord } else { TokenType::Content };
+        out.tokens.push(Token { text: word.to_string(), raw: raw.to_string(), ttype });
+        if let Some(concept) = thesaurus.concept_of(word) {
+            if out.concepts.insert(concept.to_string()) {
+                out.tokens.push(Token {
+                    text: concept.to_string(),
+                    raw: raw.to_string(),
+                    ttype: TokenType::Concept,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thesaurus::ThesaurusBuilder;
+
+    fn thesaurus() -> Thesaurus {
+        ThesaurusBuilder::new()
+            .abbreviation("PO", &["purchase", "order"])
+            .abbreviation("Qty", &["quantity"])
+            .abbreviation("UoM", &["unit", "of", "measure"])
+            .concept("price", "money")
+            .concept("cost", "money")
+            .build()
+            .unwrap()
+    }
+
+    fn norm(name: &str) -> NormalizedName {
+        Normalizer::default().normalize(name, &thesaurus())
+    }
+
+    #[test]
+    fn paper_example_expansion() {
+        // "{PO, Lines} -> {Purchase, Order, Lines}" (then stemmed)
+        let n = norm("POLines");
+        assert_eq!(n.texts(), ["purchase", "order", "line"]);
+    }
+
+    #[test]
+    fn acronym_expansion_uom() {
+        // Whole-name expansion catches mixed-case acronyms the tokenizer
+        // would split ("UoM for UnitOfMeasure", Section 4).
+        let n = norm("UoM");
+        assert_eq!(n.texts(), ["unit", "of", "measure"]);
+        assert_eq!(norm("uom").texts(), ["unit", "of", "measure"]);
+    }
+
+    #[test]
+    fn elimination_marks_common_words() {
+        let n = norm("UnitOfMeasure");
+        let texts = n.texts();
+        assert_eq!(texts, ["unit", "of", "measure"]);
+        assert_eq!(n.tokens[1].ttype, TokenType::CommonWord);
+        let comparable: Vec<&str> = n.comparable_tokens().map(|t| t.text.as_str()).collect();
+        assert_eq!(comparable, ["unit", "measure"]);
+    }
+
+    #[test]
+    fn concept_tagging_adds_concept_token() {
+        let n = norm("UnitPrice");
+        assert!(n.concepts.contains("money"));
+        assert!(n.tokens.iter().any(|t| t.ttype == TokenType::Concept && t.text == "money"));
+    }
+
+    #[test]
+    fn concept_tag_not_duplicated() {
+        let n = norm("PriceCost");
+        assert_eq!(n.tokens.iter().filter(|t| t.ttype == TokenType::Concept).count(), 1);
+    }
+
+    #[test]
+    fn numbers_and_specials_preserved() {
+        let n = norm("Street4");
+        assert_eq!(n.texts(), ["street", "4"]);
+        assert_eq!(n.tokens[1].ttype, TokenType::Number);
+    }
+
+    #[test]
+    fn stemming_applied_to_content() {
+        assert_eq!(norm("Items").texts(), ["item"]);
+        assert_eq!(norm("Lines").texts(), ["line"]);
+    }
+
+    #[test]
+    fn vacuous_names() {
+        let n = norm("of");
+        assert!(n.is_vacuous());
+        assert!(!norm("Order").is_vacuous());
+        assert!(norm("").is_vacuous());
+    }
+
+    #[test]
+    fn counts_by_type() {
+        let n = norm("UnitOfMeasure4");
+        assert_eq!(n.count_of(TokenType::Content), 2);
+        assert_eq!(n.count_of(TokenType::CommonWord), 1);
+        assert_eq!(n.count_of(TokenType::Number), 1);
+    }
+}

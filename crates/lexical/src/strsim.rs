@@ -1,0 +1,160 @@
+//! Token-level similarity (Section 5.2, "Name Similarity").
+//!
+//! *"The similarity of two name tokens t1 and t2, sim(t1, t2), is looked
+//! up in a synonym and hypernym thesaurus. … In the absence of such
+//! entries, we match sub-strings of the words t1 and t2 to identify common
+//! prefixes or suffixes."*
+
+use crate::thesaurus::Thesaurus;
+use crate::token::{Token, TokenType};
+
+/// Affix (common prefix/suffix) matching parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AffixConfig {
+    /// Minimum shared prefix/suffix length before a non-zero score is
+    /// produced. Short shared affixes ("Co"/"Code") are noise.
+    pub min_affix_len: usize,
+    /// Maximum score an affix-only match can reach; keeps substring
+    /// matches strictly weaker than thesaurus synonyms.
+    pub max_score: f64,
+}
+
+impl Default for AffixConfig {
+    fn default() -> Self {
+        AffixConfig { min_affix_len: 3, max_score: 0.9 }
+    }
+}
+
+/// Similarity of two canonical token texts based on common prefixes or
+/// suffixes: `max(lcp, lcs) * 2 / (|a| + |b|)`, gated by
+/// [`AffixConfig::min_affix_len`] and capped at [`AffixConfig::max_score`].
+pub fn affix_similarity(a: &str, b: &str, cfg: &AffixConfig) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let lcp = a.bytes().zip(b.bytes()).take_while(|(x, y)| x == y).count();
+    let lcs = a.bytes().rev().zip(b.bytes().rev()).take_while(|(x, y)| x == y).count();
+    let best = lcp.max(lcs);
+    if best < cfg.min_affix_len {
+        return 0.0;
+    }
+    let score = (2.0 * best as f64) / (a.len() + b.len()) as f64;
+    score.min(cfg.max_score)
+}
+
+/// `sim(t1, t2)` of the paper: thesaurus lookup first (exact canonical
+/// match is 1.0), then the affix fallback.
+///
+/// Token-type discipline: `Number` and `SpecialSymbol` tokens only match
+/// exactly (the digits in `Street4`/`street4` must agree); a word never
+/// matches a number.
+pub fn token_similarity(t1: &Token, t2: &Token, thesaurus: &Thesaurus, cfg: &AffixConfig) -> f64 {
+    use TokenType::{Number, SpecialSymbol};
+    match (t1.ttype, t2.ttype) {
+        (Number, Number) | (SpecialSymbol, SpecialSymbol) => {
+            if t1.text == t2.text {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        (Number, _) | (_, Number) | (SpecialSymbol, _) | (_, SpecialSymbol) => 0.0,
+        _ => {
+            if let Some(s) = thesaurus.token_sim(&t1.text, &t2.text) {
+                s
+            } else {
+                affix_similarity(&t1.text, &t2.text, cfg)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thesaurus::ThesaurusBuilder;
+    use crate::token::Token;
+
+    fn tok(s: &str) -> Token {
+        Token::new(s, TokenType::Content)
+    }
+
+    fn num(s: &str) -> Token {
+        Token::new(s, TokenType::Number)
+    }
+
+    #[test]
+    fn exact_tokens_score_one() {
+        let t = Thesaurus::empty();
+        let cfg = AffixConfig::default();
+        assert_eq!(token_similarity(&tok("city"), &tok("city"), &t, &cfg), 1.0);
+    }
+
+    #[test]
+    fn thesaurus_beats_affix() {
+        let t = ThesaurusBuilder::new().synonym("bill", "invoice", 1.0).build().unwrap();
+        let cfg = AffixConfig::default();
+        assert_eq!(token_similarity(&tok("bill"), &tok("invoice"), &t, &cfg), 1.0);
+    }
+
+    #[test]
+    fn affix_fallback_common_prefix() {
+        let t = Thesaurus::empty();
+        let cfg = AffixConfig::default();
+        // "num" vs "number": lcp = 3 → 6/9 ≈ 0.667
+        let s = token_similarity(&tok("num"), &tok("number"), &t, &cfg);
+        assert!((s - 2.0 * 3.0 / 9.0).abs() < 1e-12, "{s}");
+    }
+
+    #[test]
+    fn affix_fallback_common_suffix() {
+        let cfg = AffixConfig::default();
+        // "partno" vs "no" — suffix "no" is too short (min 3)
+        assert_eq!(affix_similarity("partno", "no", &cfg), 0.0);
+        // "postalcode" vs "zipcode": suffix "code" (4) → 8/17
+        let s = affix_similarity("postalcode", "zipcode", &cfg);
+        assert!((s - 8.0 / 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_affixes_rejected() {
+        let cfg = AffixConfig::default();
+        assert_eq!(affix_similarity("co", "code", &cfg), 0.0);
+        assert_eq!(affix_similarity("id", "id2", &cfg), 0.0);
+    }
+
+    #[test]
+    fn identical_long_words_capped_by_max_score_only_for_affix() {
+        let cfg = AffixConfig { min_affix_len: 3, max_score: 0.9 };
+        // identical words go through the thesaurus exact path (1.0),
+        // not the affix path.
+        let t = Thesaurus::empty();
+        assert_eq!(token_similarity(&tok("street"), &tok("street"), &t, &cfg), 1.0);
+        // pure affix path is capped
+        assert!(affix_similarity("street", "street", &cfg) <= 0.9);
+    }
+
+    #[test]
+    fn numbers_match_only_exactly() {
+        let t = Thesaurus::empty();
+        let cfg = AffixConfig::default();
+        assert_eq!(token_similarity(&num("4"), &num("4"), &t, &cfg), 1.0);
+        assert_eq!(token_similarity(&num("4"), &num("3"), &t, &cfg), 0.0);
+        assert_eq!(token_similarity(&num("4"), &tok("four"), &t, &cfg), 0.0);
+    }
+
+    #[test]
+    fn empty_strings() {
+        let cfg = AffixConfig::default();
+        assert_eq!(affix_similarity("", "abc", &cfg), 0.0);
+        assert_eq!(affix_similarity("", "", &cfg), 0.0);
+    }
+
+    #[test]
+    fn affix_symmetry() {
+        let cfg = AffixConfig::default();
+        for (a, b) in [("postal", "postalcode"), ("street", "straight"), ("order", "orders")] {
+            assert_eq!(affix_similarity(a, b, &cfg), affix_similarity(b, a, &cfg));
+        }
+    }
+}

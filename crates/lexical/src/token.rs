@@ -1,0 +1,122 @@
+//! Name tokens and the five token types of Section 5.1.
+
+use std::fmt;
+
+/// The five token types the paper assigns during normalization:
+/// *"Each name token is also marked as being one of five token types:
+/// number, special symbol (e.g. #), common word (prepositions and
+/// conjunctions), concept (as explained earlier) or content (all the
+/// rest)."*
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TokenType {
+    /// Digit runs, e.g. the `4` in `Street4`.
+    Number,
+    /// Special symbols such as `#` or `%` that survive tokenization.
+    SpecialSymbol,
+    /// Articles, prepositions and conjunctions. Marked to be ignored
+    /// during comparison, but still counted for per-type weighting.
+    CommonWord,
+    /// Synthetic tokens injected by concept tagging (e.g. `money` for an
+    /// element whose name contains `price`, `cost` or `value`).
+    Concept,
+    /// Everything else — the semantically loaded part of the name.
+    Content,
+}
+
+impl TokenType {
+    /// All five types, in a fixed order usable for dense indexing.
+    pub const ALL: [TokenType; 5] = [
+        TokenType::Number,
+        TokenType::SpecialSymbol,
+        TokenType::CommonWord,
+        TokenType::Concept,
+        TokenType::Content,
+    ];
+
+    /// Dense index of this type in [`TokenType::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            TokenType::Number => 0,
+            TokenType::SpecialSymbol => 1,
+            TokenType::CommonWord => 2,
+            TokenType::Concept => 3,
+            TokenType::Content => 4,
+        }
+    }
+}
+
+impl fmt::Display for TokenType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TokenType::Number => "number",
+            TokenType::SpecialSymbol => "special",
+            TokenType::CommonWord => "common",
+            TokenType::Concept => "concept",
+            TokenType::Content => "content",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One normalized name token.
+///
+/// `text` is the canonical (lower-cased, stemmed, expanded) form used for
+/// comparison; `raw` preserves the surface form for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// Canonical comparison form (lower case, stemmed).
+    pub text: String,
+    /// Original surface form as it appeared in the element name.
+    pub raw: String,
+    /// Token type assigned during normalization.
+    pub ttype: TokenType,
+}
+
+impl Token {
+    /// Construct a token whose raw form equals its canonical form.
+    pub fn new(text: impl Into<String>, ttype: TokenType) -> Self {
+        let text = text.into();
+        Token { raw: text.clone(), text, ttype }
+    }
+
+    /// True for tokens that elimination marked to be ignored during
+    /// comparison (articles, prepositions, conjunctions).
+    #[inline]
+    pub fn is_ignored(&self) -> bool {
+        self.ttype == TokenType::CommonWord
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_type_indices_are_dense_and_unique() {
+        let mut seen = [false; 5];
+        for t in TokenType::ALL {
+            assert!(!seen[t.index()], "duplicate index for {t}");
+            seen[t.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn common_word_tokens_are_ignored() {
+        assert!(Token::new("of", TokenType::CommonWord).is_ignored());
+        assert!(!Token::new("order", TokenType::Content).is_ignored());
+    }
+
+    #[test]
+    fn display_shows_canonical_text() {
+        let t = Token { text: "quantity".into(), raw: "Qty".into(), ttype: TokenType::Content };
+        assert_eq!(t.to_string(), "quantity");
+    }
+}

@@ -1,0 +1,248 @@
+//! Customizable name tokenizer (Section 5.1, "Tokenization").
+//!
+//! *"The names are parsed into tokens by a customizable tokenizer using
+//! punctuation, upper case, special symbols, digits, etc. E.g. POLines →
+//! {PO, Lines}."*
+
+use crate::token::TokenType;
+
+/// Configuration of the tokenizer. The defaults reproduce the behaviour
+/// the paper describes; each rule can be disabled for schemas with unusual
+/// naming conventions.
+#[derive(Debug, Clone)]
+pub struct TokenizerConfig {
+    /// Split on lower→upper case transitions (`POLines` → `PO`, `Lines`).
+    pub split_camel_case: bool,
+    /// Split runs of digits into their own `Number` tokens
+    /// (`Street4` → `Street`, `4`).
+    pub split_digits: bool,
+    /// Characters treated as separators and dropped (`_`, `-`, `.`, space…).
+    pub separators: Vec<char>,
+    /// Characters preserved as `SpecialSymbol` tokens (e.g. `#`).
+    pub special_symbols: Vec<char>,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        TokenizerConfig {
+            split_camel_case: true,
+            split_digits: true,
+            separators: vec!['_', '-', '.', ' ', '/', ':', ',', ';', '(', ')', '[', ']'],
+            special_symbols: vec!['#', '%', '$', '&', '@', '*', '+'],
+        }
+    }
+}
+
+/// A raw (pre-normalization) token: surface text plus the coarse type the
+/// tokenizer can already determine (numbers and special symbols). Word
+/// tokens come out as `Content`; the normalizer may downgrade them to
+/// `CommonWord` or add `Concept` companions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawToken {
+    /// Surface text exactly as it appeared (case preserved).
+    pub text: String,
+    /// `Number`, `SpecialSymbol` or `Content`.
+    pub ttype: TokenType,
+}
+
+/// The tokenizer proper. Stateless apart from its configuration; cheap to
+/// clone and share.
+#[derive(Debug, Clone, Default)]
+pub struct Tokenizer {
+    config: TokenizerConfig,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CharClass {
+    Upper,
+    Lower,
+    Digit,
+    Separator,
+    Special,
+    Other,
+}
+
+impl Tokenizer {
+    /// Tokenizer with the given configuration.
+    pub fn new(config: TokenizerConfig) -> Self {
+        Tokenizer { config }
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &TokenizerConfig {
+        &self.config
+    }
+
+    fn classify(&self, c: char) -> CharClass {
+        if self.config.separators.contains(&c) {
+            CharClass::Separator
+        } else if self.config.special_symbols.contains(&c) {
+            CharClass::Special
+        } else if c.is_ascii_digit() {
+            CharClass::Digit
+        } else if c.is_uppercase() {
+            CharClass::Upper
+        } else if c.is_lowercase() {
+            CharClass::Lower
+        } else {
+            CharClass::Other
+        }
+    }
+
+    /// Split `name` into raw tokens.
+    ///
+    /// Camel-case handling follows the usual "acronym run" rule: an
+    /// uppercase run followed by a lowercase letter starts a new token at
+    /// the last uppercase character, so `POLines` → `PO` + `Lines` and
+    /// `UnitOfMeasure` → `Unit` + `Of` + `Measure`.
+    pub fn tokenize(&self, name: &str) -> Vec<RawToken> {
+        let chars: Vec<char> = name.chars().collect();
+        let mut tokens: Vec<RawToken> = Vec::new();
+        let mut current = String::new();
+        let mut current_is_digit = false;
+
+        let flush = |current: &mut String, is_digit: bool, tokens: &mut Vec<RawToken>| {
+            if !current.is_empty() {
+                let ttype = if is_digit { TokenType::Number } else { TokenType::Content };
+                tokens.push(RawToken { text: std::mem::take(current), ttype });
+            }
+        };
+
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            match self.classify(c) {
+                CharClass::Separator => {
+                    flush(&mut current, current_is_digit, &mut tokens);
+                }
+                CharClass::Special => {
+                    flush(&mut current, current_is_digit, &mut tokens);
+                    tokens.push(RawToken { text: c.to_string(), ttype: TokenType::SpecialSymbol });
+                }
+                CharClass::Digit => {
+                    if self.config.split_digits {
+                        if !current_is_digit {
+                            flush(&mut current, current_is_digit, &mut tokens);
+                        }
+                        current_is_digit = true;
+                        current.push(c);
+                    } else {
+                        current.push(c);
+                    }
+                }
+                CharClass::Upper if self.config.split_camel_case => {
+                    if current_is_digit {
+                        flush(&mut current, true, &mut tokens);
+                        current_is_digit = false;
+                    }
+                    // A new uppercase char after lowercase starts a token.
+                    let prev_lower = i > 0 && self.classify(chars[i - 1]) == CharClass::Lower;
+                    if prev_lower {
+                        flush(&mut current, false, &mut tokens);
+                    }
+                    // Uppercase run followed by lowercase: break before the
+                    // last capital ("POLines" -> "PO" | "Lines").
+                    let next_lower =
+                        i + 1 < chars.len() && self.classify(chars[i + 1]) == CharClass::Lower;
+                    let prev_upper = i > 0 && self.classify(chars[i - 1]) == CharClass::Upper;
+                    if next_lower && prev_upper {
+                        flush(&mut current, false, &mut tokens);
+                    }
+                    current.push(c);
+                }
+                CharClass::Upper | CharClass::Lower | CharClass::Other => {
+                    if current_is_digit {
+                        flush(&mut current, true, &mut tokens);
+                        current_is_digit = false;
+                    }
+                    current.push(c);
+                }
+            }
+            i += 1;
+        }
+        flush(&mut current, current_is_digit, &mut tokens);
+        tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(name: &str) -> Vec<String> {
+        Tokenizer::default().tokenize(name).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn paper_example_polines() {
+        // "E.g. POLines -> {PO, Lines}"
+        assert_eq!(texts("POLines"), ["PO", "Lines"]);
+    }
+
+    #[test]
+    fn camel_case_basic() {
+        assert_eq!(texts("ItemNumber"), ["Item", "Number"]);
+        assert_eq!(texts("UnitOfMeasure"), ["Unit", "Of", "Measure"]);
+        assert_eq!(texts("unitPrice"), ["unit", "Price"]);
+        assert_eq!(texts("DeliverTo"), ["Deliver", "To"]);
+    }
+
+    #[test]
+    fn acronym_runs() {
+        assert_eq!(texts("POBillTo"), ["PO", "Bill", "To"]);
+        assert_eq!(texts("CIDXOrder"), ["CIDX", "Order"]);
+        assert_eq!(texts("UoM"), ["Uo", "M"]); // mixed-case acronyms split; expansion fixes UoM
+        assert_eq!(texts("SSN"), ["SSN"]);
+    }
+
+    #[test]
+    fn digits_split_into_number_tokens() {
+        let toks = Tokenizer::default().tokenize("Street4");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].text, "Street");
+        assert_eq!(toks[0].ttype, TokenType::Content);
+        assert_eq!(toks[1].text, "4");
+        assert_eq!(toks[1].ttype, TokenType::Number);
+    }
+
+    #[test]
+    fn separators_and_specials() {
+        assert_eq!(texts("order_date"), ["order", "date"]);
+        assert_eq!(texts("e-mail"), ["e", "mail"]);
+        assert_eq!(texts("Order-Customer-fk"), ["Order", "Customer", "fk"]);
+        let toks = Tokenizer::default().tokenize("Item#");
+        assert_eq!(toks[1].ttype, TokenType::SpecialSymbol);
+        assert_eq!(toks[1].text, "#");
+    }
+
+    #[test]
+    fn digit_runs_inside_words() {
+        assert_eq!(texts("street2city"), ["street", "2", "city"]);
+        assert_eq!(texts("a1b2"), ["a", "1", "b", "2"]);
+    }
+
+    #[test]
+    fn empty_and_separator_only() {
+        assert!(texts("").is_empty());
+        assert!(texts("__--").is_empty());
+    }
+
+    #[test]
+    fn disable_camel_split() {
+        let t = Tokenizer::new(TokenizerConfig { split_camel_case: false, ..Default::default() });
+        let toks: Vec<String> = t.tokenize("POLines").into_iter().map(|t| t.text).collect();
+        assert_eq!(toks, ["POLines"]);
+    }
+
+    #[test]
+    fn disable_digit_split() {
+        let t = Tokenizer::new(TokenizerConfig { split_digits: false, ..Default::default() });
+        let toks: Vec<String> = t.tokenize("Street4").into_iter().map(|t| t.text).collect();
+        assert_eq!(toks, ["Street4"]);
+    }
+
+    #[test]
+    fn unicode_word_characters_kept_together() {
+        assert_eq!(texts("straßeName"), ["straße", "Name"]);
+    }
+}

@@ -1,0 +1,373 @@
+//! Fluent construction of schema graphs, with relational and XML helpers.
+
+use crate::element::{DataType, Element, ElementId, ElementKind};
+use crate::error::ModelError;
+use crate::schema::{Edges, Schema};
+
+/// Builder for [`Schema`]. The root element is created by
+/// [`SchemaBuilder::new`]; all other elements are added relative to it.
+///
+/// ```
+/// use cupid_model::{SchemaBuilder, ElementKind, DataType};
+/// let mut b = SchemaBuilder::new("PO");
+/// let lines = b.structured(b.root(), "POLines", ElementKind::XmlElement);
+/// let item = b.structured(lines, "Item", ElementKind::XmlElement);
+/// b.atomic(item, "Qty", ElementKind::XmlAttribute, DataType::Int);
+/// let schema = b.build().unwrap();
+/// assert_eq!(schema.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SchemaBuilder {
+    name: String,
+    elements: Vec<Element>,
+    edges: Vec<Edges>,
+    error: Option<ModelError>,
+}
+
+impl SchemaBuilder {
+    /// Start a schema whose root element carries the schema name.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        SchemaBuilder {
+            name: name.clone(),
+            elements: vec![Element::structured(name, ElementKind::Schema)],
+            edges: vec![Edges::default()],
+            error: None,
+        }
+    }
+
+    /// The root element id.
+    pub fn root(&self) -> ElementId {
+        ElementId::from_index(0)
+    }
+
+    /// Add a free-standing element (no containment yet). Most callers
+    /// should use [`SchemaBuilder::structured`] / [`SchemaBuilder::atomic`].
+    pub fn add(&mut self, element: Element) -> ElementId {
+        let id = ElementId::from_index(self.elements.len());
+        self.elements.push(element);
+        self.edges.push(Edges::default());
+        id
+    }
+
+    fn check(&mut self, id: ElementId) -> bool {
+        if id.index() >= self.elements.len() {
+            self.error.get_or_insert(ModelError::InvalidElement {
+                id,
+                len: self.elements.len(),
+            });
+            return false;
+        }
+        true
+    }
+
+    /// Add a structured (non-leaf) element contained in `parent`.
+    pub fn structured(
+        &mut self,
+        parent: ElementId,
+        name: impl Into<String>,
+        kind: ElementKind,
+    ) -> ElementId {
+        let id = self.add(Element::structured(name, kind));
+        self.contain(parent, id);
+        id
+    }
+
+    /// Add an atomic (leaf) element contained in `parent`.
+    pub fn atomic(
+        &mut self,
+        parent: ElementId,
+        name: impl Into<String>,
+        kind: ElementKind,
+        data_type: DataType,
+    ) -> ElementId {
+        let id = self.add(Element::atomic(name, kind, data_type));
+        self.contain(parent, id);
+        id
+    }
+
+    /// Record a containment edge. Each element may have only one
+    /// containment parent (§8.1).
+    pub fn contain(&mut self, parent: ElementId, child: ElementId) -> &mut Self {
+        if !self.check(parent) || !self.check(child) {
+            return self;
+        }
+        if parent == child {
+            self.error.get_or_insert(ModelError::SelfRelationship { id: parent });
+            return self;
+        }
+        if let Some(existing) = self.edges[child.index()].parent {
+            self.error.get_or_insert(ModelError::DuplicateContainmentParent {
+                child,
+                existing,
+                rejected: parent,
+            });
+            return self;
+        }
+        self.edges[child.index()].parent = Some(parent);
+        self.edges[parent.index()].children.push(child);
+        self
+    }
+
+    /// Record an IsDerivedFrom edge: `element` derives from (is typed by /
+    /// is a) `type_elem`.
+    pub fn derive_from(&mut self, element: ElementId, type_elem: ElementId) -> &mut Self {
+        if !self.check(element) || !self.check(type_elem) {
+            return self;
+        }
+        if element == type_elem {
+            self.error.get_or_insert(ModelError::SelfRelationship { id: element });
+            return self;
+        }
+        self.edges[element.index()].derived_from.push(type_elem);
+        self
+    }
+
+    /// Record an aggregation edge (key/view membership).
+    pub fn aggregate(&mut self, aggregator: ElementId, member: ElementId) -> &mut Self {
+        if !self.check(aggregator) || !self.check(member) {
+            return self;
+        }
+        if aggregator == member {
+            self.error.get_or_insert(ModelError::SelfRelationship { id: aggregator });
+            return self;
+        }
+        self.edges[aggregator.index()].aggregates.push(member);
+        self
+    }
+
+    /// Record a reference edge (RefInt → target key/column).
+    pub fn reference(&mut self, refint: ElementId, target: ElementId) -> &mut Self {
+        if !self.check(refint) || !self.check(target) {
+            return self;
+        }
+        if refint == target {
+            self.error.get_or_insert(ModelError::SelfRelationship { id: refint });
+            return self;
+        }
+        self.edges[refint.index()].references.push(target);
+        self
+    }
+
+    /// Mark an element optional (§8.4 "Optionality").
+    pub fn set_optional(&mut self, id: ElementId, optional: bool) -> &mut Self {
+        if self.check(id) {
+            self.elements[id.index()].optional = optional;
+        }
+        self
+    }
+
+    /// Mark an element `not_instantiated`; it will be skipped during
+    /// schema-tree construction (keys, FK reifications).
+    pub fn set_not_instantiated(&mut self, id: ElementId, v: bool) -> &mut Self {
+        if self.check(id) {
+            self.elements[id.index()].not_instantiated = v;
+        }
+        self
+    }
+
+    /// Mark an element as (part of) a key.
+    pub fn set_key(&mut self, id: ElementId, v: bool) -> &mut Self {
+        if self.check(id) {
+            self.elements[id.index()].is_key = v;
+        }
+        self
+    }
+
+    /// Attach a free-text annotation.
+    pub fn annotate(&mut self, id: ElementId, text: impl Into<String>) -> &mut Self {
+        if self.check(id) {
+            self.elements[id.index()].annotation = Some(text.into());
+        }
+        self
+    }
+
+    // ----- relational convenience layer -------------------------------
+
+    /// Add a table under the schema root.
+    pub fn table(&mut self, name: impl Into<String>) -> ElementId {
+        self.structured(self.root(), name, ElementKind::Table)
+    }
+
+    /// Add a column to a table.
+    pub fn column(
+        &mut self,
+        table: ElementId,
+        name: impl Into<String>,
+        data_type: DataType,
+    ) -> ElementId {
+        self.atomic(table, name, ElementKind::Column, data_type)
+    }
+
+    /// Declare a primary key over `columns`. Creates a `Key` element
+    /// (contained in the table, `not_instantiated`) that aggregates the
+    /// key columns, and marks the columns as keys.
+    pub fn primary_key(&mut self, table: ElementId, columns: &[ElementId]) -> ElementId {
+        let table_name = self.elements[table.index()].name.clone();
+        let key = self.add(Element {
+            name: format!("{table_name}-pk"),
+            kind: ElementKind::Key,
+            data_type: DataType::Unknown,
+            optional: false,
+            not_instantiated: true,
+            is_key: true,
+            annotation: None,
+        });
+        self.contain(table, key);
+        for &c in columns {
+            self.aggregate(key, c);
+            self.set_key(c, true);
+        }
+        key
+    }
+
+    /// Declare a foreign key: `columns` of `table` reference `target`
+    /// (usually the target table's primary-key element). Creates a
+    /// `ForeignKey` RefInt element per Figure 5: it aggregates the source
+    /// columns and references the target.
+    pub fn foreign_key(
+        &mut self,
+        table: ElementId,
+        name: impl Into<String>,
+        columns: &[ElementId],
+        target: ElementId,
+    ) -> ElementId {
+        let fk = self.add(Element {
+            name: name.into(),
+            kind: ElementKind::ForeignKey,
+            data_type: DataType::Unknown,
+            optional: false,
+            not_instantiated: true,
+            is_key: false,
+            annotation: None,
+        });
+        self.contain(table, fk);
+        for &c in columns {
+            self.aggregate(fk, c);
+        }
+        self.reference(fk, target);
+        fk
+    }
+
+    /// Declare a view exposing `members`. Creates a `View` element under
+    /// the root (`not_instantiated`; reified during expansion, §8.4).
+    pub fn view(&mut self, name: impl Into<String>, members: &[ElementId]) -> ElementId {
+        let v = self.add(Element {
+            name: name.into(),
+            kind: ElementKind::View,
+            data_type: DataType::Complex,
+            optional: false,
+            not_instantiated: true,
+            is_key: false,
+            annotation: None,
+        });
+        self.contain(self.root(), v);
+        for &m in members {
+            self.aggregate(v, m);
+        }
+        v
+    }
+
+    /// Add a shared type definition under the root (not instantiated on
+    /// its own; participates via IsDerivedFrom).
+    pub fn type_def(&mut self, name: impl Into<String>) -> ElementId {
+        let t = self.add(Element {
+            name: name.into(),
+            kind: ElementKind::TypeDef,
+            data_type: DataType::Complex,
+            optional: false,
+            not_instantiated: true,
+            is_key: false,
+            annotation: None,
+        });
+        self.contain(self.root(), t);
+        t
+    }
+
+    /// Finish and validate.
+    pub fn build(self) -> Result<Schema, ModelError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let schema = Schema { name: self.name, elements: self.elements, edges: self.edges };
+        schema.validate()?;
+        Ok(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relational_helpers_wire_up_keys_and_fks() {
+        let mut b = SchemaBuilder::new("RDB");
+        let orders = b.table("Orders");
+        let oid = b.column(orders, "OrderID", DataType::Int);
+        let cid = b.column(orders, "CustomerID", DataType::Int);
+        let customers = b.table("Customers");
+        let ccid = b.column(customers, "CustomerID", DataType::Int);
+        let cpk = b.primary_key(customers, &[ccid]);
+        b.primary_key(orders, &[oid]);
+        let fk = b.foreign_key(orders, "Orders-Customers-fk", &[cid], cpk);
+        let s = b.build().unwrap();
+
+        assert_eq!(s.element(fk).kind, ElementKind::ForeignKey);
+        assert!(s.element(fk).not_instantiated);
+        assert_eq!(s.aggregates(fk), &[cid]);
+        assert_eq!(s.references(fk), &[cpk]);
+        assert!(s.element(ccid).is_key);
+        assert!(s.element(oid).is_key);
+        assert_eq!(s.foreign_keys(), vec![fk]);
+    }
+
+    #[test]
+    fn duplicate_containment_rejected() {
+        let mut b = SchemaBuilder::new("S");
+        let a = b.structured(b.root(), "A", ElementKind::XmlElement);
+        let x = b.structured(a, "X", ElementKind::XmlElement);
+        let bb = b.structured(b.root(), "B", ElementKind::XmlElement);
+        b.contain(bb, x); // second parent
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateContainmentParent { .. }));
+    }
+
+    #[test]
+    fn self_relationship_rejected() {
+        let mut b = SchemaBuilder::new("S");
+        let a = b.structured(b.root(), "A", ElementKind::XmlElement);
+        b.derive_from(a, a);
+        assert!(matches!(b.build().unwrap_err(), ModelError::SelfRelationship { .. }));
+    }
+
+    #[test]
+    fn invalid_id_rejected() {
+        let mut b = SchemaBuilder::new("S");
+        let bogus = ElementId::from_index(99);
+        b.contain(b.root(), bogus);
+        assert!(matches!(b.build().unwrap_err(), ModelError::InvalidElement { .. }));
+    }
+
+    #[test]
+    fn view_and_type_def_are_not_instantiated() {
+        let mut b = SchemaBuilder::new("S");
+        let t = b.table("T");
+        let c = b.column(t, "C", DataType::Int);
+        let v = b.view("V", &[c]);
+        let td = b.type_def("Address");
+        let s = b.build().unwrap();
+        assert!(s.element(v).not_instantiated);
+        assert!(s.element(td).not_instantiated);
+        assert_eq!(s.views(), vec![v]);
+        assert_eq!(s.aggregates(v), &[c]);
+    }
+
+    #[test]
+    fn builder_reports_first_error_only() {
+        let mut b = SchemaBuilder::new("S");
+        let a = b.structured(b.root(), "A", ElementKind::XmlElement);
+        b.derive_from(a, a); // first error
+        b.contain(b.root(), ElementId::from_index(50)); // second error
+        assert!(matches!(b.build().unwrap_err(), ModelError::SelfRelationship { .. }));
+    }
+}

@@ -1,0 +1,318 @@
+//! Schema elements: the nodes of the schema graph.
+
+use std::fmt;
+
+/// Index of an element within its [`crate::Schema`] arena.
+///
+/// Ids are dense, start at 0 (the root), and are only meaningful relative
+/// to the schema that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ElementId(pub(crate) u32);
+
+impl ElementId {
+    /// Dense index for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a dense index (bounds are checked at use sites).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        ElementId(i as u32)
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// What kind of design artifact an element models. The matcher is generic
+/// — kinds never change the algorithms — but they matter for display, for
+/// the baselines (DIKE distinguishes entities from attributes), and for
+/// schema import.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElementKind {
+    /// The schema root.
+    Schema,
+    /// Relational table.
+    Table,
+    /// Relational column.
+    Column,
+    /// XML element.
+    XmlElement,
+    /// XML attribute.
+    XmlAttribute,
+    /// OO / description-logic class (the canonical examples of §9.1).
+    Class,
+    /// Class attribute or ER attribute.
+    Attribute,
+    /// ER entity (DIKE's remodeled schemas).
+    Entity,
+    /// ER relationship (DIKE's remodeled schemas).
+    Relationship,
+    /// A shared type definition (XSD complexType, OO class used as type).
+    TypeDef,
+    /// A key (primary/unique). Typically `not_instantiated`.
+    Key,
+    /// A referential-integrity (RefInt) element, e.g. a foreign key. It
+    /// *aggregates* its source columns and *references* the target key.
+    ForeignKey,
+    /// A view definition: aggregates the elements it exposes (§8.4).
+    View,
+    /// Anything else.
+    Other,
+}
+
+impl fmt::Display for ElementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ElementKind::Schema => "schema",
+            ElementKind::Table => "table",
+            ElementKind::Column => "column",
+            ElementKind::XmlElement => "element",
+            ElementKind::XmlAttribute => "attribute",
+            ElementKind::Class => "class",
+            ElementKind::Attribute => "attribute",
+            ElementKind::Entity => "entity",
+            ElementKind::Relationship => "relationship",
+            ElementKind::TypeDef => "type",
+            ElementKind::Key => "key",
+            ElementKind::ForeignKey => "foreign-key",
+            ElementKind::View => "view",
+            ElementKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Atomic data types, used for the compatibility lookup that seeds leaf
+/// structural similarity (§6) and for the data-type categories of §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DataType {
+    /// No type information available.
+    #[default]
+    Unknown,
+    /// Character data of any length.
+    String,
+    /// Integer numbers.
+    Int,
+    /// Fixed-point / exact decimal numbers.
+    Decimal,
+    /// Floating-point numbers.
+    Float,
+    /// Money amounts (several SQL dialects have a dedicated type).
+    Money,
+    /// Booleans / flags.
+    Bool,
+    /// Calendar dates.
+    Date,
+    /// Time of day.
+    Time,
+    /// Combined date + time.
+    DateTime,
+    /// Opaque binary data.
+    Binary,
+    /// Identifier types (XML ID/IDREF, GUIDs).
+    Identifier,
+    /// Enumerated value sets.
+    Enumeration,
+    /// Non-atomic: the element contains or derives other elements.
+    Complex,
+}
+
+/// The broad type classes used for categorization (§5.2: *"a category for
+/// each broad data type, e.g. all elements with a numeric data type are
+/// grouped together in a category with the keyword Number"*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BroadType {
+    /// Int, Decimal, Float, Money.
+    Number,
+    /// String, Identifier, Enumeration.
+    Text,
+    /// Date, Time, DateTime.
+    Temporal,
+    /// Bool.
+    Boolean,
+    /// Binary.
+    Binary,
+    /// Complex (non-leaf).
+    Complex,
+    /// Unknown.
+    Unknown,
+}
+
+impl BroadType {
+    /// Keyword naming the category for this broad class.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            BroadType::Number => "number",
+            BroadType::Text => "text",
+            BroadType::Temporal => "date",
+            BroadType::Boolean => "boolean",
+            BroadType::Binary => "binary",
+            BroadType::Complex => "complex",
+            BroadType::Unknown => "unknown",
+        }
+    }
+}
+
+impl DataType {
+    /// The broad class this type belongs to.
+    pub fn broad(self) -> BroadType {
+        match self {
+            DataType::Int | DataType::Decimal | DataType::Float | DataType::Money => {
+                BroadType::Number
+            }
+            DataType::String | DataType::Identifier | DataType::Enumeration => BroadType::Text,
+            DataType::Date | DataType::Time | DataType::DateTime => BroadType::Temporal,
+            DataType::Bool => BroadType::Boolean,
+            DataType::Binary => BroadType::Binary,
+            DataType::Complex => BroadType::Complex,
+            DataType::Unknown => BroadType::Unknown,
+        }
+    }
+
+    /// Parse common SQL / XSD type spellings. Unrecognized spellings map
+    /// to [`DataType::Unknown`] rather than erroring: schema import should
+    /// be permissive.
+    pub fn parse(s: &str) -> DataType {
+        let t = s.trim().to_ascii_lowercase();
+        let base = t.split(['(', ' ']).next().unwrap_or("");
+        match base {
+            "int" | "integer" | "smallint" | "bigint" | "tinyint" | "long" | "short" | "byte" => {
+                DataType::Int
+            }
+            "decimal" | "numeric" | "number" => DataType::Decimal,
+            "float" | "double" | "real" => DataType::Float,
+            "money" | "currency" | "smallmoney" => DataType::Money,
+            "varchar" | "char" | "nvarchar" | "nchar" | "text" | "string" | "clob" => {
+                DataType::String
+            }
+            "bool" | "boolean" | "bit" => DataType::Bool,
+            "date" => DataType::Date,
+            "time" => DataType::Time,
+            "datetime" | "timestamp" | "datetime2" | "smalldatetime" => DataType::DateTime,
+            "binary" | "varbinary" | "blob" | "image" => DataType::Binary,
+            "id" | "idref" | "guid" | "uuid" | "uniqueidentifier" => DataType::Identifier,
+            "enum" | "enumeration" => DataType::Enumeration,
+            "complex" => DataType::Complex,
+            _ => DataType::Unknown,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Unknown => "unknown",
+            DataType::String => "string",
+            DataType::Int => "int",
+            DataType::Decimal => "decimal",
+            DataType::Float => "float",
+            DataType::Money => "money",
+            DataType::Bool => "bool",
+            DataType::Date => "date",
+            DataType::Time => "time",
+            DataType::DateTime => "datetime",
+            DataType::Binary => "binary",
+            DataType::Identifier => "identifier",
+            DataType::Enumeration => "enum",
+            DataType::Complex => "complex",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One schema element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Element name as it appears in the schema.
+    pub name: String,
+    /// Artifact kind (table, column, XML element, …).
+    pub kind: ElementKind,
+    /// Atomic data type ([`DataType::Complex`] for structured elements).
+    pub data_type: DataType,
+    /// Optional elements (non-required XML attributes, nullable columns)
+    /// are penalized less when unmatched (§8.4 "Optionality").
+    pub optional: bool,
+    /// `not_instantiated` elements (keys, foreign-key reifications) are
+    /// skipped during schema-tree construction (§8.2).
+    pub not_instantiated: bool,
+    /// Part of a key — used by the DIKE baseline's "keyness" signal and
+    /// available for constraint matching.
+    pub is_key: bool,
+    /// Free-text description / annotation from the data dictionary.
+    pub annotation: Option<String>,
+}
+
+impl Element {
+    /// A structured (non-leaf) element.
+    pub fn structured(name: impl Into<String>, kind: ElementKind) -> Self {
+        Element {
+            name: name.into(),
+            kind,
+            data_type: DataType::Complex,
+            optional: false,
+            not_instantiated: false,
+            is_key: false,
+            annotation: None,
+        }
+    }
+
+    /// An atomic (leaf) element with a data type.
+    pub fn atomic(name: impl Into<String>, kind: ElementKind, data_type: DataType) -> Self {
+        Element {
+            name: name.into(),
+            kind,
+            data_type,
+            optional: false,
+            not_instantiated: false,
+            is_key: false,
+            annotation: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broad_classes() {
+        assert_eq!(DataType::Int.broad(), BroadType::Number);
+        assert_eq!(DataType::Money.broad(), BroadType::Number);
+        assert_eq!(DataType::String.broad(), BroadType::Text);
+        assert_eq!(DataType::Date.broad(), BroadType::Temporal);
+        assert_eq!(DataType::DateTime.broad(), BroadType::Temporal);
+        assert_eq!(DataType::Bool.broad(), BroadType::Boolean);
+        assert_eq!(DataType::Complex.broad(), BroadType::Complex);
+    }
+
+    #[test]
+    fn parse_sql_spellings() {
+        assert_eq!(DataType::parse("VARCHAR(40)"), DataType::String);
+        assert_eq!(DataType::parse("integer"), DataType::Int);
+        assert_eq!(DataType::parse("NUMERIC(10,2)"), DataType::Decimal);
+        assert_eq!(DataType::parse("timestamp"), DataType::DateTime);
+        assert_eq!(DataType::parse("whatsit"), DataType::Unknown);
+    }
+
+    #[test]
+    fn element_constructors() {
+        let t = Element::structured("Orders", ElementKind::Table);
+        assert_eq!(t.data_type, DataType::Complex);
+        let c = Element::atomic("OrderID", ElementKind::Column, DataType::Int);
+        assert_eq!(c.data_type, DataType::Int);
+        assert!(!c.is_key);
+    }
+
+    #[test]
+    fn id_round_trip() {
+        let id = ElementId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "e7");
+    }
+}

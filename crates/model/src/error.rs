@@ -1,0 +1,74 @@
+//! Errors for schema construction and expansion.
+
+use std::fmt;
+
+use crate::element::ElementId;
+
+/// Errors raised while building a schema graph or expanding it into a
+/// schema tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// An element id referenced an element outside this schema's arena.
+    InvalidElement {
+        /// The out-of-range id.
+        id: ElementId,
+        /// Number of elements in the arena.
+        len: usize,
+    },
+    /// An element was given two containment parents. Containment *"models
+    /// physical containment in the sense that each element (except the
+    /// root) is contained by exactly one other element"* (§8.1).
+    DuplicateContainmentParent {
+        /// The element that already had a parent.
+        child: ElementId,
+        /// Its existing parent.
+        existing: ElementId,
+        /// The rejected second parent.
+        rejected: ElementId,
+    },
+    /// The containment/IsDerivedFrom structure contains a cycle, i.e. a
+    /// recursive type. *"Schema tree construction fails if a cycle of
+    /// containment and IsDerivedFrom relationships is present"* (§8.2).
+    CycleDetected {
+        /// The element at which the cycle closed.
+        at: ElementId,
+        /// Element names along the offending expansion path.
+        path: Vec<String>,
+    },
+    /// An element name was empty.
+    EmptyName {
+        /// Offending element.
+        id: ElementId,
+    },
+    /// A relationship connected an element to itself.
+    SelfRelationship {
+        /// Offending element.
+        id: ElementId,
+    },
+    /// The expanded tree would be empty (root `not_instantiated`).
+    EmptyTree,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidElement { id, len } => {
+                write!(f, "element id {id} out of range (schema has {len} elements)")
+            }
+            ModelError::DuplicateContainmentParent { child, existing, rejected } => write!(
+                f,
+                "element {child} already contained by {existing}; cannot also be contained by {rejected}"
+            ),
+            ModelError::CycleDetected { at, path } => {
+                write!(f, "recursive type: cycle at {at} along path {}", path.join(" -> "))
+            }
+            ModelError::EmptyName { id } => write!(f, "element {id} has an empty name"),
+            ModelError::SelfRelationship { id } => {
+                write!(f, "element {id} is related to itself")
+            }
+            ModelError::EmptyTree => write!(f, "schema expands to an empty tree"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,245 @@
+//! Reification of referential constraints and views (§8.3, §8.4, Fig. 6).
+//!
+//! *"We interpret referential constraints as potential join views. For
+//! each foreign key, we introduce a node that represents the join of the
+//! participating tables. … Notice that the join view node has as its
+//! children the columns from both the tables. The common ancestor of the
+//! two tables is made the parent of the new join view node."*
+//!
+//! The children are the *existing* column nodes, shared between the table
+//! node and the join node — this is what turns the schema tree into a DAG
+//! of schema paths. Following the paper, we add one node per foreign key
+//! (no combinations of multiple FKs) and we do not recursively expand
+//! foreign keys inside join views.
+
+use crate::element::ElementKind;
+use crate::schema::Schema;
+use crate::tree::{NodeId, SchemaTree, SyntheticKind, TreeNode};
+
+/// Which reifications to apply during [`crate::tree::expand`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpandOptions {
+    /// Add a join-view node per foreign key (Figure 6).
+    pub join_views: bool,
+    /// Add a node per view definition (§8.4 "Views").
+    pub views: bool,
+}
+
+impl ExpandOptions {
+    /// No reification: the plain schema tree of Figure 4.
+    pub fn none() -> Self {
+        ExpandOptions { join_views: false, views: false }
+    }
+
+    /// All reifications (the configuration used for the relational
+    /// experiments of §9.2).
+    pub fn all() -> Self {
+        ExpandOptions { join_views: true, views: true }
+    }
+}
+
+impl Default for ExpandOptions {
+    fn default() -> Self {
+        ExpandOptions::all()
+    }
+}
+
+/// Apply the requested reifications to an already-expanded tree. The tree
+/// must have been finalized (paths/depths available); the caller
+/// re-finalizes afterwards.
+pub(crate) fn reify(schema: &Schema, tree: &mut SchemaTree, opts: &ExpandOptions) {
+    if opts.join_views {
+        reify_join_views(schema, tree);
+    }
+    if opts.views {
+        reify_views(schema, tree);
+    }
+}
+
+fn lca(tree: &SchemaTree, a: NodeId, b: NodeId) -> NodeId {
+    let (mut x, mut y) = (a, b);
+    while tree.depth(x) > tree.depth(y) {
+        x = tree.node(x).parents[0];
+    }
+    while tree.depth(y) > tree.depth(x) {
+        y = tree.node(y).parents[0];
+    }
+    while x != y {
+        x = tree.node(x).parents[0];
+        y = tree.node(y).parents[0];
+    }
+    x
+}
+
+fn reify_join_views(schema: &Schema, tree: &mut SchemaTree) {
+    for fk in schema.foreign_keys() {
+        let Some(source_table) = schema.parent(fk) else { continue };
+        let Some(&target_key) = schema.references(fk).first() else { continue };
+        // The reference target is either a key element (whose containment
+        // parent is the table) or a column directly.
+        let Some(target_table) = schema.parent(target_key) else { continue };
+        let source_nodes = tree.nodes_of_element(source_table);
+        let target_nodes = tree.nodes_of_element(target_table);
+        for &sa in &source_nodes {
+            for &tb in &target_nodes {
+                if sa == tb {
+                    continue;
+                }
+                let parent = lca(tree, sa, tb);
+                let join = tree.push_node(TreeNode {
+                    element: fk,
+                    name: schema.element(fk).name.clone(),
+                    kind: ElementKind::ForeignKey,
+                    data_type: crate::element::DataType::Complex,
+                    optional: false,
+                    synthetic: Some(SyntheticKind::JoinView),
+                    parents: Vec::new(),
+                    children: Vec::new(),
+                });
+                tree.link(parent, join);
+                // children: the columns of both tables (shared nodes).
+                let mut kids: Vec<NodeId> = Vec::new();
+                for table_node in [sa, tb] {
+                    for &c in &tree.node(table_node).children {
+                        if tree.node(c).synthetic.is_none() {
+                            kids.push(c);
+                        }
+                    }
+                }
+                for c in kids {
+                    tree.link(join, c);
+                }
+            }
+        }
+    }
+}
+
+fn reify_views(schema: &Schema, tree: &mut SchemaTree) {
+    for v in schema.views() {
+        let members: Vec<NodeId> = schema
+            .aggregates(v)
+            .iter()
+            .flat_map(|&m| tree.nodes_of_element(m))
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let node = tree.push_node(TreeNode {
+            element: v,
+            name: schema.element(v).name.clone(),
+            kind: ElementKind::View,
+            data_type: crate::element::DataType::Complex,
+            optional: false,
+            synthetic: Some(SyntheticKind::View),
+            parents: Vec::new(),
+            children: Vec::new(),
+        });
+        let root = tree.root();
+        tree.link(root, node);
+        for m in members {
+            tree.link(node, m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+    use crate::element::DataType;
+    use crate::tree::expand;
+
+    /// Figure 6: PurchaseOrder(OrderID, ProductName, CustomerID→Customer),
+    /// Customer(CustomerID, Name, Address).
+    fn fig6_schema() -> Schema {
+        let mut b = SchemaBuilder::new("DB");
+        let po = b.table("PurchaseOrder");
+        let oid = b.column(po, "OrderID", DataType::Int);
+        b.column(po, "ProductName", DataType::String);
+        let po_cid = b.column(po, "CustomerID", DataType::Int);
+        b.primary_key(po, &[oid]);
+        let cust = b.table("Customer");
+        let cid = b.column(cust, "CustomerID", DataType::Int);
+        b.column(cust, "Name", DataType::String);
+        b.column(cust, "Address", DataType::String);
+        let cpk = b.primary_key(cust, &[cid]);
+        b.foreign_key(po, "Order-Customer-fk", &[po_cid], cpk);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn join_view_node_added_with_both_tables_columns() {
+        let s = fig6_schema();
+        let t = expand(&s, &ExpandOptions::all()).unwrap();
+        let join = t.find_path("DB.Order-Customer-fk").expect("join view node");
+        let node = t.node(join);
+        assert_eq!(node.synthetic, Some(SyntheticKind::JoinView));
+        // Children: 3 PurchaseOrder columns + 3 Customer columns.
+        assert_eq!(node.children.len(), 6);
+        // Children are shared with the table nodes (DAG).
+        let po_cid = t.find_path("DB.PurchaseOrder.CustomerID").unwrap();
+        assert!(node.children.contains(&po_cid));
+        assert_eq!(t.node(po_cid).parents.len(), 2);
+        // Parent of the join node is the common ancestor (the root).
+        assert_eq!(node.parents[0], t.root());
+    }
+
+    #[test]
+    fn leaf_sets_shared_through_join_views() {
+        let s = fig6_schema();
+        let t = expand(&s, &ExpandOptions::all()).unwrap();
+        // Leaf count unchanged by reification: no leaves duplicated.
+        assert_eq!(t.leaf_count(), 6);
+        let join = t.find_path("DB.Order-Customer-fk").unwrap();
+        assert_eq!(t.leaves(join).len(), 6);
+        let root = t.root();
+        assert_eq!(t.leaves(root).len(), 6);
+    }
+
+    #[test]
+    fn no_join_views_without_option() {
+        let s = fig6_schema();
+        let t = expand(&s, &ExpandOptions::none()).unwrap();
+        assert!(t.find_path("DB.Order-Customer-fk").is_none());
+    }
+
+    #[test]
+    fn view_reification() {
+        let mut b = SchemaBuilder::new("DB");
+        let t1 = b.table("Orders");
+        let c1 = b.column(t1, "OrderID", DataType::Int);
+        let t2 = b.table("Items");
+        let c2 = b.column(t2, "ItemID", DataType::Int);
+        b.view("OrderItems", &[c1, c2]);
+        let s = b.build().unwrap();
+        let t = expand(&s, &ExpandOptions::all()).unwrap();
+        let v = t.find_path("DB.OrderItems").expect("view node");
+        assert_eq!(t.node(v).synthetic, Some(SyntheticKind::View));
+        assert_eq!(t.node(v).children.len(), 2);
+        assert_eq!(t.leaves(v).len(), 2);
+    }
+
+    #[test]
+    fn multiple_fks_one_node_each() {
+        // Sales(CustomerID→Customers, ProductID→Products)
+        let mut b = SchemaBuilder::new("DB");
+        let sales = b.table("Sales");
+        let s_cid = b.column(sales, "CustomerID", DataType::Int);
+        let s_pid = b.column(sales, "ProductID", DataType::Int);
+        let cust = b.table("Customers");
+        let cid = b.column(cust, "CustomerID", DataType::Int);
+        let cpk = b.primary_key(cust, &[cid]);
+        let prod = b.table("Products");
+        let pid = b.column(prod, "ProductID", DataType::Int);
+        let ppk = b.primary_key(prod, &[pid]);
+        b.foreign_key(sales, "Sales-Customers-fk", &[s_cid], cpk);
+        b.foreign_key(sales, "Sales-Products-fk", &[s_pid], ppk);
+        let t = expand(&b.build().unwrap(), &ExpandOptions::all()).unwrap();
+        assert!(t.find_path("DB.Sales-Customers-fk").is_some());
+        assert!(t.find_path("DB.Sales-Products-fk").is_some());
+        // No combination node for the pair of FKs (paper's choice).
+        let synthetic: Vec<_> =
+            t.iter().filter(|(_, n)| n.synthetic == Some(SyntheticKind::JoinView)).collect();
+        assert_eq!(synthetic.len(), 2);
+    }
+}

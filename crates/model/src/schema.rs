@@ -1,0 +1,258 @@
+//! The schema graph: an arena of elements plus relationship edges.
+
+use crate::element::{Element, ElementId, ElementKind};
+use crate::error::ModelError;
+
+/// Per-element adjacency. Kept private; [`Schema`] exposes accessor
+/// methods so the representation can evolve.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Edges {
+    /// Containment parent (exactly one, except the root).
+    pub parent: Option<ElementId>,
+    /// Ordered containment children.
+    pub children: Vec<ElementId>,
+    /// IsDerivedFrom targets (the types this element derives from).
+    pub derived_from: Vec<ElementId>,
+    /// Aggregation members (for keys, foreign keys, views).
+    pub aggregates: Vec<ElementId>,
+    /// Reference targets (RefInt → referenced key), 1:n.
+    pub references: Vec<ElementId>,
+}
+
+/// A schema: a rooted graph of [`Element`]s (§8.1).
+///
+/// Construction goes through [`crate::SchemaBuilder`], which validates the
+/// graph. Element 0 is always the root.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    pub(crate) name: String,
+    pub(crate) elements: Vec<Element>,
+    pub(crate) edges: Vec<Edges>,
+}
+
+impl Schema {
+    /// Schema name (usually the root element's name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The root element id.
+    pub fn root(&self) -> ElementId {
+        ElementId(0)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True if the schema has no elements. (Never true for built schemas;
+    /// provided for API completeness.)
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Access an element.
+    pub fn element(&self, id: ElementId) -> &Element {
+        &self.elements[id.index()]
+    }
+
+    /// Iterate over `(id, element)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ElementId, &Element)> {
+        self.elements.iter().enumerate().map(|(i, e)| (ElementId::from_index(i), e))
+    }
+
+    /// Containment parent, if any.
+    pub fn parent(&self, id: ElementId) -> Option<ElementId> {
+        self.edges[id.index()].parent
+    }
+
+    /// Ordered containment children.
+    pub fn children(&self, id: ElementId) -> &[ElementId] {
+        &self.edges[id.index()].children
+    }
+
+    /// IsDerivedFrom targets.
+    pub fn derived_from(&self, id: ElementId) -> &[ElementId] {
+        &self.edges[id.index()].derived_from
+    }
+
+    /// Aggregation members.
+    pub fn aggregates(&self, id: ElementId) -> &[ElementId] {
+        &self.edges[id.index()].aggregates
+    }
+
+    /// Reference targets.
+    pub fn references(&self, id: ElementId) -> &[ElementId] {
+        &self.edges[id.index()].references
+    }
+
+    /// All foreign-key (RefInt) elements, in id order.
+    pub fn foreign_keys(&self) -> Vec<ElementId> {
+        self.iter()
+            .filter(|(_, e)| e.kind == ElementKind::ForeignKey)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// All view elements, in id order.
+    pub fn views(&self) -> Vec<ElementId> {
+        self.iter().filter(|(_, e)| e.kind == ElementKind::View).map(|(id, _)| id).collect()
+    }
+
+    /// Dotted containment path of an element from the root, e.g.
+    /// `PO.POLines.Item.Qty`. Used for diagnostics and the path-name
+    /// linguistic experiment of §9.3(3).
+    pub fn containment_path(&self, id: ElementId) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            parts.push(&self.elements[c.index()].name);
+            cur = self.edges[c.index()].parent;
+        }
+        parts.reverse();
+        parts.join(".")
+    }
+
+    /// Find the first element with the given name (case-sensitive),
+    /// searching in id order. Convenience for tests and examples.
+    pub fn find(&self, name: &str) -> Option<ElementId> {
+        self.iter().find(|(_, e)| e.name == name).map(|(id, _)| id)
+    }
+
+    /// Find an element by its dotted containment path.
+    pub fn find_path(&self, path: &str) -> Option<ElementId> {
+        self.iter().find(|(id, _)| self.containment_path(*id) == path).map(|(id, _)| id)
+    }
+
+    /// Validate internal invariants. Called by the builder; public so
+    /// deserialized or hand-mutated schemas can be re-checked.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let len = self.elements.len();
+        let check = |id: ElementId| -> Result<(), ModelError> {
+            if id.index() >= len {
+                Err(ModelError::InvalidElement { id, len })
+            } else {
+                Ok(())
+            }
+        };
+        for (i, (e, edges)) in self.elements.iter().zip(&self.edges).enumerate() {
+            let id = ElementId::from_index(i);
+            if e.name.is_empty() {
+                return Err(ModelError::EmptyName { id });
+            }
+            for &c in edges
+                .children
+                .iter()
+                .chain(&edges.derived_from)
+                .chain(&edges.aggregates)
+                .chain(&edges.references)
+            {
+                check(c)?;
+                if c == id {
+                    return Err(ModelError::SelfRelationship { id });
+                }
+            }
+            if let Some(p) = edges.parent {
+                check(p)?;
+                if p == id {
+                    return Err(ModelError::SelfRelationship { id });
+                }
+            }
+        }
+        // parent/child symmetry
+        for (i, edges) in self.edges.iter().enumerate() {
+            let id = ElementId::from_index(i);
+            for &c in &edges.children {
+                if self.edges[c.index()].parent != Some(id) {
+                    return Err(ModelError::DuplicateContainmentParent {
+                        child: c,
+                        existing: self.edges[c.index()].parent.unwrap_or(id),
+                        rejected: id,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Containment descendants of `id` (excluding `id`), pre-order.
+    pub fn descendants(&self, id: ElementId) -> Vec<ElementId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<ElementId> = self.children(id).iter().rev().copied().collect();
+        while let Some(top) = stack.pop() {
+            out.push(top);
+            for &c in self.children(top).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Lowest common containment ancestor of two elements.
+    pub fn common_ancestor(&self, a: ElementId, b: ElementId) -> ElementId {
+        let mut seen = vec![false; self.len()];
+        let mut cur = Some(a);
+        while let Some(c) = cur {
+            seen[c.index()] = true;
+            cur = self.parent(c);
+        }
+        let mut cur = Some(b);
+        while let Some(c) = cur {
+            if seen[c.index()] {
+                return c;
+            }
+            cur = self.parent(c);
+        }
+        self.root()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+    use crate::element::{DataType, ElementKind};
+
+    fn tiny() -> Schema {
+        let mut b = SchemaBuilder::new("PO");
+        let lines = b.structured(b.root(), "Lines", ElementKind::XmlElement);
+        let item = b.structured(lines, "Item", ElementKind::XmlElement);
+        b.atomic(item, "Line", ElementKind::XmlAttribute, DataType::Int);
+        b.atomic(item, "Qty", ElementKind::XmlAttribute, DataType::Int);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn paths() {
+        let s = tiny();
+        let qty = s.find("Qty").unwrap();
+        assert_eq!(s.containment_path(qty), "PO.Lines.Item.Qty");
+        assert_eq!(s.find_path("PO.Lines.Item.Qty"), Some(qty));
+        assert_eq!(s.containment_path(s.root()), "PO");
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let s = tiny();
+        let names: Vec<&str> =
+            s.descendants(s.root()).into_iter().map(|id| s.element(id).name.as_str()).collect();
+        assert_eq!(names, ["Lines", "Item", "Line", "Qty"]);
+    }
+
+    #[test]
+    fn common_ancestor() {
+        let s = tiny();
+        let line = s.find("Line").unwrap();
+        let qty = s.find("Qty").unwrap();
+        let item = s.find("Item").unwrap();
+        assert_eq!(s.common_ancestor(line, qty), item);
+        assert_eq!(s.common_ancestor(line, s.root()), s.root());
+        assert_eq!(s.common_ancestor(item, item), item);
+    }
+
+    #[test]
+    fn validate_ok() {
+        assert!(tiny().validate().is_ok());
+    }
+}

@@ -1,0 +1,96 @@
+//! Integration: the three importers produce schemas that flow through
+//! the full matcher, and equivalent schemas expressed in different
+//! formats match each other.
+
+use cupid::io::{parse_ddl, parse_sdl, schema_from_xml};
+use cupid::prelude::*;
+
+const SDL: &str = "\
+schema PurchaseOrder
+  element Header
+    attr OrderNumber : string
+    attr OrderDate : date
+  element Items
+    attr ItemCount : int
+    element Item
+      attr ItemNumber : int
+      attr Quantity : decimal
+      attr UnitPrice : money
+";
+
+const XML: &str = r#"
+<PurchaseOrder>
+  <Header OrderNumber="A17" OrderDate="2001-08-27"/>
+  <Items ItemCount="1">
+    <Item ItemNumber="1" Quantity="2.5" UnitPrice="9.95"/>
+  </Items>
+</PurchaseOrder>
+"#;
+
+const SQL: &str = "\
+CREATE TABLE Header (
+    OrderNumber VARCHAR(20) PRIMARY KEY,
+    OrderDate DATE NOT NULL
+);
+CREATE TABLE Item (
+    ItemNumber INTEGER PRIMARY KEY,
+    Quantity NUMERIC(10,2) NOT NULL,
+    UnitPrice MONEY NOT NULL
+);
+";
+
+#[test]
+fn sdl_and_xml_schemas_match_each_other() {
+    let s1 = parse_sdl(SDL).unwrap();
+    let s2 = schema_from_xml(XML).unwrap();
+    let out = Cupid::new(Thesaurus::with_default_stopwords())
+        .match_schemas(&s1, &s2)
+        .unwrap();
+    for leaf in ["OrderNumber", "OrderDate", "ItemCount"] {
+        assert!(
+            out.leaf_mappings.iter().any(|m| m.source_path.ends_with(leaf)
+                && m.target_path.ends_with(leaf)),
+            "missing {leaf}: {:#?}",
+            out.leaf_mappings
+        );
+    }
+    assert!(out.has_nonleaf_mapping("PurchaseOrder.Items.Item", "PurchaseOrder.Items.Item"));
+}
+
+#[test]
+fn sdl_and_ddl_schemas_match_each_other() {
+    let s1 = parse_sdl(SDL).unwrap();
+    let s2 = parse_ddl("OrderDB", SQL).unwrap();
+    let out = Cupid::new(Thesaurus::with_default_stopwords())
+        .match_schemas(&s1, &s2)
+        .unwrap();
+    assert!(out
+        .leaf_mappings
+        .iter()
+        .any(|m| m.source_path == "PurchaseOrder.Header.OrderDate"
+            && m.target_path == "OrderDB.Header.OrderDate"));
+    assert!(out
+        .leaf_mappings
+        .iter()
+        .any(|m| m.source_path == "PurchaseOrder.Items.Item.UnitPrice"
+            && m.target_path == "OrderDB.Item.UnitPrice"));
+}
+
+#[test]
+fn parsed_types_align_across_formats() {
+    let sdl = parse_sdl(SDL).unwrap();
+    let xml = schema_from_xml(XML).unwrap();
+    let ddl = parse_ddl("OrderDB", SQL).unwrap();
+    // OrderDate is a date everywhere (XML infers it from the value)
+    for (schema, path) in [
+        (&sdl, "PurchaseOrder.Header.OrderDate"),
+        (&xml, "PurchaseOrder.Header.OrderDate"),
+        (&ddl, "OrderDB.Header.OrderDate"),
+    ] {
+        let id = schema.find_path(path).expect(path);
+        assert_eq!(schema.element(id).data_type, DataType::Date, "{path}");
+    }
+    // Quantity: decimal in SDL/DDL; the XML instance value 2.5 infers it
+    let id = xml.find_path("PurchaseOrder.Items.Item.Quantity").unwrap();
+    assert_eq!(xml.element(id).data_type, DataType::Decimal);
+}

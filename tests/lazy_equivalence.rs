@@ -1,0 +1,97 @@
+//! Property test: lazy expansion (§8.4) is result-equivalent to eager
+//! expansion on randomized shared-type schemas — the paper's claim
+//! *"the computed similarity values will remain the same as in the case
+//! when the schema is expanded a priori"*, verified bit-for-bit.
+
+use cupid::core::{lazy, linguistic, treematch, CupidConfig};
+use cupid::prelude::*;
+use proptest::prelude::*;
+
+/// Build a source schema whose shared type `SharedT` has `n_fields`
+/// members and is referenced from `n_contexts` contexts, plus some
+/// non-shared structure.
+fn shared_type_schema(n_fields: usize, n_contexts: usize, extra: usize) -> Schema {
+    let mut b = SchemaBuilder::new("Source");
+    let ty = b.type_def("SharedT");
+    for i in 0..n_fields {
+        b.atomic(ty, format!("Field{i}"), ElementKind::XmlElement, DataType::String);
+    }
+    for c in 0..n_contexts {
+        let ctx = b.structured(b.root(), format!("Context{c}"), ElementKind::XmlElement);
+        b.derive_from(ctx, ty);
+    }
+    let other = b.structured(b.root(), "Other", ElementKind::XmlElement);
+    for i in 0..extra {
+        b.atomic(other, format!("Extra{i}"), ElementKind::XmlElement, DataType::Int);
+    }
+    b.build().expect("generated schema is valid")
+}
+
+fn flat_target(n_fields: usize, n_groups: usize) -> Schema {
+    let mut b = SchemaBuilder::new("Target");
+    for g in 0..n_groups {
+        let grp = b.structured(b.root(), format!("Group{g}"), ElementKind::XmlElement);
+        for i in 0..n_fields {
+            b.atomic(grp, format!("Field{i}"), ElementKind::XmlElement, DataType::String);
+        }
+    }
+    b.build().expect("generated schema is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lazy_matches_eager_bit_for_bit(
+        n_fields in 1usize..6,
+        n_contexts in 2usize..5,
+        extra in 0usize..4,
+        n_groups in 1usize..4,
+        c_inc in 1.0f64..1.6,
+        th_accept in 0.35f64..0.6,
+    ) {
+        let s1 = shared_type_schema(n_fields, n_contexts, extra);
+        let s2 = flat_target(n_fields, n_groups);
+        let mut cfg = CupidConfig::default();
+        cfg.c_inc = c_inc;
+        cfg.th_accept = th_accept;
+        cfg.th_high = cfg.th_high.max(th_accept);
+        prop_assume!(cfg.validate().is_ok());
+
+        let t1 = expand(&s1, &ExpandOptions::none()).unwrap();
+        let t2 = expand(&s2, &ExpandOptions::none()).unwrap();
+        let thesaurus = Thesaurus::with_default_stopwords();
+        let la = linguistic::analyze(&s1, &s2, &thesaurus, &cfg);
+
+        let eager = treematch::tree_match(&t1, &t2, &la.lsim, &cfg);
+        let lazy_res = lazy::tree_match_lazy(&t1, &t2, &la.lsim, &cfg);
+
+        prop_assert_eq!(eager.leaf_ssim.max_abs_diff(&lazy_res.leaf_ssim), 0.0);
+        prop_assert_eq!(eager.ssim.max_abs_diff(&lazy_res.ssim), 0.0);
+        prop_assert_eq!(eager.wsim.max_abs_diff(&lazy_res.wsim), 0.0);
+        // with ≥2 contexts there is always duplicated structure to skip
+        prop_assert!(lazy_res.stats.lazy_copied_pairs > 0);
+    }
+}
+
+#[test]
+fn lazy_skips_proportionally_to_context_count() {
+    // More shared contexts → more skipped work.
+    let s2 = flat_target(4, 2);
+    let t2 = expand(&s2, &ExpandOptions::none()).unwrap();
+    let cfg = CupidConfig::default();
+    let thesaurus = Thesaurus::with_default_stopwords();
+    let mut last = 0usize;
+    for contexts in [2usize, 4, 6] {
+        let s1 = shared_type_schema(4, contexts, 2);
+        let t1 = expand(&s1, &ExpandOptions::none()).unwrap();
+        let la = linguistic::analyze(&s1, &s2, &thesaurus, &cfg);
+        let lazy_res = lazy::tree_match_lazy(&t1, &t2, &la.lsim, &cfg);
+        assert!(
+            lazy_res.stats.lazy_copied_pairs > last,
+            "contexts {contexts}: {} skipped (previous {last})",
+            lazy_res.stats.lazy_copied_pairs
+        );
+        last = lazy_res.stats.lazy_copied_pairs;
+    }
+}
