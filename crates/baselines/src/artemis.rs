@@ -320,10 +320,8 @@ impl Artemis {
             let mut best: Option<(usize, usize, f64)> = None;
             for ci in 0..n {
                 for cj in (ci + 1)..n {
-                    let members_i: Vec<usize> =
-                        (0..n).filter(|&k| cluster_of[k] == ci).collect();
-                    let members_j: Vec<usize> =
-                        (0..n).filter(|&k| cluster_of[k] == cj).collect();
+                    let members_i: Vec<usize> = (0..n).filter(|&k| cluster_of[k] == ci).collect();
+                    let members_j: Vec<usize> = (0..n).filter(|&k| cluster_of[k] == cj).collect();
                     if members_i.is_empty() || members_j.is_empty() {
                         continue;
                     }
@@ -382,8 +380,7 @@ impl Artemis {
                         continue;
                     }
                     let na = dict.name_affinity(&attrs[i].1, &attrs[j].1);
-                    if na >= self.config.fusion_threshold
-                        && type_compatible(attrs[i].3, attrs[j].3)
+                    if na >= self.config.fusion_threshold && type_compatible(attrs[i].3, attrs[j].3)
                     {
                         let gi = group[i];
                         for g in group.iter_mut() {
@@ -427,10 +424,7 @@ impl Artemis {
             let mut groups: Vec<FusedAttribute> = by_group.into_values().collect();
             groups.retain(|f| !f.left.is_empty() || !f.right.is_empty());
             groups.sort_by(|a, b| {
-                a.left
-                    .first()
-                    .or(a.right.first())
-                    .cmp(&b.left.first().or(b.right.first()))
+                a.left.first().or(a.right.first()).cmp(&b.left.first().or(b.right.first()))
             });
             fused.extend(groups);
         }
@@ -485,18 +479,14 @@ mod tests {
             ],
         );
         let without = Artemis::new().run(&s1, &s2, &SenseDictionary::default());
-        assert!(
-            !without.fused_together("Schema1.Customer.Name", "Schema2.Customer.CustomerName")
-        );
+        assert!(!without.fused_together("Schema1.Customer.Name", "Schema2.Customer.CustomerName"));
         let mut dict = SenseDictionary::default();
         dict.choose_sense("CustomerName", "name")
             .choose_sense("StreetAddress", "address")
             .choose_sense("CustomerNumberId", "customernumber");
         let with = Artemis::new().run(&s1, &s2, &dict);
         assert!(with.fused_one_to_one("Schema1.Customer.Name", "Schema2.Customer.CustomerName"));
-        assert!(
-            with.fused_one_to_one("Schema1.Customer.Address", "Schema2.Customer.StreetAddress")
-        );
+        assert!(with.fused_one_to_one("Schema1.Customer.Address", "Schema2.Customer.StreetAddress"));
     }
 
     #[test]
@@ -587,18 +577,12 @@ mod tests {
         let s1 = customer(
             "S1",
             "Address",
-            &[
-                ("Street1", DataType::String),
-                ("Street2", DataType::String),
-            ],
+            &[("Street1", DataType::String), ("Street2", DataType::String)],
         );
         let s2 = customer(
             "S2",
             "Address",
-            &[
-                ("street1", DataType::String),
-                ("street2", DataType::String),
-            ],
+            &[("street1", DataType::String), ("street2", DataType::String)],
         );
         let mut dict = SenseDictionary::default();
         for n in ["Street1", "Street2"] {

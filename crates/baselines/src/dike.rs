@@ -580,11 +580,8 @@ mod tests {
         let r = Dike::new().run(&s1, &s2, &Lspd::default());
         // The single S1 Street node can merge with at most one of the two
         // S2 Street nodes: context-dependent mapping is impossible.
-        let street_merges = r
-            .merged_attributes
-            .iter()
-            .filter(|m| m.source_path == "S1.Address.Street")
-            .count();
+        let street_merges =
+            r.merged_attributes.iter().filter(|m| m.source_path == "S1.Address.Street").count();
         assert!(street_merges <= 1, "shared node cannot map to both contexts: {r:#?}");
     }
 

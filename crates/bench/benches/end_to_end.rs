@@ -13,15 +13,11 @@ fn bench_end_to_end(c: &mut Criterion) {
 
     let cupid = Cupid::with_config(configs::shallow_xml(), fig1::thesaurus());
     let (a, b) = (fig1::po(), fig1::porder());
-    g.bench_function("fig1", |bch| {
-        bch.iter(|| black_box(cupid.match_schemas(&a, &b).unwrap()))
-    });
+    g.bench_function("fig1", |bch| bch.iter(|| black_box(cupid.match_schemas(&a, &b).unwrap())));
 
     let cupid = Cupid::with_config(configs::shallow_xml(), thesauri::paper_thesaurus());
     let (a, b) = (fig2::po(), fig2::purchase_order());
-    g.bench_function("fig2", |bch| {
-        bch.iter(|| black_box(cupid.match_schemas(&a, &b).unwrap()))
-    });
+    g.bench_function("fig2", |bch| bch.iter(|| black_box(cupid.match_schemas(&a, &b).unwrap())));
 
     let (a, b) = (cidx_excel::cidx(), cidx_excel::excel());
     g.bench_function("table3_cidx_excel", |bch| {

@@ -13,21 +13,15 @@ fn bench_linguistic(c: &mut Criterion) {
 
     let (a, b) = (fig2::po(), fig2::purchase_order());
     let th = thesauri::paper_thesaurus();
-    g.bench_function("fig2", |bch| {
-        bch.iter(|| black_box(analyze(&a, &b, &th, &cfg)))
-    });
+    g.bench_function("fig2", |bch| bch.iter(|| black_box(analyze(&a, &b, &th, &cfg))));
 
     let (a, b) = (cidx_excel::cidx(), cidx_excel::excel());
-    g.bench_function("cidx_excel", |bch| {
-        bch.iter(|| black_box(analyze(&a, &b, &th, &cfg)))
-    });
+    g.bench_function("cidx_excel", |bch| bch.iter(|| black_box(analyze(&a, &b, &th, &cfg))));
 
     let (a, b) = (star_rdb::rdb(), star_rdb::star());
     let empty = thesauri::empty_thesaurus();
     let rcfg = configs::relational();
-    g.bench_function("star_rdb", |bch| {
-        bch.iter(|| black_box(analyze(&a, &b, &empty, &rcfg)))
-    });
+    g.bench_function("star_rdb", |bch| bch.iter(|| black_box(analyze(&a, &b, &empty, &rcfg))));
     g.finish();
 }
 

@@ -1,3 +1,11 @@
-//! Shared fixtures for the benchmark harness. The benches themselves live
-//! in `benches/`; one group per paper table/figure plus scaling and
-//! ablation sweeps. See EXPERIMENTS.md for the mapping to the paper.
+//! # cupid-bench — the criterion benchmark harness
+//!
+//! The benches themselves live in `benches/`: one group per paper
+//! table/figure (`linguistic`, `treematch`, `end_to_end`, `baselines`)
+//! plus the `scaling` and `ablation` sweeps. See BENCHMARKS.md at the
+//! workspace root for what each bench measures, how to run them, and
+//! the results convention.
+//!
+//! The library target is intentionally empty today; shared fixtures go
+//! here when benches start needing them. (`unsafe_code`/`missing_docs`
+//! policy comes from `[workspace.lints]`, as for every member crate.)

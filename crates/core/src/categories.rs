@@ -96,10 +96,10 @@ pub fn categorize(schema: &Schema, names: &[NormalizedName]) -> SchemaCategories
     let mut index: HashMap<CategoryKey, u32> = HashMap::new();
 
     let join = |out: &mut SchemaCategories,
-                    index: &mut HashMap<CategoryKey, u32>,
-                    key: CategoryKey,
-                    keywords: NormalizedName,
-                    member: ElementId| {
+                index: &mut HashMap<CategoryKey, u32>,
+                key: CategoryKey,
+                keywords: NormalizedName,
+                member: ElementId| {
         let ci = *index.entry(key.clone()).or_insert_with(|| {
             out.categories.push(Category { key, keywords, members: Vec::new() });
             (out.categories.len() - 1) as u32
@@ -124,13 +124,7 @@ pub fn categorize(schema: &Schema, names: &[NormalizedName]) -> SchemaCategories
         }
         // Broad data-type category.
         let broad = elem.data_type.broad();
-        join(
-            &mut out,
-            &mut index,
-            CategoryKey::Broad(broad),
-            keyword_name(broad.keyword()),
-            e,
-        );
+        join(&mut out, &mut index, CategoryKey::Broad(broad), keyword_name(broad.keyword()), e);
         // Container category: keyed by the containing element; keywords
         // are the container's name tokens.
         if let Some(parent) = schema.parent(e) {
@@ -153,11 +147,7 @@ mod tests {
     use cupid_model::{DataType, SchemaBuilder};
 
     fn thesaurus() -> Thesaurus {
-        ThesaurusBuilder::new()
-            .concept("price", "money")
-            .concept("cost", "money")
-            .build()
-            .unwrap()
+        ThesaurusBuilder::new().concept("price", "money").concept("cost", "money").build().unwrap()
     }
 
     fn names_for(schema: &Schema, t: &Thesaurus) -> Vec<NormalizedName> {

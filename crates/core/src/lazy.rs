@@ -284,7 +284,11 @@ mod tests {
         let la = analyze(&s1, &s2, &th, &cfg);
         let eager = tree_match(&t1, &t2, &la.lsim, &cfg);
         let lazy = tree_match_lazy(&t1, &t2, &la.lsim, &cfg);
-        assert_eq!(eager.leaf_ssim.max_abs_diff(&lazy.leaf_ssim), 0.0, "leaf ssim must be bit-identical");
+        assert_eq!(
+            eager.leaf_ssim.max_abs_diff(&lazy.leaf_ssim),
+            0.0,
+            "leaf ssim must be bit-identical"
+        );
         assert_eq!(eager.wsim.max_abs_diff(&lazy.wsim), 0.0, "final wsim must be bit-identical");
         assert!(lazy.stats.lazy_copied_pairs > 0, "lazy must actually skip work");
     }

@@ -146,12 +146,7 @@ impl ThesaurusLearner {
         for ((a, b), &support) in &self.synonym_votes {
             if support >= min_support {
                 let coefficient = (0.6 + 0.1 * (support as f64 - 1.0)).min(0.95);
-                out.push(Proposal::Synonym {
-                    a: a.clone(),
-                    b: b.clone(),
-                    support,
-                    coefficient,
-                });
+                out.push(Proposal::Synonym { a: a.clone(), b: b.clone(), support, coefficient });
             }
         }
         for ((short, full), &support) in &self.abbrev_votes {
@@ -171,10 +166,7 @@ impl ThesaurusLearner {
 
     /// Apply proposals to a thesaurus builder, returning the augmented
     /// builder.
-    pub fn apply(
-        proposals: &[Proposal],
-        mut builder: ThesaurusBuilder,
-    ) -> ThesaurusBuilder {
+    pub fn apply(proposals: &[Proposal], mut builder: ThesaurusBuilder) -> ThesaurusBuilder {
         for p in proposals {
             builder = match p {
                 Proposal::Synonym { a, b, coefficient, .. } => builder.synonym(a, b, *coefficient),
@@ -257,16 +249,8 @@ mod tests {
     /// re-match with the learned thesaurus, and gain recall.
     #[test]
     fn learned_synonyms_improve_the_next_run() {
-        let s1 = schema(
-            "S1",
-            "Customer",
-            &["CustomerName", "CustomerStreet", "CustomerPhone"],
-        );
-        let s2 = schema(
-            "S2",
-            "Client",
-            &["ClientName", "ClientStreet", "ClientPhone"],
-        );
+        let s1 = schema("S1", "Customer", &["CustomerName", "CustomerStreet", "CustomerPhone"]);
+        let s2 = schema("S2", "Client", &["ClientName", "ClientStreet", "ClientPhone"]);
         let base = Thesaurus::with_default_stopwords();
         let cupid = Cupid::new(base.clone());
         let first = cupid.match_schemas(&s1, &s2).unwrap();
@@ -287,9 +271,7 @@ mod tests {
 
         // Apply and re-run: lsim(Customer, Client) is now non-zero, so
         // the class-level mapping appears.
-        let learned = ThesaurusLearner::apply(&proposals, ThesaurusBuilder::new())
-            .build()
-            .unwrap();
+        let learned = ThesaurusLearner::apply(&proposals, ThesaurusBuilder::new()).build().unwrap();
         let second = Cupid::new(learned).match_schemas(&s1, &s2).unwrap();
         let w_first = first.wsim_of_paths("S1.Customer", "S2.Client");
         let w_second = second.wsim_of_paths("S1.Customer", "S2.Client");
@@ -311,9 +293,7 @@ mod tests {
         let amt = s1.find("Amt").unwrap();
         let amount = s2.find("Amount").unwrap();
         let cupid = Cupid::new(base.clone());
-        let out = cupid
-            .match_schemas_seeded(&s1, &s2, &[(qty, quantity), (amt, amount)])
-            .unwrap();
+        let out = cupid.match_schemas_seeded(&s1, &s2, &[(qty, quantity), (amt, amount)]).unwrap();
         let mut learner = ThesaurusLearner::new();
         learner.observe_validated(&out, &base, |m| {
             (m.source_path.ends_with("Qty") && m.target_path.ends_with("Quantity"))
@@ -333,8 +313,7 @@ mod tests {
     fn already_related_tokens_are_not_reproposed() {
         let s1 = schema("S1", "Order", &["BillCity"]);
         let s2 = schema("S2", "Order", &["InvoiceCity"]);
-        let thesaurus =
-            ThesaurusBuilder::new().synonym("bill", "invoice", 1.0).build().unwrap();
+        let thesaurus = ThesaurusBuilder::new().synonym("bill", "invoice", 1.0).build().unwrap();
         let out = Cupid::new(thesaurus.clone()).match_schemas(&s1, &s2).unwrap();
         let mut learner = ThesaurusLearner::new();
         learner.observe_validated(&out, &thesaurus, |_| true);
@@ -388,6 +367,7 @@ mod tests {
         // plain prefixes
         assert!(is_abbreviation("quan", "quantity"));
         assert!(is_abbreviation("quantity", "quan")); // order-insensitive
+
         // rejections
         assert!(!is_abbreviation("qty", "qty"));
         assert!(!is_abbreviation("x", "xylophone")); // too short

@@ -249,8 +249,7 @@ mod tests {
             ("Address", DataType::String),
         ];
         let f = fixture(&schema("A", &attrs), &schema("B", &attrs));
-        let maps =
-            leaf_mappings(&f.t1, &f.t2, &f.res, &f.lsim, &f.cfg, Cardinality::OneToN);
+        let maps = leaf_mappings(&f.t1, &f.t2, &f.res, &f.lsim, &f.cfg, Cardinality::OneToN);
         assert_eq!(maps.len(), 3);
         for m in &maps {
             let s_name = m.source_path.rsplit('.').next().unwrap();
@@ -290,8 +289,7 @@ mod tests {
     fn nonleaf_mappings_cover_classes() {
         let attrs = [("Name", DataType::String), ("Address", DataType::String)];
         let f = fixture(&schema("A", &attrs), &schema("B", &attrs));
-        let maps =
-            nonleaf_mappings(&f.t1, &f.t2, &f.res, &f.lsim, &f.cfg, Cardinality::OneToN);
+        let maps = nonleaf_mappings(&f.t1, &f.t2, &f.res, &f.lsim, &f.cfg, Cardinality::OneToN);
         // Customer -> Customer and root -> root.
         let paths: Vec<(&str, &str)> =
             maps.iter().map(|m| (m.source_path.as_str(), m.target_path.as_str())).collect();

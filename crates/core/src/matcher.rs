@@ -164,8 +164,14 @@ impl Cupid {
         // (Item) otherwise out-bids its parent (POLines) for the target
         // (Items), and Table 3 shows Cupid reporting POLines→Items *and*
         // Item→Item simultaneously, which is a 1:1 interpretation.
-        let leaf =
-            leaf_mappings(&t1, &t2, &structural, &linguistic.lsim, &self.config, Cardinality::OneToN);
+        let leaf = leaf_mappings(
+            &t1,
+            &t2,
+            &structural,
+            &linguistic.lsim,
+            &self.config,
+            Cardinality::OneToN,
+        );
         let nonleaf = nonleaf_mappings(
             &t1,
             &t2,
@@ -281,8 +287,7 @@ mod tests {
         let out = Cupid::new(paper_thesaurus()).match_schemas(&po, &porder).unwrap();
         assert!(out.mapping_for_target("POrder.Items.Item.Quantity").is_some());
         assert!(out.mapping_for_target("POrder.Nowhere").is_none());
-        let one_to_one =
-            out.leaf_mappings_with(&CupidConfig::default(), Cardinality::OneToOne);
+        let one_to_one = out.leaf_mappings_with(&CupidConfig::default(), Cardinality::OneToOne);
         assert!(!one_to_one.is_empty());
         // 1:1 never repeats a source
         let mut sources: Vec<&str> = one_to_one.iter().map(|m| m.source_path.as_str()).collect();

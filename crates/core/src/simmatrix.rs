@@ -95,11 +95,7 @@ impl SimMatrix {
     /// Used by tests asserting eager/lazy expansion equivalence.
     pub fn max_abs_diff(&self, other: &SimMatrix) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 }
 

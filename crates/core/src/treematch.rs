@@ -254,8 +254,7 @@ impl<'a> Workspace<'a> {
         }
         let ssim = self.structural_sim(s, t);
         let w = self.cfg.w_struct_for(both_leaves);
-        let lsim =
-            self.lsim.get(self.t1.node(s).element, self.t2.node(t).element);
+        let lsim = self.lsim.get(self.t1.node(s).element, self.t2.node(t).element);
         let wsim = w * ssim + (1.0 - w) * lsim;
         self.node_ssim.set(s.index(), t.index(), ssim);
         self.node_wsim.set(s.index(), t.index(), wsim);

@@ -17,16 +17,8 @@ use cupid_model::{DataType, ElementId, ElementKind, Schema, SchemaBuilder};
 
 use crate::gold::GoldMapping;
 
-const ADDRESS_FIELDS: [&str; 8] = [
-    "Street1",
-    "Street2",
-    "Street3",
-    "Street4",
-    "City",
-    "StateProvince",
-    "PostalCode",
-    "Country",
-];
+const ADDRESS_FIELDS: [&str; 8] =
+    ["Street1", "Street2", "Street3", "Street4", "City", "StateProvince", "PostalCode", "Country"];
 
 fn lower_first(s: &str) -> String {
     let mut c = s.chars();
@@ -219,8 +211,7 @@ mod tests {
         assert!(t.find_path("PurchaseOrder.DeliverTo.Address.street2").is_some());
         assert!(t.find_path("PurchaseOrder.InvoiceTo.Contact.telephone").is_some());
         // the 12 shared attributes appear in two contexts each
-        let shared: usize =
-            s.iter().filter(|(id, _)| t.nodes_of_element(*id).len() > 1).count();
+        let shared: usize = s.iter().filter(|(id, _)| t.nodes_of_element(*id).len() > 1).count();
         assert_eq!(shared, 12);
     }
 
@@ -250,8 +241,7 @@ mod tests {
         let attn = s.iter().find(|(_, e)| e.name == "attn").map(|(id, _)| id).unwrap();
         assert!(s.element(attn).optional);
         let e = excel();
-        let ypn =
-            e.iter().find(|(_, el)| el.name == "yourPartNumber").map(|(id, _)| id).unwrap();
+        let ypn = e.iter().find(|(_, el)| el.name == "yourPartNumber").map(|(id, _)| id).unwrap();
         assert!(e.element(ypn).optional);
     }
 }

@@ -21,9 +21,7 @@ impl GoldMapping {
         S1: Into<String>,
         S2: Into<String>,
     {
-        GoldMapping {
-            pairs: pairs.into_iter().map(|(a, b)| (a.into(), b.into())).collect(),
-        }
+        GoldMapping { pairs: pairs.into_iter().map(|(a, b)| (a.into(), b.into())).collect() }
     }
 
     /// Is a found correspondence correct?

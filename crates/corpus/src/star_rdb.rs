@@ -38,16 +38,12 @@ pub fn rdb() -> Schema {
     let mut b = SchemaBuilder::new("RDB");
     let mut r = Rel { b: &mut b };
 
-    let (ship_methods, sm_cols) = r.table(
-        "ShippingMethods",
-        &[("ShippingMethodID", Int), ("ShippingMethod", String)],
-    );
-    let (region, rg_cols) =
-        r.table("Region", &[("RegionID", Int), ("RegionDescription", String)]);
+    let (ship_methods, sm_cols) =
+        r.table("ShippingMethods", &[("ShippingMethodID", Int), ("ShippingMethod", String)]);
+    let (region, rg_cols) = r.table("Region", &[("RegionID", Int), ("RegionDescription", String)]);
     let (pay_methods, pm_cols) =
         r.table("PaymentMethods", &[("PaymentMethodID", Int), ("PaymentMethod", String)]);
-    let (brands, br_cols) =
-        r.table("Brands", &[("BrandID", Int), ("BrandDescription", String)]);
+    let (brands, br_cols) = r.table("Brands", &[("BrandID", Int), ("BrandDescription", String)]);
     let (territories, tr_cols) =
         r.table("Territories", &[("TerritoryID", Int), ("TerritoryDescription", String)]);
     let (employees, em_cols) = r.table(
@@ -291,10 +287,7 @@ pub fn gold_columns() -> GoldMapping {
         "Star.Geography.TerritoryDescription".into(),
     ));
     pairs.push(("RDB.Region.RegionID".into(), "Star.Geography.RegionID".into()));
-    pairs.push((
-        "RDB.Region.RegionDescription".into(),
-        "Star.Geography.RegionDescription".into(),
-    ));
+    pairs.push(("RDB.Region.RegionDescription".into(), "Star.Geography.RegionDescription".into()));
     // TerritoryRegion's own FK columns are acceptable sources too (the
     // paper: "RegionID and TerritoryID map to the columns of the
     // Territory-Region table").

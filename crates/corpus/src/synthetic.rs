@@ -44,9 +44,8 @@ const WORD_PAIRS: &[(&str, &str)] = &[
 
 /// Second words for compound names (never renamed, so every name keeps a
 /// recognizable token).
-const SUFFIX_WORDS: &[&str] = &[
-    "id", "name", "code", "number", "date", "total", "status", "type", "flag", "line",
-];
+const SUFFIX_WORDS: &[&str] =
+    &["id", "name", "code", "number", "date", "total", "status", "type", "flag", "line"];
 
 const LEAF_TYPES: &[DataType] = &[
     DataType::Int,
@@ -319,10 +318,8 @@ pub fn generate(cfg: &SyntheticConfig) -> SyntheticPair {
 
     // gold: leaves present on both sides, matched by generation key
     let mut pairs: Vec<(String, String)> = Vec::new();
-    let leaf_keys: std::collections::HashMap<u64, &str> = collect_leaves(&source_root)
-        .into_iter()
-        .map(|k| (k, ""))
-        .collect();
+    let leaf_keys: std::collections::HashMap<u64, &str> =
+        collect_leaves(&source_root).into_iter().map(|k| (k, "")).collect();
     let tgt_map: std::collections::HashMap<u64, &String> =
         tgt_paths.iter().map(|(k, p)| (*k, p)).collect();
     for (k, sp) in &src_paths {
@@ -413,10 +410,7 @@ mod tests {
 
     #[test]
     fn gold_never_maps_dropped_leaves() {
-        let p = generate(&SyntheticConfig {
-            drop_prob: 0.5,
-            ..SyntheticConfig::sized(40, 5)
-        });
+        let p = generate(&SyntheticConfig { drop_prob: 0.5, ..SyntheticConfig::sized(40, 5) });
         let t2 = expand(&p.target, &ExpandOptions::none()).unwrap();
         for (_, t) in p.gold.pairs() {
             assert!(t2.find_path(t).is_some());

@@ -58,7 +58,6 @@ pub mod prelude {
     pub use cupid_core::{Cardinality, Cupid, CupidConfig, MappingElement, MatchOutcome};
     pub use cupid_lexical::{Thesaurus, ThesaurusBuilder};
     pub use cupid_model::{
-        expand, DataType, ElementId, ElementKind, ExpandOptions, Schema, SchemaBuilder,
-        SchemaTree,
+        expand, DataType, ElementId, ElementKind, ExpandOptions, Schema, SchemaBuilder, SchemaTree,
     };
 }

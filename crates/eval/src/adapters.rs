@@ -10,12 +10,7 @@ use cupid_model::Schema;
 /// *"For DIKE, we added linguistic similarity entries (in the LSPD) that
 /// were similar to the linguistic similarity coefficients computed by
 /// Cupid."*
-pub fn lspd_from_cupid(
-    s1: &Schema,
-    s2: &Schema,
-    thesaurus: &Thesaurus,
-    cfg: &CupidConfig,
-) -> Lspd {
+pub fn lspd_from_cupid(s1: &Schema, s2: &Schema, thesaurus: &Thesaurus, cfg: &CupidConfig) -> Lspd {
     let analysis = linguistic::analyze(s1, s2, thesaurus, cfg);
     let mut lspd = Lspd::default();
     for (e1, el1) in s1.iter() {

@@ -95,12 +95,7 @@ pub fn run() -> Report {
         "Eager vs lazy expansion (CIDX-Excel; Excel shares Address/Contact)",
         vec!["variant", "time (ms)", "node pairs skipped", "max |Δwsim|"],
     );
-    t.row(vec![
-        "eager".to_string(),
-        format!("{eager_ms:.2}"),
-        "0".to_string(),
-        "-".to_string(),
-    ]);
+    t.row(vec!["eager".to_string(), format!("{eager_ms:.2}"), "0".to_string(), "-".to_string()]);
     t.row(vec![
         "lazy".to_string(),
         format!("{lazy_ms:.2}"),

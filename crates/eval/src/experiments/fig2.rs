@@ -59,11 +59,7 @@ mod tests {
     #[test]
     fn fig2_context_binding_holds() {
         let r = run();
-        assert!(
-            r.notes.iter().any(|n| n.contains("matches paper")),
-            "{}",
-            r.render()
-        );
+        assert!(r.notes.iter().any(|n| n.contains("matches paper")), "{}", r.render());
     }
 
     #[test]

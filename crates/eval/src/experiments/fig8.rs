@@ -39,11 +39,7 @@ pub fn run() -> Report {
             .map(|m| m.source_path.clone())
             .unwrap_or_else(|| "(none)".to_string());
         let ok = gold_tables.contains(&found, table);
-        t.row(vec![
-            table.to_string(),
-            found,
-            if ok { "yes" } else { "-" }.to_string(),
-        ]);
+        t.row(vec![table.to_string(), found, if ok { "yes" } else { "-" }.to_string()]);
     }
     report.tables.push(t);
 
@@ -54,7 +50,8 @@ pub fn run() -> Report {
         vec!["Star column", "mapped source"],
     );
     let mut postal_ok = 0;
-    for target in ["Star.Geography.PostalCode", "Star.Customers.PostalCode", "Star.Sales.PostalCode"]
+    for target in
+        ["Star.Geography.PostalCode", "Star.Customers.PostalCode", "Star.Sales.PostalCode"]
     {
         let found = out
             .leaf_mappings
@@ -77,24 +74,20 @@ pub fn run() -> Report {
     report.notes.push(format!("column-level quality vs §9.2 gold: {}", q.summary()));
 
     // CustomerName: missed without the Customer:Contact entry, found with.
-    let name_mapped_without = out
-        .leaf_mappings
-        .iter()
-        .any(|m| m.target_path == "Star.Customers.CustomerName"
+    let name_mapped_without = out.leaf_mappings.iter().any(|m| {
+        m.target_path == "Star.Customers.CustomerName"
             && (m.source_path.contains("ContactFirstName")
-                || m.source_path.contains("ContactLastName")));
-    let cupid2 = Cupid::with_config(
-        configs::relational(),
-        thesauri::star_rdb_customer_contact_thesaurus(),
-    );
+                || m.source_path.contains("ContactLastName"))
+    });
+    let cupid2 =
+        Cupid::with_config(configs::relational(), thesauri::star_rdb_customer_contact_thesaurus());
     let out2 = cupid2.match_schemas(&rdb, &star).expect("fig8 schemas expand");
-    let name_mapped_with = out2
-        .leaf_mappings
-        .iter()
-        .any(|m| m.target_path == "Star.Customers.CustomerName"
+    let name_mapped_with = out2.leaf_mappings.iter().any(|m| {
+        m.target_path == "Star.Customers.CustomerName"
             && (m.source_path.contains("ContactFirstName")
                 || m.source_path.contains("ContactLastName")
-                || m.source_path.contains("CompanyName")));
+                || m.source_path.contains("CompanyName"))
+    });
     report.notes.push(format!(
         "CustomerName <- Contact names without thesaurus entry: {} (paper: missed); \
          with (Customer:Contact) entry: {} (paper: would become possible)",
@@ -144,13 +137,11 @@ mod tests {
         // Figure 8's RDB denormalizes BrandDescription into Products;
         // either that copy or Brands' canonical column is acceptable.
         assert!(
-            out.has_leaf_mapping(
-                "RDB.Products.BrandDescription",
-                "Star.Products.BrandDescription"
-            ) || out.has_leaf_mapping(
-                "RDB.Brands.BrandDescription",
-                "Star.Products.BrandDescription"
-            ),
+            out.has_leaf_mapping("RDB.Products.BrandDescription", "Star.Products.BrandDescription")
+                || out.has_leaf_mapping(
+                    "RDB.Brands.BrandDescription",
+                    "Star.Products.BrandDescription"
+                ),
             "BrandDescription missing"
         );
         assert!(out.has_leaf_mapping("RDB.Customers.CustomerID", "Star.Customers.CustomerID"));
@@ -164,8 +155,7 @@ mod tests {
     fn postal_codes_fan_out_from_customers() {
         let out = outcome();
         let mut hits = 0;
-        for t in
-            ["Star.Geography.PostalCode", "Star.Customers.PostalCode", "Star.Sales.PostalCode"]
+        for t in ["Star.Geography.PostalCode", "Star.Customers.PostalCode", "Star.Sales.PostalCode"]
         {
             if out.has_leaf_mapping("RDB.Customers.PostalCode", t) {
                 hits += 1;
@@ -184,9 +174,7 @@ mod tests {
             .map(|m| m.source_path.clone());
         let src = src.expect("Sales should be mapped");
         assert!(
-            src == "RDB.OrderDetails-Orders-fk"
-                || src == "RDB.Orders"
-                || src == "RDB.OrderDetails",
+            src == "RDB.OrderDetails-Orders-fk" || src == "RDB.Orders" || src == "RDB.OrderDetails",
             "Sales mapped to {src}, expected the Orders/OrderDetails family"
         );
     }

@@ -77,10 +77,8 @@ pub fn run() -> Report {
     let excel = cidx_excel::excel();
     let found = path_name_mapping(&cidx, &excel, &thesauri::paper_thesaurus(), &cfg);
     let q = quality(&found, &cidx_excel::gold());
-    let mut t = TextTable::new(
-        "CIDX -> Excel, path names only",
-        vec!["metric", "measured", "paper"],
-    );
+    let mut t =
+        TextTable::new("CIDX -> Excel, path names only", vec!["metric", "measured", "paper"]);
     t.row(vec!["undetected correct targets".into(), q.missed_targets.to_string(), "2".into()]);
     t.row(vec!["false positives".into(), q.false_positives.to_string(), "7".into()]);
     t.row(vec!["recall".into(), format!("{:.2}", q.recall()), "-".into()]);
@@ -90,8 +88,7 @@ pub fn run() -> Report {
     let star = star_rdb::star();
     let found = path_name_mapping(&rdb, &star, &thesauri::empty_thesaurus(), &cfg);
     let q = quality(&found, &star_rdb::gold_columns());
-    let mut t =
-        TextTable::new("RDB -> Star, path names only", vec!["metric", "measured", "paper"]);
+    let mut t = TextTable::new("RDB -> Star, path names only", vec!["metric", "measured", "paper"]);
     t.row(vec![
         "correct mappings detected".into(),
         format!("{:.0}%", q.recall() * 100.0),
@@ -145,12 +142,7 @@ pub fn run_no_thesaurus() -> Report {
         qo.summary(),
         "comparatively poor without".to_string(),
     ]);
-    t.row(vec![
-        "RDB-Star".to_string(),
-        sqw.summary(),
-        sqo.summary(),
-        "unchanged".to_string(),
-    ]);
+    t.row(vec!["RDB-Star".to_string(), sqw.summary(), sqo.summary(), "unchanged".to_string()]);
     report.tables.push(t);
     report
 }

@@ -65,11 +65,7 @@ mod tests {
             let cupid = Cupid::with_config(configs::synthetic(), pair.thesaurus.clone());
             let out = cupid.match_schemas(&pair.source, &pair.target).unwrap();
             let q = MatchQuality::score_mappings(&out.leaf_mappings, &pair.gold);
-            assert!(
-                q.recall() > 0.5,
-                "size {size}: recall collapsed to {:.2}",
-                q.recall()
-            );
+            assert!(q.recall() > 0.5, "size {size}: recall collapsed to {:.2}", q.recall());
         }
     }
 }

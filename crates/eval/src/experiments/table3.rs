@@ -62,8 +62,7 @@ pub fn run() -> Report {
             if !together {
                 "own cluster".to_string()
             } else {
-                let size =
-                    artemis.cluster_of(Side::Left, src).map(|c| c.len()).unwrap_or(0);
+                let size = artemis.cluster_of(Side::Left, src).map(|c| c.len()).unwrap_or(0);
                 if size == 2 {
                     "Yes".to_string()
                 } else {
@@ -80,7 +79,8 @@ pub fn run() -> Report {
     }
     report.tables.push(t);
 
-    let mut t = TextTable::new("Paper's Table 3 (for comparison)", vec!["mapping", "DIKE", "MOMIS"]);
+    let mut t =
+        TextTable::new("Paper's Table 3 (for comparison)", vec!["mapping", "DIKE", "MOMIS"]);
     for (label, d, m) in PAPER {
         t.row(vec![label.to_string(), d.to_string(), m.to_string()]);
     }
@@ -104,8 +104,7 @@ pub fn run_leaves() -> Report {
     let mut report = Report::new("§9.2 — CIDX -> Excel leaf (XML-attribute) mappings");
     let s1 = cidx_excel::cidx();
     let s2 = cidx_excel::excel();
-    let cupid =
-        Cupid::with_config(configs::shallow_xml(), thesauri::paper_thesaurus());
+    let cupid = Cupid::with_config(configs::shallow_xml(), thesauri::paper_thesaurus());
     let out = cupid.match_schemas(&s1, &s2).expect("fig7 schemas expand");
     let gold = cidx_excel::gold();
     let q = MatchQuality::score_mappings(&out.leaf_mappings, &gold);
@@ -142,10 +141,9 @@ pub fn run_leaves() -> Report {
         "line -> itemNumber (structural, no thesaurus support): {}",
         if line_found { "FOUND (matches paper)" } else { "MISSING" }
     ));
-    let fp_company = out
-        .leaf_mappings
-        .iter()
-        .any(|m| m.source_path == "PO.Contact.ContactName" && m.target_path.ends_with("companyName"));
+    let fp_company = out.leaf_mappings.iter().any(|m| {
+        m.source_path == "PO.Contact.ContactName" && m.target_path.ends_with("companyName")
+    });
     report.notes.push(format!(
         "contactName also mapped to companyName (the paper's false-positive example): {}",
         if fp_company { "reproduced" } else { "not reproduced" }
@@ -187,8 +185,7 @@ mod tests {
     #[test]
     fn line_to_item_number_found_structurally() {
         let out = outcome();
-        assert!(out
-            .has_leaf_mapping("PO.POLines.Item.line", "PurchaseOrder.Items.Item.itemNumber"));
+        assert!(out.has_leaf_mapping("PO.POLines.Item.line", "PurchaseOrder.Items.Item.itemNumber"));
     }
 
     #[test]

@@ -68,10 +68,7 @@ impl MatchQuality {
 
     /// Score Cupid mapping elements directly.
     pub fn score_mappings(mappings: &[MappingElement], gold: &GoldMapping) -> MatchQuality {
-        Self::score(
-            mappings.iter().map(|m| (m.source_path.as_str(), m.target_path.as_str())),
-            gold,
-        )
+        Self::score(mappings.iter().map(|m| (m.source_path.as_str(), m.target_path.as_str())), gold)
     }
 
     /// Precision = correct / found (1.0 when nothing was found and
@@ -119,12 +116,7 @@ impl MatchQuality {
 
     /// `p/r/f1` formatted for tables.
     pub fn summary(&self) -> String {
-        format!(
-            "P {:.2} R {:.2} F1 {:.2}",
-            self.precision(),
-            self.recall(),
-            self.f1()
-        )
+        format!("P {:.2} R {:.2} F1 {:.2}", self.precision(), self.recall(), self.f1())
     }
 }
 

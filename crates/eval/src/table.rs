@@ -32,10 +32,7 @@ impl TextTable {
 
     /// Render with aligned columns.
     pub fn render(&self) -> String {
-        let ncols = self
-            .headers
-            .len()
-            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let ncols = self.headers.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; ncols];
         let measure = |row: &[String], widths: &mut [usize]| {
             for (i, c) in row.iter().enumerate() {
@@ -54,10 +51,8 @@ impl TextTable {
                 .collect();
             format!("| {} |", cells.join(" | "))
         };
-        let sep = format!(
-            "+{}+",
-            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+")
-        );
+        let sep =
+            format!("+{}+", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+"));
         let mut out = String::new();
         if !self.caption.is_empty() {
             out.push_str(&self.caption);
@@ -97,8 +92,7 @@ mod tests {
         assert!(s.contains("| a    | bee   |"));
         assert!(s.contains("| xxxx | y     |"));
         // every line same width
-        let widths: Vec<usize> =
-            s.lines().skip(1).map(|l| l.chars().count()).collect();
+        let widths: Vec<usize> = s.lines().skip(1).map(|l| l.chars().count()).collect();
         assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
     }
 

@@ -180,10 +180,7 @@ pub fn parse_ddl(schema_name: &str, text: &str) -> Result<Schema, ParseError> {
 
     while p.peek().is_some() {
         if !p.eat_word("CREATE") {
-            return Err(ParseError {
-                line: p.line(),
-                message: "expected CREATE TABLE".into(),
-            });
+            return Err(ParseError { line: p.line(), message: "expected CREATE TABLE".into() });
         }
         if !p.eat_word("TABLE") {
             return Err(ParseError { line: p.line(), message: "expected TABLE".into() });
@@ -200,10 +197,7 @@ pub fn parse_ddl(schema_name: &str, text: &str) -> Result<Schema, ParseError> {
                 }
                 for c in p.ident_list()? {
                     let id = columns.get(&(tname.to_lowercase(), c.to_lowercase())).ok_or(
-                        ParseError {
-                            line: p.line(),
-                            message: format!("unknown key column `{c}`"),
-                        },
+                        ParseError { line: p.line(), message: format!("unknown key column `{c}`") },
                     )?;
                     pk_cols.push(*id);
                 }
@@ -247,10 +241,7 @@ pub fn parse_ddl(schema_name: &str, text: &str) -> Result<Schema, ParseError> {
                                 // inline PRIMARY KEY
                                 let _ = p.eat_word("KEY");
                                 let id = b.column(table, &cname, DataType::parse(&ctype));
-                                columns.insert(
-                                    (tname.to_lowercase(), cname.to_lowercase()),
-                                    id,
-                                );
+                                columns.insert((tname.to_lowercase(), cname.to_lowercase()), id);
                                 pk_cols.push(id);
                             }
                         }

@@ -175,10 +175,9 @@ pub fn parse_sdl(text: &str) -> Result<Schema, ParseError> {
         }
     }
     for (no, id, ty) in pending_uses {
-        let t = types.get(&ty).ok_or(ParseError {
-            line: no,
-            message: format!("unknown type `{ty}`"),
-        })?;
+        let t = types
+            .get(&ty)
+            .ok_or(ParseError { line: no, message: format!("unknown type `{ty}`") })?;
         b.derive_from(id, *t);
     }
     b.build().map_err(|e| ParseError { line: 0, message: e.to_string() })

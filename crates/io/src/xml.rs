@@ -177,8 +177,7 @@ impl<'a> XmlParser<'a> {
                             return Err(self.err("unterminated attribute value"));
                         }
                     }
-                    let value =
-                        String::from_utf8_lossy(&self.text[start..self.pos]).into_owned();
+                    let value = String::from_utf8_lossy(&self.text[start..self.pos]).into_owned();
                     self.bump(); // closing quote
                     attrs.push((aname, value));
                 }
@@ -228,8 +227,11 @@ impl<'a> XmlParser<'a> {
                 None => return Err(self.err(format!("unexpected eof inside `{name}`"))),
             }
         }
-        let text_type =
-            if text.trim().is_empty() || !seen_children.is_empty() { None } else { Some(infer_type(&text)) };
+        let text_type = if text.trim().is_empty() || !seen_children.is_empty() {
+            None
+        } else {
+            Some(infer_type(&text))
+        };
         self.record(&my_path, &attrs, text_type, inf);
         Ok(name)
     }
@@ -270,25 +272,14 @@ impl<'a> XmlParser<'a> {
     }
 }
 
-fn emit(
-    inf: &Inference,
-    path: &str,
-    name: &str,
-    b: &mut SchemaBuilder,
-    parent: ElementId,
-) {
+fn emit(inf: &Inference, path: &str, name: &str, b: &mut SchemaBuilder, parent: ElementId) {
     let node = match inf.nodes.get(path) {
         Some(n) => n,
         None => return,
     };
     let is_atomic = node.children.is_empty() && node.attrs.is_empty();
     if is_atomic {
-        b.atomic(
-            parent,
-            name,
-            ElementKind::XmlElement,
-            node.text_type.unwrap_or(DataType::String),
-        );
+        b.atomic(parent, name, ElementKind::XmlElement, node.text_type.unwrap_or(DataType::String));
         return;
     }
     let id = b.structured(parent, name, ElementKind::XmlElement);
@@ -310,10 +301,10 @@ pub fn schema_from_xml(text: &str) -> Result<Schema, ParseError> {
     }
     let mut inf = Inference::default();
     let root_name = p.parse_element("", &mut inf)?;
-    let root = inf.nodes.get(&root_name).ok_or(ParseError {
-        line: 0,
-        message: "empty document".into(),
-    })?;
+    let root = inf
+        .nodes
+        .get(&root_name)
+        .ok_or(ParseError { line: 0, message: "empty document".into() })?;
     let mut b = SchemaBuilder::new(&root_name);
     let root_id = b.root();
     for (a, t) in &root.attrs {
@@ -398,9 +389,7 @@ mod tests {
         let s2 = schema_from_xml(&DOC.replace("Quantity", "Qty")).unwrap();
         let thesaurus = cupid_lexical::Thesaurus::parse("abbrev Qty = quantity").unwrap();
         let out = cupid_core::Cupid::new(thesaurus).match_schemas(&s1, &s2).unwrap();
-        assert!(out.has_leaf_mapping(
-            "PurchaseOrder.Items.Item.Quantity",
-            "PurchaseOrder.Items.Item.Qty"
-        ));
+        assert!(out
+            .has_leaf_mapping("PurchaseOrder.Items.Item.Quantity", "PurchaseOrder.Items.Item.Qty"));
     }
 }

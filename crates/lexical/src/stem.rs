@@ -70,7 +70,10 @@ fn step_ing_ed(s: &str) -> String {
                 let b = base.as_bytes();
                 let n = b.len();
                 // undo consonant doubling: shipp -> ship, billl never occurs
-                if n >= 2 && b[n - 1] == b[n - 2] && !is_vowel(b[n - 1]) && b[n - 1] != b's'
+                if n >= 2
+                    && b[n - 1] == b[n - 2]
+                    && !is_vowel(b[n - 1])
+                    && b[n - 1] != b's'
                     && b[n - 1] != b'l'
                     && b[n - 1] != b'z'
                 {

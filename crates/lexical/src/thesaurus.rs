@@ -174,9 +174,10 @@ impl Thesaurus {
             let perr = |message: String| ThesaurusError::Parse { line: lineno, message };
             match keyword {
                 "abbrev" => {
-                    let eq = rest.iter().position(|&w| w == "=").ok_or_else(|| {
-                        perr("expected `abbrev SHORT = long form`".to_string())
-                    })?;
+                    let eq = rest
+                        .iter()
+                        .position(|&w| w == "=")
+                        .ok_or_else(|| perr("expected `abbrev SHORT = long form`".to_string()))?;
                     if eq != 1 || rest.len() < 3 {
                         return Err(perr("expected `abbrev SHORT = long form`".to_string()));
                     }
@@ -223,8 +224,7 @@ impl Thesaurus {
 /// show up in schema element names (`UnitOfMeasure`, `DeliverTo`,
 /// `DayOfWeek`...).
 pub const DEFAULT_STOPWORDS: &[&str] = &[
-    "a", "an", "the", "of", "to", "for", "in", "on", "at", "by", "and", "or", "per", "with",
-    "from",
+    "a", "an", "the", "of", "to", "for", "in", "on", "at", "by", "and", "or", "per", "with", "from",
 ];
 
 /// Fluent builder for [`Thesaurus`].
@@ -365,11 +365,8 @@ mod tests {
 
     #[test]
     fn strongest_relation_wins() {
-        let t = ThesaurusBuilder::new()
-            .synonym("a", "b", 0.5)
-            .hypernym("a", "b", 0.9)
-            .build()
-            .unwrap();
+        let t =
+            ThesaurusBuilder::new().synonym("a", "b", 0.5).hypernym("a", "b", 0.9).build().unwrap();
         assert_eq!(t.token_sim("a", "b"), Some(0.9));
     }
 
@@ -427,7 +424,10 @@ mod tests {
         let err = Thesaurus::parse("\nfrobnicate x\n").unwrap_err();
         assert!(matches!(err, ThesaurusError::Parse { line: 2, .. }));
         let err = Thesaurus::parse("syn a b nan\n").unwrap_err();
-        assert!(matches!(err, ThesaurusError::Parse { .. } | ThesaurusError::CoefficientOutOfRange { .. }));
+        assert!(matches!(
+            err,
+            ThesaurusError::Parse { .. } | ThesaurusError::CoefficientOutOfRange { .. }
+        ));
     }
 
     #[test]

@@ -52,10 +52,7 @@ impl SchemaBuilder {
 
     fn check(&mut self, id: ElementId) -> bool {
         if id.index() >= self.elements.len() {
-            self.error.get_or_insert(ModelError::InvalidElement {
-                id,
-                len: self.elements.len(),
-            });
+            self.error.get_or_insert(ModelError::InvalidElement { id, len: self.elements.len() });
             return false;
         }
         true

@@ -116,11 +116,8 @@ fn reify_join_views(schema: &Schema, tree: &mut SchemaTree) {
 
 fn reify_views(schema: &Schema, tree: &mut SchemaTree) {
     for v in schema.views() {
-        let members: Vec<NodeId> = schema
-            .aggregates(v)
-            .iter()
-            .flat_map(|&m| tree.nodes_of_element(m))
-            .collect();
+        let members: Vec<NodeId> =
+            schema.aggregates(v).iter().flat_map(|&m| tree.nodes_of_element(m)).collect();
         if members.is_empty() {
             continue;
         }

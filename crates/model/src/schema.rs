@@ -89,10 +89,7 @@ impl Schema {
 
     /// All foreign-key (RefInt) elements, in id order.
     pub fn foreign_keys(&self) -> Vec<ElementId> {
-        self.iter()
-            .filter(|(_, e)| e.kind == ElementKind::ForeignKey)
-            .map(|(id, _)| id)
-            .collect()
+        self.iter().filter(|(_, e)| e.kind == ElementKind::ForeignKey).map(|(id, _)| id).collect()
     }
 
     /// All view elements, in id order.

@@ -338,7 +338,8 @@ pub fn expand(schema: &Schema, opts: &ExpandOptions) -> Result<SchemaTree, Model
     let mut tree = SchemaTree::new_empty(schema.name().to_string());
     let mut on_stack = vec![false; schema.len()];
     let mut path: Vec<ElementId> = Vec::new();
-    let root_node = construct(schema, schema.root(), None, true, &mut tree, &mut on_stack, &mut path)?;
+    let root_node =
+        construct(schema, schema.root(), None, true, &mut tree, &mut on_stack, &mut path)?;
     let Some(root_node) = root_node else {
         return Err(ModelError::EmptyTree);
     };
@@ -514,11 +515,8 @@ mod tests {
         let root = t.root();
         assert_eq!(t.leaves(root).len(), 3);
         // Only "Req" is reachable all-required from the root.
-        let req_paths: Vec<&str> = t
-            .required_leaves(root)
-            .iter()
-            .map(|&l| t.path(t.leaf_node(l)))
-            .collect();
+        let req_paths: Vec<&str> =
+            t.required_leaves(root).iter().map(|&l| t.path(t.leaf_node(l))).collect();
         assert_eq!(req_paths, ["S.E.Req"]);
         // From E's own perspective, Req is required, Opt is optional.
         let e_node = t.find_path("S.E").unwrap();

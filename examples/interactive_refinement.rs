@@ -73,7 +73,11 @@ fn main() {
     // Pass 2: the seeded lsim lifts the confirmed pairs, which lifts the
     // blocks over th_high, which reinforces the *unseeded* siblings.
     let second = cupid.match_schemas_seeded(&source, &target, &seed).expect("schemas expand");
-    println!("pass 2 ({} confirmed correspondences): {} leaf mappings", seed.len(), second.leaf_mappings.len());
+    println!(
+        "pass 2 ({} confirmed correspondences): {} leaf mappings",
+        seed.len(),
+        second.leaf_mappings.len()
+    );
     for m in &second.leaf_mappings {
         println!("  {m}");
     }

@@ -25,9 +25,8 @@ fn main() {
     let mut config = CupidConfig::default();
     config.c_inc = 1.35; // shallow XML schemas, see Table 1
 
-    let outcome = Cupid::with_config(config, thesaurus)
-        .match_schemas(&cidx, &excel)
-        .expect("schemas expand");
+    let outcome =
+        Cupid::with_config(config, thesaurus).match_schemas(&cidx, &excel).expect("schemas expand");
 
     println!("XML-element mappings (Table 3):");
     for m in &outcome.nonleaf_mappings {

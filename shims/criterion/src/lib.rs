@@ -1,0 +1,302 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so the external dependencies are replaced by small, API-compatible
+//! shims (see the workspace README, "Dependency policy"). This crate
+//! implements the criterion API subset the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — with a
+//! simple wall-clock measurement loop instead of criterion's statistical
+//! machinery:
+//!
+//! * each benchmark is warmed up for ~100 ms, then timed for ~1 s or
+//!   `sample_size` batches, whichever comes first;
+//! * the mean, minimum and maximum batch time per iteration are printed
+//!   in a criterion-like one-line format;
+//! * without the `--bench` flag (i.e. when the bench binary is run
+//!   directly) each benchmark runs a single iteration, so a bench
+//!   target doubles as a smoke test — the same behavior as real
+//!   criterion;
+//! * a positional argument (`cargo bench --bench end_to_end -- fig2`)
+//!   acts as a substring filter on benchmark ids, like real criterion.
+//!
+//! Numbers from this shim are honest wall-clock measurements and fine
+//! for relative comparisons on a quiet machine, but they lack
+//! criterion's outlier rejection and confidence intervals; see
+//! BENCHMARKS.md at the workspace root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long a benchmark is warmed up before measurement.
+const WARM_UP: Duration = Duration::from_millis(100);
+/// Measurement budget per benchmark.
+const MEASUREMENT: Duration = Duration::from_secs(1);
+
+/// Count of benchmarks executed process-wide, across every `Criterion`
+/// instance (one per `criterion_group!`), so the no-match warning only
+/// fires when the whole binary ran nothing.
+static EXECUTED: AtomicU32 = AtomicU32::new(0);
+
+/// Called by [`criterion_main!`] after all groups ran. A positional
+/// argument that was really the value of some flag would silently
+/// filter out everything; make that loud.
+#[doc(hidden)]
+pub fn warn_if_filter_matched_nothing() {
+    if EXECUTED.load(Ordering::Relaxed) == 0 {
+        if let Some(f) = arg_filter() {
+            eprintln!("warning: filter {f:?} matched no benchmark ids; nothing was run");
+        }
+    }
+}
+
+fn arg_filter() -> Option<String> {
+    std::env::args().skip(1).find(|a| !a.starts_with('-'))
+}
+
+/// The benchmark manager handed to `criterion_group!` target functions.
+#[derive(Debug)]
+pub struct Criterion {
+    smoke_test: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Like real criterion: `cargo bench` passes `--bench`; without it
+        // (direct execution of the bench binary) run each bench once as
+        // a smoke test.
+        // The first positional argument is a substring filter on
+        // benchmark ids (`cargo bench --bench end_to_end -- fig2`).
+        let smoke_test = !std::env::args().any(|a| a == "--bench");
+        Criterion { smoke_test, filter: arg_filter() }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup { criterion: self, name, sample_size: 100 }
+    }
+
+    /// Benchmark a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let label = id.to_string();
+        if self.selected(&label) {
+            run_one(&label, self.smoke_test, 100, &mut f);
+        }
+    }
+
+    fn selected(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured batches (criterion's sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        if self.criterion.selected(&label) {
+            run_one(&label, self.criterion.smoke_test, self.sample_size, &mut f);
+        }
+        self
+    }
+
+    /// Benchmark `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group. (No summary beyond the per-bench lines.)
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id carrying a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: Some(function.into()), parameter: parameter.to_string() }
+    }
+
+    /// An id carrying only a parameter value (the group provides the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: None, parameter: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.function {
+            Some(name) => write!(f, "{}/{}", name, self.parameter),
+            None => write!(f, "{}", self.parameter),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Per-batch wall-clock results, in nanoseconds per iteration.
+    samples: Vec<f64>,
+    /// Iterations per measured batch.
+    iters_per_batch: u64,
+    /// Number of batches to measure; 0 means "warm up + time budget".
+    batches: usize,
+    smoke_test: bool,
+}
+
+impl Bencher {
+    /// Measure `routine`, recording per-iteration wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_test {
+            black_box(routine());
+            self.samples.push(0.0);
+            return;
+        }
+        // Warm up and size the batch so one batch is ~1 ms.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARM_UP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        self.iters_per_batch = ((1.0e6 / per_iter.max(1.0)).ceil() as u64).clamp(1, 1 << 20);
+
+        let deadline = Instant::now() + MEASUREMENT;
+        for _ in 0..self.batches {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed().as_nanos() as f64 / self.iters_per_batch as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, smoke_test: bool, sample_size: usize, f: &mut F) {
+    EXECUTED.fetch_add(1, Ordering::Relaxed);
+    let mut b = Bencher { batches: sample_size, smoke_test, ..Bencher::default() };
+    f(&mut b);
+    if smoke_test {
+        println!("{label:<40} ok (smoke test)");
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("{label:<40} no samples recorded");
+        return;
+    }
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{label:<40} time: [{} {} {}]  ({} samples × {} iters)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        b.samples.len(),
+        b.iters_per_batch,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group function set, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the `main` function running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::warn_if_filter_matched_nothing();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+        assert_eq!(BenchmarkId::new("match", 64).to_string(), "match/64");
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut calls = 0u32;
+        let mut b = Bencher { smoke_test: true, batches: 100, ..Bencher::default() };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.samples.len(), 1);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(12.0), "12.00 ns");
+        assert_eq!(fmt_ns(12_500.0), "12.500 µs");
+        assert_eq!(fmt_ns(3_200_000.0), "3.200 ms");
+        assert_eq!(fmt_ns(2_000_000_000.0), "2.000 s");
+    }
+}

@@ -1,0 +1,224 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so the external dependencies are replaced by small, API-compatible
+//! shims (see the workspace README, "Dependency policy"). This crate
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `ident in strategy` bindings and an
+//!   optional `#![proptest_config(..)]` header,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`],
+//! * [`Strategy`](strategy::Strategy) implementations for integer and
+//!   float ranges and for
+//!   string literals / [`string::string_regex`] over a practical regex
+//!   subset (character classes and `{n}`/`{n,m}`/`?`/`+`/`*`
+//!   quantifiers),
+//! * [`test_runner::Config`] (`ProptestConfig`) with `with_cases`.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics
+//! with the generated inputs so it can be reproduced by reading them off
+//! the panic message. Generation is deterministic per test (the RNG is
+//! seeded from the test's module path), so CI failures reproduce
+//! locally.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(expr)]          // optional
+///     #[test]
+///     fn name(arg in strategy, ...) { body }
+///     ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(20).max(100);
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "proptest {}: too many rejected cases ({} attempts, {} accepted)",
+                        stringify!($name), attempts, accepted,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    // Render inputs before the body runs: the body may
+                    // consume the values.
+                    let inputs: ::std::string::String =
+                        [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", ");
+                    // Catch panics from inside the body (plain `assert!`,
+                    // `.expect()`, …) so the generated inputs always reach
+                    // the output, then re-raise.
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                            || {
+                                $body
+                                // allow: a body ending in panic!/todo! is fine
+                                #[allow(unreachable_code)]
+                                return ::std::result::Result::Ok(());
+                            },
+                        )) {
+                            Ok(r) => r,
+                            Err(payload) => {
+                                eprintln!(
+                                    "proptest {} panicked\n  inputs: {}",
+                                    stringify!($name), inputs,
+                                );
+                                ::std::panic::resume_unwind(payload);
+                            }
+                        };
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed: {}\n  inputs: {}",
+                                stringify!($name), msg, inputs,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fail the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Discard the current case (without counting it as a run) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn bindings_and_assertions_work(n in 1usize..10, s in "[a-z]{2,5}") {
+            prop_assert!((1..10).contains(&n));
+            prop_assert_eq!(s.len(), s.chars().count());
+            prop_assert_ne!(s.len(), 0);
+        }
+
+        #[test]
+        fn assume_discards_without_failing(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        #[should_panic(expected = "proptest prop_assert_failure_panics failed")]
+        fn prop_assert_failure_panics(n in 0u32..10) {
+            prop_assert!(n > 100, "n was {}", n);
+        }
+
+        #[test]
+        #[should_panic(expected = "plain panic inside body")]
+        fn body_panics_propagate(_n in 0u32..4) {
+            // Exercises the catch_unwind path: inputs are printed to
+            // stderr, then the original panic resumes.
+            panic!("plain panic inside body");
+        }
+    }
+}

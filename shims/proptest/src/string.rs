@@ -1,0 +1,306 @@
+//! String strategies from regular-expression patterns.
+//!
+//! Supports the practical subset of regex syntax the workspace's
+//! property tests use: literal characters, `.`, `\d`/`\w`/`\s` and
+//! escaped literals, character classes with ranges (`[A-Za-z0-9_]`),
+//! and the quantifiers `{n}`, `{n,m}`, `{n,}`, `?`, `*`, `+`
+//! (unbounded repetition is capped at 8). Alternation, groups and
+//! anchors are rejected with an error.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Error produced when a pattern uses unsupported or malformed syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Inclusive character ranges forming one matchable position.
+#[derive(Debug, Clone)]
+struct CharSet(Vec<(char, char)>);
+
+impl CharSet {
+    fn single(c: char) -> Self {
+        CharSet(vec![(c, c)])
+    }
+
+    fn size(&self) -> u32 {
+        self.0.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum()
+    }
+
+    fn pick(&self, rng: &mut TestRng) -> char {
+        let mut idx = rng.below(self.size() as usize) as u32;
+        for &(lo, hi) in &self.0 {
+            let span = hi as u32 - lo as u32 + 1;
+            if idx < span {
+                return char::from_u32(lo as u32 + idx).expect("ranges hold valid chars");
+            }
+            idx -= span;
+        }
+        unreachable!("index bounded by total size")
+    }
+}
+
+/// One pattern element: a character set and its repetition bounds.
+#[derive(Debug, Clone)]
+struct Piece {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+/// A compiled generator for a regex pattern; implements
+/// [`Strategy<Value = String>`](Strategy).
+#[derive(Debug, Clone)]
+pub struct RegexGen {
+    pieces: Vec<Piece>,
+}
+
+/// Cap applied to `*`, `+` and `{n,}` repetition.
+const UNBOUNDED_CAP: u32 = 8;
+
+impl RegexGen {
+    /// Compile `pattern`, rejecting syntax outside the supported subset.
+    pub fn compile(pattern: &str) -> Result<RegexGen, Error> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '[' => parse_class(&mut chars)?,
+                '\\' => escape_set(chars.next().ok_or_else(|| err("trailing backslash"))?)?,
+                '.' => CharSet(vec![(' ', '~')]),
+                '(' | ')' | '|' | '^' | '$' => {
+                    return Err(err(format!("metacharacter {c:?} not supported")));
+                }
+                '{' | '}' | '*' | '+' | '?' => {
+                    return Err(err(format!("dangling quantifier {c:?}")));
+                }
+                lit => CharSet::single(lit),
+            };
+            let (min, max) = parse_quantifier(&mut chars)?;
+            pieces.push(Piece { set, min, max });
+        }
+        Ok(RegexGen { pieces })
+    }
+
+    /// Generate one matching string.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for p in &self.pieces {
+            let n = if p.min == p.max {
+                p.min
+            } else {
+                p.min + rng.below((p.max - p.min + 1) as usize) as u32
+            };
+            for _ in 0..n {
+                out.push(p.set.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for RegexGen {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        RegexGen::generate(self, rng)
+    }
+}
+
+/// Compile `pattern` into a [`Strategy`] generating matching strings.
+pub fn string_regex(pattern: &str) -> Result<RegexGen, Error> {
+    RegexGen::compile(pattern)
+}
+
+fn err(msg: impl Into<String>) -> Error {
+    Error(msg.into())
+}
+
+fn escape_set(c: char) -> Result<CharSet, Error> {
+    match c {
+        'd' => Ok(CharSet(vec![('0', '9')])),
+        'w' => Ok(CharSet(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')])),
+        's' => Ok(CharSet(vec![(' ', ' '), ('\t', '\t')])),
+        'n' => Ok(CharSet::single('\n')),
+        't' => Ok(CharSet::single('\t')),
+        'D' | 'W' | 'S' => Err(err(format!("negated class \\{c} not supported"))),
+        lit => Ok(CharSet::single(lit)),
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<CharSet, Error> {
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    if chars.peek() == Some(&'^') {
+        return Err(err("negated character class not supported"));
+    }
+    loop {
+        let c = chars.next().ok_or_else(|| err("unterminated character class"))?;
+        match c {
+            ']' => break,
+            '\\' => {
+                let esc = chars.next().ok_or_else(|| err("trailing backslash in class"))?;
+                ranges.extend(escape_set(esc)?.0);
+            }
+            lo => {
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    match chars.peek() {
+                        Some(&']') | None => {
+                            // trailing '-' is a literal
+                            ranges.push((lo, lo));
+                            ranges.push(('-', '-'));
+                        }
+                        Some(&hi) => {
+                            chars.next();
+                            if hi < lo {
+                                return Err(err(format!("inverted range {lo}-{hi}")));
+                            }
+                            ranges.push((lo, hi));
+                        }
+                    }
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+        }
+    }
+    if ranges.is_empty() {
+        return Err(err("empty character class"));
+    }
+    Ok(CharSet(ranges))
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<(u32, u32), Error> {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            Ok((0, 1))
+        }
+        Some('*') => {
+            chars.next();
+            Ok((0, UNBOUNDED_CAP))
+        }
+        Some('+') => {
+            chars.next();
+            Ok((1, UNBOUNDED_CAP))
+        }
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => body.push(c),
+                    None => return Err(err("unterminated {} quantifier")),
+                }
+            }
+            let parse =
+                |s: &str| s.trim().parse::<u32>().map_err(|_| err(format!("bad bound {s:?}")));
+            let (min, max) = match body.split_once(',') {
+                None => {
+                    let n = parse(&body)?;
+                    (n, n)
+                }
+                Some((lo, "")) => {
+                    let n = parse(lo)?;
+                    (n, n.max(UNBOUNDED_CAP))
+                }
+                Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+            };
+            if min > max {
+                return Err(err(format!("inverted quantifier {{{body}}}")));
+            }
+            Ok((min, max))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn check(pattern: &str, verify: impl Fn(&str) -> bool) {
+        let gen_ = RegexGen::compile(pattern).expect("pattern compiles");
+        let mut rng = TestRng::for_test(pattern);
+        for _ in 0..200 {
+            let s = gen_.generate(&mut rng);
+            assert!(verify(&s), "pattern {pattern:?} generated invalid {s:?}");
+        }
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        check("[A-Za-z][A-Za-z0-9_]{0,14}", |s| {
+            let mut cs = s.chars();
+            let first = cs.next().expect("non-empty");
+            first.is_ascii_alphabetic()
+                && s.len() <= 15
+                && cs.all(|c| c.is_ascii_alphanumeric() || c == '_')
+        });
+    }
+
+    #[test]
+    fn bounded_lowercase() {
+        check("[a-z]{1,12}", |s| {
+            (1..=12).contains(&s.len()) && s.chars().all(|c| c.is_ascii_lowercase())
+        });
+    }
+
+    #[test]
+    fn quantifiers() {
+        check("a?b+c*", |s| {
+            // a{0,1} then b{1,8} then c{0,8}
+            let a = s.chars().take_while(|&c| c == 'a').count();
+            let rest: String = s.chars().skip(a).collect();
+            let b = rest.chars().take_while(|&c| c == 'b').count();
+            let c = rest.chars().skip(b).take_while(|&c| c == 'c').count();
+            a <= 1 && (1..=8).contains(&b) && c <= 8 && a + b + c == s.len()
+        });
+    }
+
+    #[test]
+    fn escapes_and_exact_counts() {
+        check("\\d{3}-\\w{2}", |s| {
+            let bytes: Vec<char> = s.chars().collect();
+            bytes.len() == 6
+                && bytes[..3].iter().all(|c| c.is_ascii_digit())
+                && bytes[3] == '-'
+                && bytes[4..].iter().all(|c| c.is_ascii_alphanumeric() || *c == '_')
+        });
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        for p in ["(ab)", "a|b", "[^a]", "^a$", "*a"] {
+            assert!(RegexGen::compile(p).is_err(), "{p:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn exact_distribution_covers_class() {
+        let gen_ = RegexGen::compile("[ab]").expect("compiles");
+        let mut rng = TestRng::for_test("coverage");
+        let mut seen_a = false;
+        let mut seen_b = false;
+        for _ in 0..64 {
+            match gen_.generate(&mut rng).as_str() {
+                "a" => seen_a = true,
+                "b" => seen_b = true,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(seen_a && seen_b);
+    }
+}

@@ -1,0 +1,87 @@
+//! Test-runner configuration, the case-level error type, and the
+//! deterministic RNG behind generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases and defaults otherwise.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by [`prop_assume!`](crate::prop_assume);
+    /// it does not count toward the case budget.
+    Reject(String),
+    /// A [`prop_assert!`](crate::prop_assert)-family assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The RNG driving strategy generation. Deterministic: seeded from the
+/// test's module path, so every run (local or CI) generates the same
+/// cases.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG for the named test (pass `module_path!()::test_name`).
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable, well-spread seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform `usize` in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.0.gen_range(0..n)
+    }
+
+    /// Uniform `u64` in `[0, span)`; `span` must be non-zero. Unbiased
+    /// (delegates to the rand shim's rejection sampler).
+    pub fn range_u64(&mut self, span: u64) -> u64 {
+        self.0.gen_range(0..span)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn unit_range(&mut self, lo: f64, hi: f64) -> f64 {
+        self.0.gen_range(lo..hi)
+    }
+}

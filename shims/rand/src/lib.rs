@@ -1,0 +1,261 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so the external dependencies are replaced by small, API-compatible
+//! shims (see the workspace README, "Dependency policy"). This crate
+//! implements exactly the `rand` 0.8 API subset the workspace uses:
+//!
+//! * [`SeedableRng::seed_from_u64`] / [`rngs::StdRng`],
+//! * [`Rng::gen_range`] over half-open and inclusive integer ranges and
+//!   half-open float ranges,
+//! * [`Rng::gen_bool`],
+//! * [`seq::SliceRandom::shuffle`] / [`seq::SliceRandom::choose`].
+//!
+//! The generator is xoshiro256** seeded via SplitMix64 — statistically
+//! solid for test-data generation and fully deterministic per seed,
+//! which is all the workspace (synthetic corpus generation) needs. It
+//! makes no attempt to be stream-compatible with the real `StdRng`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator that can be seeded deterministically.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types from which [`Rng::gen_range`] can sample uniformly.
+pub trait SampleRange<T> {
+    /// Sample one value uniformly from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + (rng.next_u64() as $t);
+                }
+                lo + (uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(usize, u64, u32, u16, u8);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        // `start + unit*span` can round up to exactly `end` when the
+        // ulp at `end` exceeds the sampled offset; resample to keep the
+        // half-open contract (terminates: at most ~half of offsets can
+        // round onto `end`).
+        loop {
+            let v = self.start + unit_f64(rng.next_u64()) * (self.end - self.start);
+            if v < self.end {
+                return v;
+            }
+        }
+    }
+}
+
+/// Sample uniformly from `[0, span)` without modulo bias (Lemire's
+/// rejection method on the high 64 bits of a 128-bit product).
+fn uniform_u64<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let m = (rng.next_u64() as u128) * (span as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Map a `u64` to a float in `[0, 1)` using the high 53 bits.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The user-facing sampling interface.
+pub trait Rng {
+    /// Produce the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0,1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256** seeded via
+    /// SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** by Blackman & Vigna (public domain).
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+/// Sequence-related random operations.
+pub mod seq {
+    use super::Rng;
+
+    /// Extension trait adding random operations to slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffle the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// Pick one element uniformly, or `None` if empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = r.gen_range(2usize..=6);
+            assert!((2..=6).contains(&w));
+            let f = r.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_range_stays_half_open_despite_rounding() {
+        // ulp at 1e16 is 2.0: naive `start + unit*span` rounds onto the
+        // excluded end for about half the offsets.
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = r.gen_range(1.0e16..1.0e16 + 2.0);
+            assert!(v < 1.0e16 + 2.0, "got excluded upper bound {v}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let hits = (0..1000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((350..=650).contains(&hits), "suspicious p=0.5 hit count {hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..32).collect();
+        let orig = v.clone();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+        assert_ne!(v, orig, "32 elements should not shuffle to identity");
+        assert!(v.choose(&mut r).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+}

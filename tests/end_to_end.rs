@@ -33,12 +33,9 @@ fn figure2_context_dependent_binding() {
 #[test]
 fn canonical_cases_cupid_all_yes() {
     for case in canonical::all_cases() {
-        let out = Cupid::with_config(
-            configs::shallow_xml(),
-            Thesaurus::with_default_stopwords(),
-        )
-        .match_schemas(&case.schema1, &case.schema2)
-        .unwrap();
+        let out = Cupid::with_config(configs::shallow_xml(), Thesaurus::with_default_stopwords())
+            .match_schemas(&case.schema1, &case.schema2)
+            .unwrap();
         for (s, t) in case.gold.pairs() {
             assert!(
                 out.has_leaf_mapping(s, t),
@@ -71,11 +68,8 @@ fn star_rdb_join_view_wins_sales() {
     let out = Cupid::with_config(configs::relational(), thesauri::empty_thesaurus())
         .match_schemas(&star_rdb::rdb(), &star_rdb::star())
         .unwrap();
-    let sales = out
-        .nonleaf_mappings
-        .iter()
-        .find(|m| m.target_path == "Star.Sales")
-        .expect("Sales mapped");
+    let sales =
+        out.nonleaf_mappings.iter().find(|m| m.target_path == "Star.Sales").expect("Sales mapped");
     assert_eq!(
         sales.source_path, "RDB.OrderDetails-Orders-fk",
         "paper: the join of Orders and OrderDetails matches Sales"
@@ -119,9 +113,7 @@ fn recursive_schemas_are_rejected() {
     let e = b.structured(b.root(), "Root", ElementKind::XmlElement);
     b.derive_from(e, part);
     let s = b.build().unwrap();
-    let err = Cupid::new(Thesaurus::with_default_stopwords())
-        .match_schemas(&s, &s)
-        .unwrap_err();
+    let err = Cupid::new(Thesaurus::with_default_stopwords()).match_schemas(&s, &s).unwrap_err();
     assert!(matches!(err, cupid::model::ModelError::CycleDetected { .. }));
 }
 

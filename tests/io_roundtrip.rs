@@ -43,13 +43,12 @@ CREATE TABLE Item (
 fn sdl_and_xml_schemas_match_each_other() {
     let s1 = parse_sdl(SDL).unwrap();
     let s2 = schema_from_xml(XML).unwrap();
-    let out = Cupid::new(Thesaurus::with_default_stopwords())
-        .match_schemas(&s1, &s2)
-        .unwrap();
+    let out = Cupid::new(Thesaurus::with_default_stopwords()).match_schemas(&s1, &s2).unwrap();
     for leaf in ["OrderNumber", "OrderDate", "ItemCount"] {
         assert!(
-            out.leaf_mappings.iter().any(|m| m.source_path.ends_with(leaf)
-                && m.target_path.ends_with(leaf)),
+            out.leaf_mappings
+                .iter()
+                .any(|m| m.source_path.ends_with(leaf) && m.target_path.ends_with(leaf)),
             "missing {leaf}: {:#?}",
             out.leaf_mappings
         );
@@ -61,14 +60,9 @@ fn sdl_and_xml_schemas_match_each_other() {
 fn sdl_and_ddl_schemas_match_each_other() {
     let s1 = parse_sdl(SDL).unwrap();
     let s2 = parse_ddl("OrderDB", SQL).unwrap();
-    let out = Cupid::new(Thesaurus::with_default_stopwords())
-        .match_schemas(&s1, &s2)
-        .unwrap();
-    assert!(out
-        .leaf_mappings
-        .iter()
-        .any(|m| m.source_path == "PurchaseOrder.Header.OrderDate"
-            && m.target_path == "OrderDB.Header.OrderDate"));
+    let out = Cupid::new(Thesaurus::with_default_stopwords()).match_schemas(&s1, &s2).unwrap();
+    assert!(out.leaf_mappings.iter().any(|m| m.source_path == "PurchaseOrder.Header.OrderDate"
+        && m.target_path == "OrderDB.Header.OrderDate"));
     assert!(out
         .leaf_mappings
         .iter()
