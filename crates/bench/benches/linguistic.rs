@@ -1,8 +1,13 @@
 //! Linguistic-phase benchmarks (§5): normalization, categorization and
 //! lsim-table construction per corpus pair.
+//!
+//! The unprefixed ids run the interned production engine
+//! ([`analyze`]); the `naive/` ids run the retained string-based
+//! reference ([`analyze_naive`]) on the same pairs, so one bench run
+//! shows the memoization win directly.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use cupid_core::linguistic::analyze;
+use cupid_core::linguistic::{analyze, analyze_naive};
 use cupid_corpus::{cidx_excel, fig2, star_rdb, thesauri};
 use cupid_eval::configs;
 use std::hint::black_box;
@@ -14,14 +19,21 @@ fn bench_linguistic(c: &mut Criterion) {
     let (a, b) = (fig2::po(), fig2::purchase_order());
     let th = thesauri::paper_thesaurus();
     g.bench_function("fig2", |bch| bch.iter(|| black_box(analyze(&a, &b, &th, &cfg))));
+    g.bench_function("naive/fig2", |bch| bch.iter(|| black_box(analyze_naive(&a, &b, &th, &cfg))));
 
     let (a, b) = (cidx_excel::cidx(), cidx_excel::excel());
     g.bench_function("cidx_excel", |bch| bch.iter(|| black_box(analyze(&a, &b, &th, &cfg))));
+    g.bench_function("naive/cidx_excel", |bch| {
+        bch.iter(|| black_box(analyze_naive(&a, &b, &th, &cfg)))
+    });
 
     let (a, b) = (star_rdb::rdb(), star_rdb::star());
     let empty = thesauri::empty_thesaurus();
     let rcfg = configs::relational();
     g.bench_function("star_rdb", |bch| bch.iter(|| black_box(analyze(&a, &b, &empty, &rcfg))));
+    g.bench_function("naive/star_rdb", |bch| {
+        bch.iter(|| black_box(analyze_naive(&a, &b, &empty, &rcfg)))
+    });
     g.finish();
 }
 

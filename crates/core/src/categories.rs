@@ -64,7 +64,7 @@ impl SchemaCategories {
 fn keyword_name(text: &str) -> NormalizedName {
     NormalizedName {
         tokens: vec![Token::new(text, TokenType::Content)],
-        concepts: Default::default(),
+        ..NormalizedName::default()
     }
 }
 

@@ -140,15 +140,15 @@ pub fn tree_match_lazy(
         return ws.into_result();
     }
 
-    let order1: Vec<NodeId> = t1.post_order().to_vec();
-    let order2: Vec<NodeId> = t2.post_order().to_vec();
+    let order1 = t1.post_order();
+    let order2 = t2.post_order();
     let nl2 = t2.leaf_count();
     // rep root → per-subtree-leaf full rows of leaf_ssim, in the leaf
     // order of `SchemaTree::leaves` (left-to-right; identical for
     // isomorphic copies of a pure tree).
     let mut snapshots: HashMap<NodeId, Vec<Vec<f64>>> = HashMap::new();
 
-    for &s in &order1 {
+    for &s in order1 {
         if plan.in_copy[s.index()] {
             continue;
         }
@@ -170,7 +170,7 @@ pub fn tree_match_lazy(
             ws.stats.lazy_copied_pairs += subtree_size * order2.len();
             continue;
         }
-        for &t in &order2 {
+        for &t in order2 {
             ws.process_pair(s, t);
         }
         if plan.rep_roots.contains(&s) {

@@ -4,9 +4,25 @@
 //! a table of linguistic similarity coefficients between elements of the
 //! two schemas. *"The similarity is assumed to be zero for schema
 //! elements that do not belong to any compatible categories."*
+//!
+//! Two engines compute the same table:
+//!
+//! * [`analyze`] — the production path. Both schemas' names (and the
+//!   category keywords) are interned into one [`TokenTable`]; a
+//!   [`TokenSimCache`] then memoizes `sim(t1, t2)` per distinct token
+//!   pair, so `ns` over element pairs reduces to table lookups over id
+//!   slices (DESIGN.md §6).
+//! * [`analyze_naive`] — the retained reference path, a direct
+//!   transliteration of §5 that recomputes token similarity per element
+//!   pair. It is the oracle the equivalence suite
+//!   (`tests/linguistic_equivalence.rs`) checks the interned engine
+//!   against: same `lsim` bits, same counters, across randomized
+//!   schemas and thesauri.
 
 use cupid_lexical::strsim::{token_similarity, AffixConfig};
-use cupid_lexical::{NormalizedName, Normalizer, Thesaurus, Token, TokenType};
+use cupid_lexical::{
+    NormalizedName, Normalizer, Thesaurus, Token, TokenId, TokenSimCache, TokenTable, TokenType,
+};
 use cupid_model::{ElementId, Schema};
 
 use crate::categories::{categorize, is_linguistically_comparable, SchemaCategories};
@@ -78,6 +94,106 @@ pub fn ns_elements(
     }
 }
 
+/// [`ns_token_sets`] over interned token ids: the identical formula and
+/// accumulation order, with every `sim(t1, t2)` answered by the memo.
+pub fn ns_token_ids(t1: &[TokenId], t2: &[TokenId], cache: &mut TokenSimCache<'_>) -> f64 {
+    if t1.is_empty() && t2.is_empty() {
+        return 0.0;
+    }
+    let mut sum1 = 0.0;
+    for &a in t1 {
+        let mut best = 0.0f64;
+        for &b in t2 {
+            best = best.max(cache.sim(a, b));
+        }
+        sum1 += best;
+    }
+    let mut sum2 = 0.0;
+    for &b in t2 {
+        let mut best = 0.0f64;
+        for &a in t1 {
+            best = best.max(cache.sim(a, b));
+        }
+        sum2 += best;
+    }
+    (sum1 + sum2) / (t1.len() + t2.len()) as f64
+}
+
+/// One element's interned token ids, grouped by token type in
+/// [`TokenType::ALL`] order (original token order preserved within each
+/// type). Precomputed once per element, this kills the per-pair
+/// `Vec<&Token>` collection [`ns_elements`] pays for every comparison.
+#[derive(Debug, Clone)]
+pub struct TypedIds {
+    ids: Vec<TokenId>,
+    /// `starts[k]..starts[k + 1]` is the id range of `TokenType::ALL[k]`.
+    starts: [u32; 6],
+}
+
+impl TypedIds {
+    /// Group an interned name's ids by token type. The name must have
+    /// been interned ([`TokenTable::intern_name`]) first.
+    pub fn of(name: &NormalizedName) -> TypedIds {
+        debug_assert_eq!(name.ids.len(), name.tokens.len(), "name must be interned first");
+        let mut ids = Vec::with_capacity(name.ids.len());
+        let mut starts = [0u32; 6];
+        for (k, ttype) in TokenType::ALL.iter().enumerate() {
+            starts[k] = ids.len() as u32;
+            for (t, &id) in name.tokens.iter().zip(&name.ids) {
+                if t.ttype == *ttype {
+                    ids.push(id);
+                }
+            }
+        }
+        starts[5] = ids.len() as u32;
+        TypedIds { ids, starts }
+    }
+
+    #[inline]
+    fn of_type(&self, k: usize) -> &[TokenId] {
+        &self.ids[self.starts[k] as usize..self.starts[k + 1] as usize]
+    }
+}
+
+/// [`ns_elements`] over precomputed per-type id slices: the identical
+/// weighted mean, with token-set similarities answered by the memo.
+pub fn ns_elements_ids(
+    a: &TypedIds,
+    b: &TypedIds,
+    weights: &TokenTypeWeights,
+    cache: &mut TokenSimCache<'_>,
+) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for ttype in TokenType::ALL {
+        let w = weights.weight(ttype);
+        if w == 0.0 {
+            continue;
+        }
+        let t1 = a.of_type(ttype.index());
+        let t2 = b.of_type(ttype.index());
+        let mass = (t1.len() + t2.len()) as f64;
+        if mass == 0.0 {
+            continue;
+        }
+        num += w * ns_token_ids(t1, t2, cache) * mass;
+        den += w * mass;
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// Comparison-relevant (non-eliminated) interned ids of a name, in token
+/// order — the id-slice counterpart of
+/// [`NormalizedName::comparable_tokens`].
+fn comparable_ids(name: &NormalizedName) -> Vec<TokenId> {
+    debug_assert_eq!(name.ids.len(), name.tokens.len(), "name must be interned first");
+    name.tokens.iter().zip(&name.ids).filter(|(t, _)| !t.is_ignored()).map(|(_, &id)| id).collect()
+}
+
 /// The `lsim` lookup table, indexed by element ids of the two schemas.
 #[derive(Debug, Clone)]
 pub struct LsimTable {
@@ -127,6 +243,14 @@ pub struct LinguisticAnalysis {
     pub compared_pairs: usize,
     /// Total element pairs (`|S1| × |S2|`), for pruning ratio reporting.
     pub total_pairs: usize,
+    /// Distinct interned tokens across both schemas and the category
+    /// keywords (`|V|`). 0 when produced by [`analyze_naive`], which
+    /// does not intern.
+    pub vocab_size: usize,
+    /// Distinct token pairs whose similarity was actually computed by
+    /// the memo — every further token comparison was a lookup. 0 when
+    /// produced by [`analyze_naive`].
+    pub distinct_token_pairs: usize,
 }
 
 impl LinguisticAnalysis {
@@ -139,8 +263,118 @@ impl LinguisticAnalysis {
     }
 }
 
-/// Run the linguistic phase over two schemas.
+/// Run the linguistic phase over two schemas (the interned engine).
+///
+/// Normalizes and interns both schemas' names into one [`TokenTable`],
+/// precomputes per-type id slices per element, and answers every
+/// `sim(t1, t2)` — in the category-compatibility loop and in the
+/// element-pair loop — through a [`TokenSimCache`] that computes each
+/// distinct token pair exactly once. Produces bit-identical output to
+/// [`analyze_naive`].
 pub fn analyze(
+    s1: &Schema,
+    s2: &Schema,
+    thesaurus: &Thesaurus,
+    cfg: &CupidConfig,
+) -> LinguisticAnalysis {
+    let normalizer = Normalizer::default();
+    let mut table = TokenTable::new();
+    let mut names1: Vec<NormalizedName> =
+        s1.iter().map(|(_, e)| normalizer.normalize(&e.name, thesaurus)).collect();
+    let mut names2: Vec<NormalizedName> =
+        s2.iter().map(|(_, e)| normalizer.normalize(&e.name, thesaurus)).collect();
+    for n in names1.iter_mut().chain(names2.iter_mut()) {
+        table.intern_name(n);
+    }
+    let typed1: Vec<TypedIds> = names1.iter().map(TypedIds::of).collect();
+    let typed2: Vec<TypedIds> = names2.iter().map(TypedIds::of).collect();
+
+    let mut categories1 = categorize(s1, &names1);
+    let mut categories2 = categorize(s2, &names2);
+    // Container keywords are clones of already-interned element names;
+    // concept and data-type keywords are freshly built. Intern them all
+    // unconditionally (idempotent, and ids from any other table would be
+    // silently wrong), then freeze the vocabulary.
+    for c in categories1.categories.iter_mut().chain(categories2.categories.iter_mut()) {
+        table.intern_name(&mut c.keywords);
+    }
+    let kw1: Vec<Vec<TokenId>> =
+        categories1.categories.iter().map(|c| comparable_ids(&c.keywords)).collect();
+    let kw2: Vec<Vec<TokenId>> =
+        categories2.categories.iter().map(|c| comparable_ids(&c.keywords)).collect();
+
+    let mut cache = TokenSimCache::new(&table, thesaurus, &cfg.affix);
+
+    // Compatible category pairs: keyword sets name-similar above th_ns.
+    // The comparison uses the plain (unweighted) set formula over the
+    // comparable keyword tokens.
+    let mut compatible_pairs = 0usize;
+    // scale[e1][e2] = max ns(c1,c2) over compatible category pairs.
+    let mut scale = SimMatrix::zeros(s1.len(), s2.len());
+    for (c1, k1) in categories1.categories.iter().zip(&kw1) {
+        for (c2, k2) in categories2.categories.iter().zip(&kw2) {
+            let ns_k = ns_token_ids(k1, k2, &mut cache);
+            if ns_k <= cfg.th_ns {
+                continue;
+            }
+            compatible_pairs += 1;
+            for &m1 in &c1.members {
+                for &m2 in &c2.members {
+                    if ns_k > scale.get(m1.index(), m2.index()) {
+                        scale.set(m1.index(), m2.index(), ns_k);
+                    }
+                }
+            }
+        }
+    }
+
+    // lsim = ns(m1,m2) × max category ns, for pairs with any compatible
+    // category; zero elsewhere.
+    let mut lsim = LsimTable::zeros(s1.len(), s2.len());
+    let mut compared = 0usize;
+    for (e1, _) in s1.iter() {
+        if !is_linguistically_comparable(s1, e1) {
+            continue;
+        }
+        for (e2, _) in s2.iter() {
+            if !is_linguistically_comparable(s2, e2) {
+                continue;
+            }
+            let sc = scale.get(e1.index(), e2.index());
+            if sc <= 0.0 {
+                continue;
+            }
+            compared += 1;
+            let ns = ns_elements_ids(
+                &typed1[e1.index()],
+                &typed2[e2.index()],
+                &cfg.token_weights,
+                &mut cache,
+            );
+            lsim.set(e1, e2, ns * sc);
+        }
+    }
+
+    LinguisticAnalysis {
+        total_pairs: s1.len() * s2.len(),
+        vocab_size: cache.vocab_size(),
+        distinct_token_pairs: cache.distinct_pairs_computed(),
+        names1,
+        names2,
+        categories1,
+        categories2,
+        lsim,
+        compatible_category_pairs: compatible_pairs,
+        compared_pairs: compared,
+    }
+}
+
+/// The naive reference engine: §5 transliterated, re-running string
+/// token similarity for every element pair. Kept (not dead code) as the
+/// oracle for the interned engine — `tests/linguistic_equivalence.rs`
+/// asserts [`analyze`] reproduces its `lsim` bits and counters exactly —
+/// and as the baseline leg of the `linguistic` bench.
+pub fn analyze_naive(
     s1: &Schema,
     s2: &Schema,
     thesaurus: &Thesaurus,
@@ -209,6 +443,8 @@ pub fn analyze(
 
     LinguisticAnalysis {
         total_pairs: s1.len() * s2.len(),
+        vocab_size: 0,
+        distinct_token_pairs: 0,
         names1,
         names2,
         categories1,
@@ -367,6 +603,48 @@ mod tests {
         // ns(City, City) = 1, categories: text/text compatible at 1.0 →
         // lsim = 1.
         assert_eq!(a.lsim.get(c1, c2), 1.0);
+    }
+
+    #[test]
+    fn interned_engine_matches_naive_reference() {
+        // Thesaurus-heavy pair exercising expansion, synonyms, concepts
+        // and the affix fallback; the dedicated proptest suite
+        // (tests/linguistic_equivalence.rs) covers randomized inputs.
+        let s1 = customer_schema("Schema1", "");
+        let mut b = SchemaBuilder::new("Schema2");
+        let c = b.structured(b.root(), "Client", ElementKind::Class);
+        b.atomic(c, "CustomerNum", ElementKind::Attribute, DataType::Int);
+        b.atomic(c, "CustomerName", ElementKind::Attribute, DataType::String);
+        b.atomic(c, "StreetAddress", ElementKind::Attribute, DataType::String);
+        let s2 = b.build().unwrap();
+        let t = paper_thesaurus();
+        let fast = analyze(&s1, &s2, &t, &cfg());
+        let naive = analyze_naive(&s1, &s2, &t, &cfg());
+        assert_eq!(fast.lsim.matrix().max_abs_diff(naive.lsim.matrix()), 0.0);
+        assert_eq!(fast.compared_pairs, naive.compared_pairs);
+        assert_eq!(fast.compatible_category_pairs, naive.compatible_category_pairs);
+        // only the interned engine reports memo diagnostics
+        assert!(fast.vocab_size > 0);
+        assert!(fast.distinct_token_pairs > 0);
+        assert_eq!(naive.vocab_size, 0);
+    }
+
+    #[test]
+    fn ns_token_ids_matches_ns_token_sets() {
+        let t = paper_thesaurus();
+        let affix = AffixConfig::default();
+        let mk = |s: &str, ty: TokenType| Token::new(s, ty);
+        let toks1 = [mk("purchase", TokenType::Content), mk("bill", TokenType::Content)];
+        let toks2 = [mk("invoice", TokenType::Content), mk("4", TokenType::Number)];
+        let refs1: Vec<&Token> = toks1.iter().collect();
+        let refs2: Vec<&Token> = toks2.iter().collect();
+        let direct = ns_token_sets(&refs1, &refs2, &t, &affix);
+        let mut table = TokenTable::new();
+        let ids1: Vec<TokenId> = toks1.iter().map(|tk| table.intern_token(tk)).collect();
+        let ids2: Vec<TokenId> = toks2.iter().map(|tk| table.intern_token(tk)).collect();
+        let mut cache = TokenSimCache::new(&table, &t, &affix);
+        let cached = ns_token_ids(&ids1, &ids2, &mut cache);
+        assert_eq!(direct.to_bits(), cached.to_bits());
     }
 
     #[test]

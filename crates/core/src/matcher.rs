@@ -2,6 +2,11 @@
 //!
 //! Wires the three phases together (§4): linguistic matching → structure
 //! matching → mapping generation, over schema trees expanded per §8.
+//! The linguistic phase runs the interned engine
+//! ([`crate::linguistic::analyze`]): token-pair similarities are
+//! memoized across the whole match, which the equivalence suite proves
+//! output-identical to the naive §5 transliteration
+//! ([`crate::linguistic::analyze_naive`]).
 
 use cupid_lexical::Thesaurus;
 use cupid_model::{expand, ElementId, ModelError, Schema, SchemaTree};

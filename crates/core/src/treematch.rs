@@ -81,6 +81,12 @@ pub(crate) struct Workspace<'a> {
     pub masks1: Vec<Bits>,
     /// Per target node: ditto.
     pub masks2: Vec<Bits>,
+    /// Popcount of `masks1[i]`, hoisted out of `structural_sim` (the
+    /// masks are immutable after construction, and the counts are
+    /// re-read for every node pair of the O(n²) main loop).
+    pub mask1_count: Vec<usize>,
+    /// Popcount of `masks2[j]`, ditto.
+    pub mask2_count: Vec<usize>,
     /// Per source node: required-leaf bitset (§8.4 optionality).
     pub req1: Vec<Bits>,
     /// Per target node: ditto.
@@ -140,6 +146,10 @@ impl<'a> Workspace<'a> {
                 leaf_ssim.set(x, y, cfg.type_compat.compat(nx.data_type, ny.data_type));
             }
         }
+        let masks1 = leaf_masks(t1, cfg.leaf_depth_limit);
+        let masks2 = leaf_masks(t2, cfg.leaf_depth_limit);
+        let mask1_count = masks1.iter().map(Bits::count).collect();
+        let mask2_count = masks2.iter().map(Bits::count).collect();
         let mut ws = Workspace {
             t1,
             t2,
@@ -149,8 +159,10 @@ impl<'a> Workspace<'a> {
             leaf_ssim,
             strong_rows: vec![Bits::new(nl2); nl1],
             strong_cols: vec![Bits::new(nl1); nl2],
-            masks1: leaf_masks(t1, cfg.leaf_depth_limit),
-            masks2: leaf_masks(t2, cfg.leaf_depth_limit),
+            masks1,
+            masks2,
+            mask1_count,
+            mask2_count,
             req1: required_masks(t1),
             req2: required_masks(t2),
             node_ssim: SimMatrix::zeros(t1.len(), t2.len()),
@@ -175,29 +187,42 @@ impl<'a> Workspace<'a> {
 
     /// Recompute the strong-link flag for a leaf pair. A *strong link*
     /// means `wsim(x,y) ≥ thaccept` — a potentially acceptable mapping.
+    /// Bitset writes are skipped when the flag does not change (the
+    /// common case during reinforcement).
     #[inline]
     pub fn refresh_strong(&mut self, x: usize, y: usize) {
-        if self.leaf_wsim(x, y) >= self.cfg.th_accept {
-            self.strong_rows[x].set(y);
-            self.strong_cols[y].set(x);
-        } else {
-            self.strong_rows[x].clear(y);
-            self.strong_cols[y].clear(x);
+        let strong = self.leaf_wsim(x, y) >= self.cfg.th_accept;
+        if self.strong_rows[x].get(y) != strong {
+            if strong {
+                self.strong_rows[x].set(y);
+                self.strong_cols[y].set(x);
+            } else {
+                self.strong_rows[x].clear(y);
+                self.strong_cols[y].clear(x);
+            }
         }
     }
 
     /// `increase-/decrease-struct-similarity(leaves(s), leaves(t), f)`:
     /// scale the structural similarity of every leaf pair under the two
     /// nodes (clamped to `[0,1]`), refreshing strong links.
+    ///
+    /// `wsim` is monotone in `leaf_ssim` (`w_struct_leaf ≥ 0`), so an
+    /// increase (`factor ≥ 1`) can only turn a weak link strong and a
+    /// decrease can only turn a strong link weak — pairs already on the
+    /// unreachable side skip the `wsim` recomputation entirely.
     pub fn scale_leaves(&mut self, s: NodeId, t: NodeId, factor: f64) {
         // Updates always use the *full* leaf sets of the subtrees, even if
         // ssim counting is depth-limited.
         let ls = self.t1.leaves(s);
         let lt = self.t2.leaves(t);
+        let increasing = factor >= 1.0;
         for &x in ls {
             for &y in lt {
                 self.leaf_ssim.scale_clamped(x as usize, y as usize, factor);
-                self.refresh_strong(x as usize, y as usize);
+                if self.strong_rows[x as usize].get(y as usize) != increasing {
+                    self.refresh_strong(x as usize, y as usize);
+                }
             }
         }
     }
@@ -222,7 +247,7 @@ impl<'a> Workspace<'a> {
         let m1 = &self.masks1[s.index()];
         let m2 = &self.masks2[t.index()];
         let mut num = 0usize;
-        let mut den = m1.count() + m2.count();
+        let mut den = self.mask1_count[s.index()] + self.mask2_count[t.index()];
         for x in m1.ones() {
             if self.strong_rows[x].intersects(m2) {
                 num += 1;
@@ -272,12 +297,14 @@ impl<'a> Workspace<'a> {
         }
     }
 
-    /// The eager main pass: both loops in post-order.
+    /// The eager main pass: both loops in post-order. The orders are
+    /// borrowed straight from the trees (which outlive `self`), not
+    /// cloned per run.
     pub fn run_main_pass(&mut self) {
-        let order1: Vec<NodeId> = self.t1.post_order().to_vec();
-        let order2: Vec<NodeId> = self.t2.post_order().to_vec();
-        for &s in &order1 {
-            for &t in &order2 {
+        let order1 = self.t1.post_order();
+        let order2 = self.t2.post_order();
+        for &s in order1 {
+            for &t in order2 {
                 self.process_pair(s, t);
             }
         }

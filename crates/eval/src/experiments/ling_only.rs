@@ -11,10 +11,10 @@
 //! Also covers §9.3(2): dropping the thesaurus hurts CIDX–Excel but
 //! leaves RDB–Star unchanged.
 
-use cupid_core::linguistic::ns_elements;
+use cupid_core::linguistic::{ns_elements_ids, TypedIds};
 use cupid_core::{Cupid, CupidConfig};
 use cupid_corpus::{cidx_excel, star_rdb, thesauri, GoldMapping};
-use cupid_lexical::{Normalizer, Thesaurus};
+use cupid_lexical::{Normalizer, Thesaurus, TokenSimCache, TokenTable};
 use cupid_model::{expand, Schema, SchemaTree};
 
 use crate::configs;
@@ -23,7 +23,10 @@ use crate::table::TextTable;
 use crate::Report;
 
 /// Best-match leaf mapping using only linguistic similarity of complete
-/// path names.
+/// path names. Path-name token sets are long and highly repetitive
+/// (every leaf under `PO.Items` shares the `po items` prefix tokens), so
+/// this comparison runs on the interned engine: one [`TokenTable`] for
+/// both trees, one [`TokenSimCache`] for all `n1 × n2` comparisons.
 pub fn path_name_mapping(
     s1: &Schema,
     s2: &Schema,
@@ -33,23 +36,26 @@ pub fn path_name_mapping(
     let t1 = expand(s1, &cupid_model::ExpandOptions::none()).expect("expand");
     let t2 = expand(s2, &cupid_model::ExpandOptions::none()).expect("expand");
     let normalizer = Normalizer::default();
-    let names = |t: &SchemaTree| -> Vec<(String, cupid_lexical::NormalizedName)> {
+    let mut table = TokenTable::new();
+    let mut names = |t: &SchemaTree| -> Vec<(String, TypedIds)> {
         t.iter()
             .filter(|(_, n)| n.is_leaf())
             .map(|(id, _)| {
                 let p = t.path(id).to_string();
-                let normalized = normalizer.normalize(&p.replace('.', " "), thesaurus);
-                (p, normalized)
+                let mut normalized = normalizer.normalize(&p.replace('.', " "), thesaurus);
+                table.intern_name(&mut normalized);
+                (p, TypedIds::of(&normalized))
             })
             .collect()
     };
     let n1 = names(&t1);
     let n2 = names(&t2);
+    let mut cache = TokenSimCache::new(&table, thesaurus, &cfg.affix);
     let mut out = Vec::new();
     for (tp, tn) in &n2 {
         let mut best: Option<(&str, f64)> = None;
         for (sp, sn) in &n1 {
-            let v = ns_elements(sn, tn, thesaurus, &cfg.token_weights, &cfg.affix);
+            let v = ns_elements_ids(sn, tn, &cfg.token_weights, &mut cache);
             match best {
                 Some((_, bv)) if bv >= v => {}
                 _ => best = Some((sp, v)),

@@ -1,0 +1,289 @@
+//! Token interning and whole-match memoization of token similarity.
+//!
+//! Real schemas reuse a small token vocabulary ("customer", "order",
+//! "address") across dozens of elements, yet the linguistic phase's
+//! `ns(m1, m2)` recomputes `sim(t1, t2)` — a thesaurus lookup (which
+//! canonicalizes and allocates) plus an affix byte-scan — for the full
+//! token cross product of *every* compared element pair. This module
+//! fixes that asymptotically (see DESIGN.md §6):
+//!
+//! * [`TokenTable`] interns each distinct `(similarity class, canonical
+//!   text)` pair into a dense [`TokenId`]. The key is exactly the
+//!   information [`crate::strsim::class_similarity`] depends on, so two
+//!   tokens with the same id are interchangeable for `sim`.
+//! * [`TokenSimCache`] lazily memoizes `sim` over a triangular
+//!   `|V|·(|V|+1)/2` matrix of the interned vocabulary: each distinct
+//!   token pair is computed exactly once per schema pair (symmetry of
+//!   `sim` makes the triangular layout lossless), and every further
+//!   comparison is a single array load.
+//!
+//! The interned fast path is bit-identical to the direct string path —
+//! both call the same [`crate::strsim::class_similarity`] on the same
+//! inputs — which `tests/linguistic_equivalence.rs` asserts over
+//! randomized schemas and thesauri.
+
+use std::collections::HashMap;
+
+use crate::normalize::NormalizedName;
+use crate::strsim::{class_similarity, AffixConfig};
+use crate::thesaurus::Thesaurus;
+use crate::token::{SimClass, Token};
+
+/// Dense id of a distinct `(similarity class, canonical text)` pair in a
+/// [`TokenTable`]. Ids are only meaningful relative to the table that
+/// produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TokenId(u32);
+
+impl TokenId {
+    /// The dense index of this id (0-based, contiguous per table).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interner mapping `(similarity class, canonical token text)` to dense
+/// [`TokenId`]s.
+///
+/// One table serves a whole match (both schemas plus category keywords),
+/// so the vocabulary is shared and a [`TokenSimCache`] over it covers
+/// every token comparison the linguistic phase will make. Future scale
+/// directions (sharded/batched matching) reuse one table across pairs.
+#[derive(Debug, Clone, Default)]
+pub struct TokenTable {
+    /// Per-[`SimClass`] text → id index (split per class so lookups can
+    /// borrow `&str` without building a composite key).
+    index: [HashMap<String, u32>; 3],
+    /// id → (class, text), in interning order.
+    entries: Vec<(SimClass, String)>,
+}
+
+impl TokenTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        TokenTable::default()
+    }
+
+    /// Number of distinct interned tokens (the vocabulary size `|V|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Intern a `(class, text)` pair, returning its dense id.
+    pub fn intern(&mut self, class: SimClass, text: &str) -> TokenId {
+        let map = &mut self.index[class.index()];
+        if let Some(&id) = map.get(text) {
+            return TokenId(id);
+        }
+        let id = u32::try_from(self.entries.len()).expect("vocabulary exceeds u32");
+        map.insert(text.to_string(), id);
+        self.entries.push((class, text.to_string()));
+        TokenId(id)
+    }
+
+    /// Intern one token (by its similarity class and canonical text).
+    #[inline]
+    pub fn intern_token(&mut self, token: &Token) -> TokenId {
+        self.intern(token.ttype.sim_class(), &token.text)
+    }
+
+    /// Intern every token of a normalized name, filling
+    /// [`NormalizedName::ids`] (parallel to `tokens`). Idempotent:
+    /// re-interning overwrites `ids` with identical values.
+    pub fn intern_name(&mut self, name: &mut NormalizedName) {
+        name.ids.clear();
+        name.ids.reserve(name.tokens.len());
+        for i in 0..name.tokens.len() {
+            let id = self.intern(name.tokens[i].ttype.sim_class(), &name.tokens[i].text);
+            name.ids.push(id);
+        }
+    }
+
+    /// Id of an already-interned pair, if present.
+    pub fn lookup(&self, class: SimClass, text: &str) -> Option<TokenId> {
+        self.index[class.index()].get(text).map(|&id| TokenId(id))
+    }
+
+    /// Canonical text of an interned token.
+    #[inline]
+    pub fn text(&self, id: TokenId) -> &str {
+        &self.entries[id.index()].1
+    }
+
+    /// Similarity class of an interned token.
+    #[inline]
+    pub fn class(&self, id: TokenId) -> SimClass {
+        self.entries[id.index()].0
+    }
+}
+
+/// Whole-match memo of `sim(t1, t2)` over an interned vocabulary.
+///
+/// Built once per schema pair after all names (and category keywords)
+/// are interned; [`TokenSimCache::sim`] then computes each distinct
+/// token pair at most once and answers every repeat from a dense
+/// triangular matrix. Filling is lazy, so pairs never compared (e.g.
+/// same-schema pairs) cost nothing.
+#[derive(Debug)]
+pub struct TokenSimCache<'a> {
+    table: &'a TokenTable,
+    thesaurus: &'a Thesaurus,
+    affix: AffixConfig,
+    /// Triangular `|V|·(|V|+1)/2` matrix; `NaN` marks "not yet
+    /// computed" (`sim` itself is always in `[0, 1]`).
+    sims: Vec<f64>,
+    computed: usize,
+}
+
+impl<'a> TokenSimCache<'a> {
+    /// A cache over the (fully interned) table's vocabulary.
+    pub fn new(table: &'a TokenTable, thesaurus: &'a Thesaurus, affix: &AffixConfig) -> Self {
+        let n = table.len();
+        TokenSimCache {
+            table,
+            thesaurus,
+            affix: *affix,
+            sims: vec![f64::NAN; n * (n + 1) / 2],
+            computed: 0,
+        }
+    }
+
+    /// `sim(a, b)`, memoized. The first query of a distinct unordered
+    /// pair computes [`class_similarity`]; repeats are one array load.
+    #[inline]
+    pub fn sim(&mut self, a: TokenId, b: TokenId) -> f64 {
+        let (i, j) = if a.0 <= b.0 { (a.index(), b.index()) } else { (b.index(), a.index()) };
+        let k = j * (j + 1) / 2 + i;
+        let v = self.sims[k];
+        if !v.is_nan() {
+            return v;
+        }
+        let (ca, ta) = &self.table.entries[i];
+        let (cb, tb) = &self.table.entries[j];
+        let v = class_similarity(*ca, ta, *cb, tb, self.thesaurus, &self.affix);
+        self.sims[k] = v;
+        self.computed += 1;
+        v
+    }
+
+    /// Vocabulary size `|V|` the cache spans.
+    pub fn vocab_size(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Distinct token pairs actually computed so far (diagnostics: the
+    /// denominator of the memoization win).
+    pub fn distinct_pairs_computed(&self) -> usize {
+        self.computed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strsim::token_similarity;
+    use crate::thesaurus::ThesaurusBuilder;
+    use crate::token::TokenType;
+    use crate::Normalizer;
+
+    fn tok(s: &str, t: TokenType) -> Token {
+        Token::new(s, t)
+    }
+
+    #[test]
+    fn interning_dedups_by_class_and_text() {
+        let mut table = TokenTable::new();
+        let a = table.intern_token(&tok("city", TokenType::Content));
+        let b = table.intern_token(&tok("city", TokenType::Concept));
+        let c = table.intern_token(&tok("city", TokenType::CommonWord));
+        // all Word class with equal text: one entry
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        // a number spelled "city" would be a different entry
+        let d = table.intern(SimClass::Number, "city");
+        assert_ne!(a, d);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.text(a), "city");
+        assert_eq!(table.class(d), SimClass::Number);
+        assert_eq!(table.lookup(SimClass::Word, "city"), Some(a));
+        assert_eq!(table.lookup(SimClass::Word, "street"), None);
+    }
+
+    #[test]
+    fn intern_name_fills_parallel_ids() {
+        let t = ThesaurusBuilder::new().abbreviation("PO", &["purchase", "order"]).build().unwrap();
+        let mut name = Normalizer::default().normalize("POLines", &t);
+        assert!(name.ids.is_empty());
+        let mut table = TokenTable::new();
+        table.intern_name(&mut name);
+        assert_eq!(name.ids.len(), name.tokens.len());
+        for (tokn, &id) in name.tokens.iter().zip(&name.ids) {
+            assert_eq!(table.text(id), tokn.text);
+            assert_eq!(table.class(id), tokn.ttype.sim_class());
+        }
+        // idempotent
+        let ids = name.ids.clone();
+        table.intern_name(&mut name);
+        assert_eq!(ids, name.ids);
+    }
+
+    #[test]
+    fn cached_sim_matches_token_similarity_exactly() {
+        let thesaurus = ThesaurusBuilder::new()
+            .synonym("bill", "invoice", 1.0)
+            .hypernym("customer", "person", 0.8)
+            .build()
+            .unwrap();
+        let affix = AffixConfig::default();
+        let tokens = [
+            tok("bill", TokenType::Content),
+            tok("invoice", TokenType::Content),
+            tok("customer", TokenType::Content),
+            tok("person", TokenType::Concept),
+            tok("postalcode", TokenType::Content),
+            tok("zipcode", TokenType::Content),
+            tok("4", TokenType::Number),
+            tok("3", TokenType::Number),
+            tok("#", TokenType::SpecialSymbol),
+        ];
+        let mut table = TokenTable::new();
+        let ids: Vec<TokenId> = tokens.iter().map(|t| table.intern_token(t)).collect();
+        let mut cache = TokenSimCache::new(&table, &thesaurus, &affix);
+        for (t1, &a) in tokens.iter().zip(&ids) {
+            for (t2, &b) in tokens.iter().zip(&ids) {
+                let direct = token_similarity(t1, t2, &thesaurus, &affix);
+                let cached = cache.sim(a, b);
+                assert_eq!(direct.to_bits(), cached.to_bits(), "{t1} vs {t2}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_computes_each_distinct_pair_once() {
+        let thesaurus = Thesaurus::empty();
+        let affix = AffixConfig::default();
+        let mut table = TokenTable::new();
+        let a = table.intern(SimClass::Word, "street");
+        let b = table.intern(SimClass::Word, "straight");
+        let mut cache = TokenSimCache::new(&table, &thesaurus, &affix);
+        assert_eq!(cache.distinct_pairs_computed(), 0);
+        let v1 = cache.sim(a, b);
+        assert_eq!(cache.distinct_pairs_computed(), 1);
+        // repeat and symmetric queries hit the memo
+        let v2 = cache.sim(a, b);
+        let v3 = cache.sim(b, a);
+        assert_eq!(cache.distinct_pairs_computed(), 1);
+        assert_eq!(v1.to_bits(), v2.to_bits());
+        assert_eq!(v1.to_bits(), v3.to_bits());
+        // self-similarity of a word is 1.0
+        assert_eq!(cache.sim(a, a), 1.0);
+        assert_eq!(cache.vocab_size(), 2);
+    }
+}

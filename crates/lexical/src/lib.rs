@@ -15,7 +15,11 @@
 //! * the **normalization pipeline** of Section 5.1 — tokenization,
 //!   expansion, elimination, concept tagging ([`normalize::Normalizer`]),
 //! * **token-level similarity** — thesaurus lookup with a common
-//!   prefix/suffix fallback ([`strsim::token_similarity`]).
+//!   prefix/suffix fallback ([`strsim::token_similarity`]),
+//! * **token interning and similarity memoization** — a dense
+//!   vocabulary table plus a per-match triangular cache that computes
+//!   each distinct token pair exactly once ([`intern::TokenTable`],
+//!   [`intern::TokenSimCache`]; DESIGN.md §6).
 //!
 //! The paper assumed these resources would come from an off-the-shelf
 //! thesaurus (WordNet integration was listed as future work); here they are
@@ -24,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod intern;
 pub mod normalize;
 pub mod stem;
 pub mod strsim;
@@ -31,9 +36,10 @@ pub mod thesaurus;
 pub mod token;
 pub mod tokenizer;
 
+pub use intern::{TokenId, TokenSimCache, TokenTable};
 pub use normalize::{NormalizedName, Normalizer};
 pub use stem::stem;
 pub use strsim::token_similarity;
 pub use thesaurus::{Thesaurus, ThesaurusBuilder};
-pub use token::{Token, TokenType};
+pub use token::{SimClass, Token, TokenType};
 pub use tokenizer::{Tokenizer, TokenizerConfig};

@@ -7,18 +7,32 @@
 
 use std::collections::BTreeSet;
 
+use crate::intern::TokenId;
 use crate::stem::stem;
 use crate::thesaurus::Thesaurus;
 use crate::token::{Token, TokenType};
 use crate::tokenizer::Tokenizer;
 
 /// A schema element name after normalization.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Eq, Default)]
 pub struct NormalizedName {
     /// All tokens (content, concept, number, special, common).
     pub tokens: Vec<Token>,
     /// Concept tags attached during normalization (canonical names).
     pub concepts: BTreeSet<String>,
+    /// Interned ids, parallel to `tokens`, filled by
+    /// [`crate::intern::TokenTable::intern_name`]; empty until interned.
+    /// Ids are only meaningful relative to the table that produced them,
+    /// which is why equality ignores this field.
+    pub ids: Vec<TokenId>,
+}
+
+/// Equality compares the normalization output (tokens + concepts) only;
+/// `ids` is a per-table cache, not part of the name's identity.
+impl PartialEq for NormalizedName {
+    fn eq(&self, other: &Self) -> bool {
+        self.tokens == other.tokens && self.concepts == other.concepts
+    }
 }
 
 impl NormalizedName {

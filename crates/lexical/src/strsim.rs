@@ -6,7 +6,7 @@
 //! prefixes or suffixes."*
 
 use crate::thesaurus::Thesaurus;
-use crate::token::{Token, TokenType};
+use crate::token::{SimClass, Token};
 
 /// Affix (common prefix/suffix) matching parameters.
 #[derive(Debug, Clone, Copy)]
@@ -42,38 +42,50 @@ pub fn affix_similarity(a: &str, b: &str, cfg: &AffixConfig) -> f64 {
     score.min(cfg.max_score)
 }
 
-/// `sim(t1, t2)` of the paper: thesaurus lookup first (exact canonical
-/// match is 1.0), then the affix fallback.
+/// `sim(t1, t2)` on (similarity class, canonical text) pairs — the full
+/// information `sim` depends on, which is what makes token interning
+/// sound: [`crate::intern::TokenSimCache`] memoizes this function keyed
+/// by interned `(class, text)` ids.
 ///
-/// Token-type discipline: `Number` and `SpecialSymbol` tokens only match
+/// Token-type discipline: `Number` and `Special` tokens only match
 /// exactly (the digits in `Street4`/`street4` must agree); a word never
-/// matches a number.
-pub fn token_similarity(t1: &Token, t2: &Token, thesaurus: &Thesaurus, cfg: &AffixConfig) -> f64 {
-    use TokenType::{Number, SpecialSymbol};
-    match (t1.ttype, t2.ttype) {
-        (Number, Number) | (SpecialSymbol, SpecialSymbol) => {
-            if t1.text == t2.text {
-                1.0
-            } else {
-                0.0
-            }
+/// matches a number. Words go through the thesaurus (exact canonical
+/// match is 1.0), then the affix fallback.
+pub fn class_similarity(
+    c1: SimClass,
+    a: &str,
+    c2: SimClass,
+    b: &str,
+    thesaurus: &Thesaurus,
+    cfg: &AffixConfig,
+) -> f64 {
+    match (c1, c2) {
+        (SimClass::Number, SimClass::Number) | (SimClass::Special, SimClass::Special) if a == b => {
+            1.0
         }
-        (Number, _) | (_, Number) | (SpecialSymbol, _) | (_, SpecialSymbol) => 0.0,
-        _ => {
-            if let Some(s) = thesaurus.token_sim(&t1.text, &t2.text) {
+        (SimClass::Word, SimClass::Word) => {
+            if let Some(s) = thesaurus.token_sim(a, b) {
                 s
             } else {
-                affix_similarity(&t1.text, &t2.text, cfg)
+                affix_similarity(a, b, cfg)
             }
         }
+        _ => 0.0,
     }
+}
+
+/// `sim(t1, t2)` of the paper, on [`Token`]s: delegates to
+/// [`class_similarity`] over the tokens' similarity classes and
+/// canonical texts.
+pub fn token_similarity(t1: &Token, t2: &Token, thesaurus: &Thesaurus, cfg: &AffixConfig) -> f64 {
+    class_similarity(t1.ttype.sim_class(), &t1.text, t2.ttype.sim_class(), &t2.text, thesaurus, cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::thesaurus::ThesaurusBuilder;
-    use crate::token::Token;
+    use crate::token::{Token, TokenType};
 
     fn tok(s: &str) -> Token {
         Token::new(s, TokenType::Content)

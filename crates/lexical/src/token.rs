@@ -44,6 +44,50 @@ impl TokenType {
             TokenType::Content => 4,
         }
     }
+
+    /// How [`crate::strsim::token_similarity`] treats this token type.
+    /// This is the single source of truth shared by the direct
+    /// (string-based) similarity and the interned
+    /// [`crate::intern::TokenSimCache`], so the two paths cannot drift.
+    #[inline]
+    pub fn sim_class(self) -> SimClass {
+        match self {
+            TokenType::Number => SimClass::Number,
+            TokenType::SpecialSymbol => SimClass::Special,
+            TokenType::CommonWord | TokenType::Concept | TokenType::Content => SimClass::Word,
+        }
+    }
+}
+
+/// Similarity class of a token type (§5.2's token-type discipline):
+/// `Number` and `Special` tokens match only exactly within their own
+/// class; everything else is a `Word`, compared through the thesaurus
+/// with the affix fallback. Two tokens with the same class and the same
+/// canonical text are interchangeable for `sim(t1, t2)` — the invariant
+/// [`crate::intern::TokenTable`] keys on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimClass {
+    /// Compared via thesaurus lookup, then the affix fallback.
+    Word,
+    /// Digit runs: equal text or nothing.
+    Number,
+    /// Special symbols: equal text or nothing.
+    Special,
+}
+
+impl SimClass {
+    /// All classes, in a fixed order usable for dense indexing.
+    pub const ALL: [SimClass; 3] = [SimClass::Word, SimClass::Number, SimClass::Special];
+
+    /// Dense index of this class in [`SimClass::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            SimClass::Word => 0,
+            SimClass::Number => 1,
+            SimClass::Special => 2,
+        }
+    }
 }
 
 impl fmt::Display for TokenType {
@@ -118,5 +162,20 @@ mod tests {
     fn display_shows_canonical_text() {
         let t = Token { text: "quantity".into(), raw: "Qty".into(), ttype: TokenType::Content };
         assert_eq!(t.to_string(), "quantity");
+    }
+
+    #[test]
+    fn sim_classes_partition_token_types() {
+        assert_eq!(TokenType::Number.sim_class(), SimClass::Number);
+        assert_eq!(TokenType::SpecialSymbol.sim_class(), SimClass::Special);
+        for t in [TokenType::CommonWord, TokenType::Concept, TokenType::Content] {
+            assert_eq!(t.sim_class(), SimClass::Word);
+        }
+        let mut seen = [false; 3];
+        for c in SimClass::ALL {
+            assert!(!seen[c.index()], "duplicate index for {c:?}");
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
     }
 }

@@ -20,7 +20,13 @@
 //!   target doubles as a smoke test — the same behavior as real
 //!   criterion;
 //! * a positional argument (`cargo bench --bench end_to_end -- fig2`)
-//!   acts as a substring filter on benchmark ids, like real criterion.
+//!   acts as a substring filter on benchmark ids, like real criterion;
+//! * `--smoke` forces smoke mode even under `cargo bench` (which passes
+//!   `--bench`), so CI can execute every bench body once cheaply;
+//! * when the `BENCH_JSON_DIR` environment variable names a directory, a
+//!   measured (non-smoke) run writes `BENCH_<bench>.json` there in the
+//!   results convention of BENCHMARKS.md: per-id min/mean/max ns, sample
+//!   and iteration counts, and a `context` block (commit, rustc, CPU).
 //!
 //! Numbers from this shim are honest wall-clock measurements and fine
 //! for relative comparisons on a quiet machine, but they lack
@@ -32,6 +38,7 @@
 
 use std::fmt::Display;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -46,6 +53,21 @@ const MEASUREMENT: Duration = Duration::from_secs(1);
 /// fires when the whole binary ran nothing.
 static EXECUTED: AtomicU32 = AtomicU32::new(0);
 
+/// One measured benchmark, accumulated process-wide for JSON emission.
+#[derive(Debug, Clone)]
+struct MeasuredResult {
+    id: String,
+    min_ns: f64,
+    mean_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters_per_batch: u64,
+}
+
+/// Measured (non-smoke) results of every benchmark run so far, across
+/// all groups of the binary, in execution order.
+static RESULTS: Mutex<Vec<MeasuredResult>> = Mutex::new(Vec::new());
+
 /// Called by [`criterion_main!`] after all groups ran. A positional
 /// argument that was really the value of some flag would silently
 /// filter out everything; make that loud.
@@ -56,6 +78,126 @@ pub fn warn_if_filter_matched_nothing() {
             eprintln!("warning: filter {f:?} matched no benchmark ids; nothing was run");
         }
     }
+}
+
+/// Called by [`criterion_main!`] after all groups ran: emits the
+/// no-match warning and, when `BENCH_JSON_DIR` is set and measured
+/// results exist, writes `BENCH_<bench>.json` per the BENCHMARKS.md
+/// results convention.
+#[doc(hidden)]
+pub fn finalize() {
+    warn_if_filter_matched_nothing();
+    let Ok(dir) = std::env::var("BENCH_JSON_DIR") else { return };
+    if arg_filter().is_some() {
+        // A filtered run measures a subset; writing it would overwrite a
+        // complete recorded file with partial data (BENCHMARKS.md:
+        // "Smoke runs and filtered runs record nothing").
+        eprintln!("note: BENCH_JSON_DIR set but a filter is active; not recording JSON");
+        return;
+    }
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    if results.is_empty() {
+        return; // smoke runs record nothing
+    }
+    let bench = bench_name();
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{bench}.json"));
+    let json = results_json(&bench, &results);
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// The bench target name, from the binary path: cargo names bench
+/// executables `<target>-<16 hex chars>`; strip the metadata hash.
+fn bench_name() -> String {
+    let stem = std::env::args()
+        .next()
+        .map(|argv0| {
+            std::path::Path::new(&argv0)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or(argv0)
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            name.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// First line of `cmd args...`, or "unknown" when the command is
+/// unavailable (context fields are best-effort).
+fn first_line_of(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| {
+            let text = String::from_utf8_lossy(&o.stdout).trim().to_string();
+            text.lines().next().map(str::to_string)
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// CPU model string from `/proc/cpuinfo`, "unknown" elsewhere.
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|s| s.trim().to_string())
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn results_json(bench: &str, results: &[MeasuredResult]) -> String {
+    let commit = first_line_of("git", &["rev-parse", "HEAD"]);
+    let rustc = first_line_of("rustc", &["--version"]);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(bench)));
+    out.push_str("  \"context\": {\n");
+    out.push_str(&format!("    \"commit\": \"{}\",\n", json_escape(&commit)));
+    out.push_str(&format!("    \"rustc\": \"{}\",\n", json_escape(&rustc)));
+    out.push_str(&format!("    \"cpu\": \"{}\"\n", json_escape(&cpu_model())));
+    out.push_str("  },\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"min_ns\": {:.2}, \"mean_ns\": {:.2}, \
+             \"max_ns\": {:.2}, \"samples\": {}, \"iters_per_batch\": {} }}{sep}\n",
+            json_escape(&r.id),
+            r.min_ns,
+            r.mean_ns,
+            r.max_ns,
+            r.samples,
+            r.iters_per_batch,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn arg_filter() -> Option<String> {
@@ -73,10 +215,12 @@ impl Default for Criterion {
     fn default() -> Self {
         // Like real criterion: `cargo bench` passes `--bench`; without it
         // (direct execution of the bench binary) run each bench once as
-        // a smoke test.
+        // a smoke test. An explicit `--smoke` forces smoke mode either
+        // way, so CI can use `cargo bench -- --smoke`.
         // The first positional argument is a substring filter on
         // benchmark ids (`cargo bench --bench end_to_end -- fig2`).
-        let smoke_test = !std::env::args().any(|a| a == "--bench");
+        let smoke_test =
+            !std::env::args().any(|a| a == "--bench") || std::env::args().any(|a| a == "--smoke");
         Criterion { smoke_test, filter: arg_filter() }
     }
 }
@@ -229,6 +373,14 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, smoke_test: bool, sample_size: u
     let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
     let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = b.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    RESULTS.lock().unwrap_or_else(|e| e.into_inner()).push(MeasuredResult {
+        id: label.to_string(),
+        min_ns: min,
+        mean_ns: mean,
+        max_ns: max,
+        samples: b.samples.len(),
+        iters_per_batch: b.iters_per_batch,
+    });
     println!(
         "{label:<40} time: [{} {} {}]  ({} samples × {} iters)",
         fmt_ns(min),
@@ -268,7 +420,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
-            $crate::warn_if_filter_matched_nothing();
+            $crate::finalize();
         }
     };
 }
@@ -298,5 +450,32 @@ mod tests {
         assert_eq!(fmt_ns(12_500.0), "12.500 µs");
         assert_eq!(fmt_ns(3_200_000.0), "3.200 ms");
         assert_eq!(fmt_ns(2_000_000_000.0), "2.000 s");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak"), "line\\u000abreak");
+    }
+
+    #[test]
+    fn results_json_shape() {
+        let results = vec![MeasuredResult {
+            id: "group/case".into(),
+            min_ns: 10.0,
+            mean_ns: 12.5,
+            max_ns: 20.0,
+            samples: 100,
+            iters_per_batch: 8,
+        }];
+        let json = results_json("linguistic", &results);
+        assert!(json.contains("\"bench\": \"linguistic\""));
+        assert!(json.contains("\"id\": \"group/case\""));
+        assert!(json.contains("\"mean_ns\": 12.50"));
+        assert!(json.contains("\"samples\": 100"));
+        assert!(json.contains("\"commit\""));
+        assert!(json.contains("\"rustc\""));
+        assert!(json.contains("\"cpu\""));
     }
 }

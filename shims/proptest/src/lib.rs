@@ -15,6 +15,7 @@
 //!   string literals / [`string::string_regex`] over a practical regex
 //!   subset (character classes and `{n}`/`{n,m}`/`?`/`+`/`*`
 //!   quantifiers),
+//! * [`collection::vec`] over any of the above,
 //! * [`test_runner::Config`] (`ProptestConfig`) with `with_cases`.
 //!
 //! Unlike real proptest there is **no shrinking**: a failing case panics
@@ -29,6 +30,16 @@
 pub mod strategy;
 pub mod string;
 pub mod test_runner;
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::{vec_strategy, Strategy, VecStrategy};
+
+    /// `Vec`s of `element`'s values with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        vec_strategy(element, len)
+    }
+}
 
 /// The commonly used items, for glob import.
 pub mod prelude {

@@ -76,3 +76,28 @@ impl Strategy for str {
             .generate(rng)
     }
 }
+
+/// A strategy producing `Vec`s of an element strategy's values, with a
+/// length drawn from a range — the shim's counterpart of
+/// `proptest::collection::vec`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.clone().generate(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Build a [`VecStrategy`]: `n` elements of `element`, `n` drawn from
+/// `len`.
+pub fn vec_strategy<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range strategy");
+    VecStrategy { element, len }
+}
