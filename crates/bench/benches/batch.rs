@@ -1,0 +1,134 @@
+//! Batch-matching benchmarks (DESIGN.md §7): the same all-pairs
+//! worklist run as independent `Cupid::match_schemas` calls
+//! (`independent/*`) versus one `MatchSession` (`session/*`), so a
+//! single recorded run shows the corpus-scale win directly.
+//!
+//! Two corpora: the paper's eight schemas (Figures 1/2, CIDX/Excel,
+//! RDB/Star — 28 pairs) and an eight-schema synthetic corpus (28
+//! pairs, ~32 leaves per schema).
+//! `session/*` runs single-threaded (pure shared-memo win);
+//! `session_mt/*` adds sharded multi-threaded pair execution. After the
+//! timed runs, the session's cache statistics are recorded into the
+//! JSON context block via the shim's `set_context` extension.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cupid_core::{Cupid, CupidConfig};
+use cupid_corpus::synthetic::{generate, SyntheticConfig};
+use cupid_corpus::{cidx_excel, fig1, fig2, star_rdb, thesauri};
+use cupid_eval::configs;
+use cupid_lexical::Thesaurus;
+use cupid_model::Schema;
+use std::hint::black_box;
+
+/// The paper's eight schemas as one corpus.
+fn paper_corpus() -> Vec<Schema> {
+    vec![
+        fig1::po(),
+        fig1::porder(),
+        fig2::po(),
+        fig2::purchase_order(),
+        cidx_excel::cidx(),
+        cidx_excel::excel(),
+        star_rdb::rdb(),
+        star_rdb::star(),
+    ]
+}
+
+/// An eight-schema synthetic corpus (four generated pairs sharing one
+/// word pool), ~32 leaves per schema — 28 pairs, the same worklist
+/// shape as the paper corpus.
+fn synthetic_corpus() -> Vec<Schema> {
+    [7u64, 8, 9, 10]
+        .iter()
+        .flat_map(|&seed| {
+            let pair = generate(&SyntheticConfig::sized(32, seed));
+            [pair.source, pair.target]
+        })
+        .collect()
+}
+
+/// The all-pairs worklist run as independent single-pair matches — the
+/// pre-session baseline every corpus harness had to pay.
+fn independent_all_pairs(cupid: &Cupid, corpus: &[Schema]) -> usize {
+    let mut mappings = 0usize;
+    for i in 0..corpus.len() {
+        for j in (i + 1)..corpus.len() {
+            let out = cupid.match_schemas(&corpus[i], &corpus[j]).unwrap();
+            mappings += out.leaf_mappings.len();
+        }
+    }
+    mappings
+}
+
+/// The same worklist through one session (prepare corpus + all pairs).
+fn session_all_pairs(cupid: &Cupid, corpus: &[Schema], threads: usize) -> usize {
+    let mut session = cupid.session().threads(threads);
+    session.add_corpus(corpus).unwrap();
+    session.match_all_pairs().iter().map(|s| s.leaf_mappings.len()).sum()
+}
+
+fn bench_corpus(
+    c: &mut Criterion,
+    label: &str,
+    cfg: CupidConfig,
+    th: Thesaurus,
+    corpus: &[Schema],
+) {
+    let mut g = c.benchmark_group("batch");
+    g.sample_size(20);
+    let cupid = Cupid::with_config(cfg, th);
+    g.bench_function(format!("independent/{label}"), |b| {
+        b.iter(|| black_box(independent_all_pairs(&cupid, corpus)))
+    });
+    g.bench_function(format!("session/{label}"), |b| {
+        b.iter(|| black_box(session_all_pairs(&cupid, corpus, 1)))
+    });
+    // Floor at 2 so the sharded code path is exercised (and its
+    // overhead measured honestly) even on single-CPU machines; the
+    // actual count lands in the JSON context.
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get().clamp(2, 8));
+    g.bench_function(format!("session_mt/{label}"), |b| {
+        b.iter(|| black_box(session_all_pairs(&cupid, corpus, threads)))
+    });
+    g.finish();
+
+    // Record the session's cache statistics (satellite of DESIGN.md §7:
+    // the denominator of the memoization win) into the JSON context.
+    let mut session = cupid.session().threads(1);
+    session.add_corpus(corpus).unwrap();
+    let n_pairs = session.match_all_pairs().len();
+    let stats = session.stats();
+    criterion::set_context(format!("{label}.schemas"), stats.schemas);
+    criterion::set_context(format!("{label}.pairs"), n_pairs);
+    criterion::set_context(format!("{label}.vocab_size"), stats.vocab_size);
+    criterion::set_context(
+        format!("{label}.distinct_pairs_computed"),
+        stats.distinct_pairs_computed,
+    );
+    criterion::set_context("session_mt.threads", threads);
+}
+
+fn bench_batch(c: &mut Criterion) {
+    bench_corpus(c, "paper8", configs::shallow_xml(), thesauri::paper_thesaurus(), &paper_corpus());
+    bench_corpus(
+        c,
+        "synthetic8x32",
+        configs::synthetic(),
+        synthetic_thesaurus(),
+        &synthetic_corpus(),
+    );
+}
+
+/// One thesaurus for the whole synthetic corpus.
+fn synthetic_thesaurus() -> Thesaurus {
+    // The generator registers exactly the entries its perturbations
+    // used; for a corpus we take the union by re-generating the pairs
+    // and merging is unnecessary — the shared word pool means the first
+    // pair's thesaurus already covers the bulk. Matching quality is not
+    // what this bench measures, so any fixed thesaurus works; use the
+    // seed-7 pair's.
+    generate(&SyntheticConfig::sized(32, 7)).thesaurus
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -18,6 +18,12 @@
 //!    weighted similarity `wsim = w_struct·ssim + (1−w_struct)·lsim` above
 //!    `th_accept` become mapping elements.
 //!
+//! For corpus-scale workloads, [`session`] adds batch matching on top
+//! of the same engine: per-schema precompute shared across pairs, one
+//! persistent token-similarity memo, and sharded multi-threaded pair
+//! execution with bit-identical results (DESIGN.md §7; see
+//! [`Cupid::session`] and [`Cupid::match_corpus`]).
+//!
 //! The entry point is [`Cupid`] in [`matcher`]:
 //!
 //! ```
@@ -52,6 +58,7 @@ pub mod learning;
 pub mod linguistic;
 pub mod mapping;
 pub mod matcher;
+pub mod session;
 pub mod simmatrix;
 pub mod treematch;
 pub mod types_compat;
@@ -60,7 +67,8 @@ pub use config::{CupidConfig, TokenTypeWeights};
 pub use learning::{Proposal, ThesaurusLearner};
 pub use linguistic::{LinguisticAnalysis, LsimTable};
 pub use mapping::{Cardinality, MappingElement};
-pub use matcher::{Cupid, MatchOutcome};
+pub use matcher::{CorpusMatch, Cupid, MatchOutcome};
+pub use session::{MatchSession, MatchSummary, PreparedSchema, SchemaId, SessionStats};
 pub use simmatrix::SimMatrix;
 pub use treematch::TreeMatchResult;
 pub use types_compat::TypeCompatibility;

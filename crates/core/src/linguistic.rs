@@ -194,6 +194,180 @@ fn comparable_ids(name: &NormalizedName) -> Vec<TokenId> {
     name.tokens.iter().zip(&name.ids).filter(|(t, _)| !t.is_ignored()).map(|(_, &id)| id).collect()
 }
 
+/// Everything the linguistic phase derives from *one* schema before any
+/// interning: normalized names, categories, and comparability flags.
+///
+/// This is the thread-safe half of per-schema precompute — it touches no
+/// shared state, so a batch session can run it for many schemas in
+/// parallel and then intern the results sequentially into one session
+/// [`TokenTable`] ([`RawSchemaLing::intern`]; DESIGN.md §7).
+#[derive(Debug, Clone)]
+pub struct RawSchemaLing {
+    names: Vec<NormalizedName>,
+    categories: SchemaCategories,
+    comparable: Vec<bool>,
+}
+
+impl RawSchemaLing {
+    /// Normalize and categorize one schema (no interning).
+    pub fn of(schema: &Schema, thesaurus: &Thesaurus) -> Self {
+        let normalizer = Normalizer::default();
+        let names: Vec<NormalizedName> =
+            schema.iter().map(|(_, e)| normalizer.normalize(&e.name, thesaurus)).collect();
+        let categories = categorize(schema, &names);
+        let comparable: Vec<bool> =
+            schema.iter().map(|(e, _)| is_linguistically_comparable(schema, e)).collect();
+        RawSchemaLing { names, categories, comparable }
+    }
+
+    /// Intern every name and category keyword into `table`, producing
+    /// the pair-ready [`SchemaLing`]. Interning order only assigns ids;
+    /// similarity values depend on `(class, text)` alone, so schemas
+    /// interned in any order produce bit-identical `lsim` tables.
+    pub fn intern(mut self, table: &mut TokenTable) -> SchemaLing {
+        for n in self.names.iter_mut() {
+            table.intern_name(n);
+        }
+        let typed: Vec<TypedIds> = self.names.iter().map(TypedIds::of).collect();
+        // Container keywords are clones of element names; concept and
+        // data-type keywords are freshly built. Intern them all
+        // unconditionally (idempotent, and ids from any other table
+        // would be silently wrong).
+        for c in self.categories.categories.iter_mut() {
+            table.intern_name(&mut c.keywords);
+        }
+        let keyword_ids: Vec<Vec<TokenId>> =
+            self.categories.categories.iter().map(|c| comparable_ids(&c.keywords)).collect();
+        SchemaLing {
+            names: self.names,
+            categories: self.categories,
+            typed,
+            keyword_ids,
+            comparable: self.comparable,
+        }
+    }
+}
+
+/// One schema's complete linguistic precompute, interned into a (shared)
+/// [`TokenTable`]: the per-schema half of the split `analyze`. Two of
+/// these plus a [`TokenSimCache`] over the same table are all
+/// [`pair_lsim`] needs — no re-normalization, re-categorization or
+/// re-interning per pair (DESIGN.md §7).
+#[derive(Debug, Clone)]
+pub struct SchemaLing {
+    /// Normalized names by element index.
+    pub names: Vec<NormalizedName>,
+    /// The schema's categories (§5.2).
+    pub categories: SchemaCategories,
+    /// Per-element interned ids grouped by token type.
+    typed: Vec<TypedIds>,
+    /// Per-category comparable keyword ids.
+    keyword_ids: Vec<Vec<TokenId>>,
+    /// Per-element: participates in linguistic matching (§8.2).
+    comparable: Vec<bool>,
+}
+
+impl SchemaLing {
+    /// Precompute one schema in one step (normalize + categorize +
+    /// intern into `table`).
+    pub fn prepare(schema: &Schema, thesaurus: &Thesaurus, table: &mut TokenTable) -> Self {
+        RawSchemaLing::of(schema, thesaurus).intern(table)
+    }
+
+    /// Number of schema elements covered.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the schema had no elements.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// The per-pair output of [`pair_lsim`]: the `lsim` table plus the
+/// pruning counters, without the per-schema artifacts (those live in the
+/// two [`SchemaLing`]s and are shared across pairs).
+#[derive(Debug, Clone)]
+pub struct PairLsim {
+    /// The linguistic similarity table.
+    pub lsim: LsimTable,
+    /// Number of compatible category pairs found.
+    pub compatible_category_pairs: usize,
+    /// Number of element pairs actually compared (pruning diagnostics).
+    pub compared_pairs: usize,
+    /// Total element pairs (`|S1| × |S2|`).
+    pub total_pairs: usize,
+}
+
+/// The per-pair half of the split linguistic phase: combine two prepared
+/// schemas into an `lsim` table. Identical formulas and loop order to
+/// [`analyze`] (which is implemented on top of this), so the output is
+/// bit-identical to the single-pair path no matter how the inputs were
+/// prepared or which (warm or cold) cache is supplied — `sim` values
+/// depend only on token content, never on cache state.
+pub fn pair_lsim(
+    p1: &SchemaLing,
+    p2: &SchemaLing,
+    cfg: &CupidConfig,
+    cache: &mut TokenSimCache<'_>,
+) -> PairLsim {
+    let (n1, n2) = (p1.len(), p2.len());
+    // Compatible category pairs: keyword sets name-similar above th_ns.
+    // The comparison uses the plain (unweighted) set formula over the
+    // comparable keyword tokens.
+    let mut compatible_pairs = 0usize;
+    // scale[e1][e2] = max ns(c1,c2) over compatible category pairs.
+    let mut scale = SimMatrix::zeros(n1, n2);
+    for (c1, k1) in p1.categories.categories.iter().zip(&p1.keyword_ids) {
+        for (c2, k2) in p2.categories.categories.iter().zip(&p2.keyword_ids) {
+            let ns_k = ns_token_ids(k1, k2, cache);
+            if ns_k <= cfg.th_ns {
+                continue;
+            }
+            compatible_pairs += 1;
+            for &m1 in &c1.members {
+                for &m2 in &c2.members {
+                    if ns_k > scale.get(m1.index(), m2.index()) {
+                        scale.set(m1.index(), m2.index(), ns_k);
+                    }
+                }
+            }
+        }
+    }
+
+    // lsim = ns(m1,m2) × max category ns, for pairs with any compatible
+    // category; zero elsewhere. Element ids are dense and in arena
+    // order ([`Schema::iter`]), so iterating indices is iterating
+    // elements.
+    let mut lsim = LsimTable::zeros(n1, n2);
+    let mut compared = 0usize;
+    for i1 in 0..n1 {
+        if !p1.comparable[i1] {
+            continue;
+        }
+        for i2 in 0..n2 {
+            if !p2.comparable[i2] {
+                continue;
+            }
+            let sc = scale.get(i1, i2);
+            if sc <= 0.0 {
+                continue;
+            }
+            compared += 1;
+            let ns = ns_elements_ids(&p1.typed[i1], &p2.typed[i2], &cfg.token_weights, cache);
+            lsim.set(ElementId::from_index(i1), ElementId::from_index(i2), ns * sc);
+        }
+    }
+
+    PairLsim {
+        lsim,
+        compatible_category_pairs: compatible_pairs,
+        compared_pairs: compared,
+        total_pairs: n1 * n2,
+    }
+}
+
 /// The `lsim` lookup table, indexed by element ids of the two schemas.
 #[derive(Debug, Clone)]
 pub struct LsimTable {
@@ -265,107 +439,36 @@ impl LinguisticAnalysis {
 
 /// Run the linguistic phase over two schemas (the interned engine).
 ///
-/// Normalizes and interns both schemas' names into one [`TokenTable`],
-/// precomputes per-type id slices per element, and answers every
-/// `sim(t1, t2)` — in the category-compatibility loop and in the
-/// element-pair loop — through a [`TokenSimCache`] that computes each
-/// distinct token pair exactly once. Produces bit-identical output to
-/// [`analyze_naive`].
+/// Implemented as the split engine run once: both schemas are prepared
+/// ([`SchemaLing::prepare`] — normalization, categorization, interning
+/// into one [`TokenTable`], per-type id slices per element) and combined
+/// ([`pair_lsim`]), with every `sim(t1, t2)` answered through a
+/// [`TokenSimCache`] that computes each distinct token pair exactly
+/// once. Produces bit-identical output to [`analyze_naive`]; batch
+/// sessions ([`crate::session`]) call the same two halves but reuse the
+/// per-schema half across pairs.
 pub fn analyze(
     s1: &Schema,
     s2: &Schema,
     thesaurus: &Thesaurus,
     cfg: &CupidConfig,
 ) -> LinguisticAnalysis {
-    let normalizer = Normalizer::default();
     let mut table = TokenTable::new();
-    let mut names1: Vec<NormalizedName> =
-        s1.iter().map(|(_, e)| normalizer.normalize(&e.name, thesaurus)).collect();
-    let mut names2: Vec<NormalizedName> =
-        s2.iter().map(|(_, e)| normalizer.normalize(&e.name, thesaurus)).collect();
-    for n in names1.iter_mut().chain(names2.iter_mut()) {
-        table.intern_name(n);
-    }
-    let typed1: Vec<TypedIds> = names1.iter().map(TypedIds::of).collect();
-    let typed2: Vec<TypedIds> = names2.iter().map(TypedIds::of).collect();
-
-    let mut categories1 = categorize(s1, &names1);
-    let mut categories2 = categorize(s2, &names2);
-    // Container keywords are clones of already-interned element names;
-    // concept and data-type keywords are freshly built. Intern them all
-    // unconditionally (idempotent, and ids from any other table would be
-    // silently wrong), then freeze the vocabulary.
-    for c in categories1.categories.iter_mut().chain(categories2.categories.iter_mut()) {
-        table.intern_name(&mut c.keywords);
-    }
-    let kw1: Vec<Vec<TokenId>> =
-        categories1.categories.iter().map(|c| comparable_ids(&c.keywords)).collect();
-    let kw2: Vec<Vec<TokenId>> =
-        categories2.categories.iter().map(|c| comparable_ids(&c.keywords)).collect();
-
+    let p1 = SchemaLing::prepare(s1, thesaurus, &mut table);
+    let p2 = SchemaLing::prepare(s2, thesaurus, &mut table);
     let mut cache = TokenSimCache::new(&table, thesaurus, &cfg.affix);
-
-    // Compatible category pairs: keyword sets name-similar above th_ns.
-    // The comparison uses the plain (unweighted) set formula over the
-    // comparable keyword tokens.
-    let mut compatible_pairs = 0usize;
-    // scale[e1][e2] = max ns(c1,c2) over compatible category pairs.
-    let mut scale = SimMatrix::zeros(s1.len(), s2.len());
-    for (c1, k1) in categories1.categories.iter().zip(&kw1) {
-        for (c2, k2) in categories2.categories.iter().zip(&kw2) {
-            let ns_k = ns_token_ids(k1, k2, &mut cache);
-            if ns_k <= cfg.th_ns {
-                continue;
-            }
-            compatible_pairs += 1;
-            for &m1 in &c1.members {
-                for &m2 in &c2.members {
-                    if ns_k > scale.get(m1.index(), m2.index()) {
-                        scale.set(m1.index(), m2.index(), ns_k);
-                    }
-                }
-            }
-        }
-    }
-
-    // lsim = ns(m1,m2) × max category ns, for pairs with any compatible
-    // category; zero elsewhere.
-    let mut lsim = LsimTable::zeros(s1.len(), s2.len());
-    let mut compared = 0usize;
-    for (e1, _) in s1.iter() {
-        if !is_linguistically_comparable(s1, e1) {
-            continue;
-        }
-        for (e2, _) in s2.iter() {
-            if !is_linguistically_comparable(s2, e2) {
-                continue;
-            }
-            let sc = scale.get(e1.index(), e2.index());
-            if sc <= 0.0 {
-                continue;
-            }
-            compared += 1;
-            let ns = ns_elements_ids(
-                &typed1[e1.index()],
-                &typed2[e2.index()],
-                &cfg.token_weights,
-                &mut cache,
-            );
-            lsim.set(e1, e2, ns * sc);
-        }
-    }
-
+    let pair = pair_lsim(&p1, &p2, cfg, &mut cache);
     LinguisticAnalysis {
-        total_pairs: s1.len() * s2.len(),
+        total_pairs: pair.total_pairs,
         vocab_size: cache.vocab_size(),
         distinct_token_pairs: cache.distinct_pairs_computed(),
-        names1,
-        names2,
-        categories1,
-        categories2,
-        lsim,
-        compatible_category_pairs: compatible_pairs,
-        compared_pairs: compared,
+        names1: p1.names,
+        names2: p2.names,
+        categories1: p1.categories,
+        categories2: p2.categories,
+        lsim: pair.lsim,
+        compatible_category_pairs: pair.compatible_category_pairs,
+        compared_pairs: pair.compared_pairs,
     }
 }
 

@@ -15,6 +15,7 @@ use crate::config::CupidConfig;
 use crate::lazy;
 use crate::linguistic::{analyze, LinguisticAnalysis};
 use crate::mapping::{leaf_mappings, nonleaf_mappings, Cardinality, MappingElement};
+use crate::session::{MatchSession, MatchSummary, SessionStats};
 use crate::treematch::{tree_match, TreeMatchResult};
 
 /// The complete match outcome: mappings plus every intermediate artifact
@@ -85,6 +86,25 @@ impl MatchOutcome {
     }
 }
 
+/// The result of [`Cupid::match_corpus`]: one [`MatchSummary`] per
+/// unordered schema pair (lexicographic order) plus the session's
+/// aggregate cache statistics.
+#[derive(Debug, Clone)]
+pub struct CorpusMatch {
+    /// Per-pair summaries, `(i, j)` with `i < j` in corpus order.
+    pub summaries: Vec<MatchSummary>,
+    /// Session counters (vocabulary size, memoized token pairs, …).
+    pub stats: SessionStats,
+}
+
+impl CorpusMatch {
+    /// The summary for a pair of corpus indices, if it was matched.
+    pub fn pair(&self, i: usize, j: usize) -> Option<&MatchSummary> {
+        let (i, j) = if i <= j { (i, j) } else { (j, i) };
+        self.summaries.iter().find(|s| s.source.index() == i && s.target.index() == j)
+    }
+}
+
 /// The Cupid matcher: configuration + thesaurus.
 #[derive(Debug, Clone)]
 pub struct Cupid {
@@ -125,6 +145,26 @@ impl Cupid {
     /// Match two schemas end to end.
     pub fn match_schemas(&self, s1: &Schema, s2: &Schema) -> Result<MatchOutcome, ModelError> {
         self.match_schemas_seeded(s1, s2, &[])
+    }
+
+    /// Open a batch-matching session over this matcher's configuration
+    /// and thesaurus (DESIGN.md §7): schemas are prepared once, one
+    /// token-similarity memo persists across all pairs, and pair
+    /// worklists shard across OS threads — with results bit-identical
+    /// to [`Cupid::match_schemas`] on the same pairs.
+    pub fn session(&self) -> MatchSession<'_> {
+        MatchSession::new(&self.config, &self.thesaurus)
+    }
+
+    /// Match every unordered pair of a schema corpus in one session —
+    /// the Valentine-style all-pairs discovery workload. Convenience
+    /// wrapper over [`Cupid::session`]; use the session directly for
+    /// incremental corpora, explicit worklists or thread-count control.
+    pub fn match_corpus(&self, schemas: &[Schema]) -> Result<CorpusMatch, ModelError> {
+        let mut session = self.session();
+        session.add_corpus(schemas)?;
+        let summaries = session.match_all_pairs();
+        Ok(CorpusMatch { summaries, stats: session.stats() })
     }
 
     /// Match two schemas with a user-supplied initial mapping (§8.4):
@@ -284,6 +324,23 @@ mod tests {
         let g_before = without.wsim_of_paths("S1.GrpQ", "S2.SectZ");
         let g_after = with.wsim_of_paths("S1.GrpQ", "S2.SectZ");
         assert!(g_after > g_before, "seed must lift ancestors: {g_before} -> {g_after}");
+    }
+
+    #[test]
+    fn match_corpus_agrees_with_single_pairs() {
+        let (po, porder) = fig1();
+        let cupid = Cupid::new(paper_thesaurus());
+        let corpus = [po.clone(), porder.clone(), po.clone()];
+        let out = cupid.match_corpus(&corpus).unwrap();
+        assert_eq!(out.summaries.len(), 3);
+        assert_eq!(out.stats.pairs_matched, 3);
+        assert!(out.stats.vocab_size > 0);
+        let single = cupid.match_schemas(&po, &porder).unwrap();
+        let pair = out.pair(0, 1).unwrap();
+        assert_eq!(pair.leaf_mappings, single.leaf_mappings);
+        assert_eq!(pair.nonleaf_mappings, single.nonleaf_mappings);
+        assert!(out.pair(1, 0).is_some(), "pair lookup is unordered");
+        assert!(out.pair(0, 3).is_none());
     }
 
     #[test]

@@ -1,0 +1,670 @@
+//! Corpus-scale batch matching: [`MatchSession`] (DESIGN.md §7).
+//!
+//! A session amortizes everything a single [`crate::Cupid`] match throws
+//! away: each schema is prepared **once** (expansion, normalization,
+//! categorization, interning into one session-wide `TokenTable`), and
+//! one growable token-similarity memo persists across every pair, so a
+//! distinct token pair is computed once per *corpus* instead of once per
+//! *match*. Pair worklists are sharded across OS threads with
+//! [`std::thread::scope`]; results are bit-identical to running the same
+//! pairs as independent [`crate::Cupid::match_schemas`] calls, which
+//! `tests/batch_equivalence.rs` proves under 1, 2 and 4 threads.
+//!
+//! Batch results are lightweight [`MatchSummary`] values (mappings +
+//! top-k leaf similarities + pruning counters): an all-pairs run over an
+//! N-schema corpus must not hold O(N²) cloned trees and similarity
+//! matrices. Use the single-pair API ([`crate::Cupid::match_schemas`])
+//! when the full [`crate::MatchOutcome`] is needed.
+//!
+//! ```
+//! use cupid_core::session::MatchSession;
+//! use cupid_core::CupidConfig;
+//! use cupid_lexical::Thesaurus;
+//! use cupid_model::{DataType, ElementKind, SchemaBuilder};
+//!
+//! let schema = |name: &str, field: &str| {
+//!     let mut b = SchemaBuilder::new(name);
+//!     let item = b.structured(b.root(), "Item", ElementKind::XmlElement);
+//!     b.atomic(item, field, ElementKind::XmlElement, DataType::Int);
+//!     b.build().unwrap()
+//! };
+//! let corpus = [schema("A", "Quantity"), schema("B", "Quantity"), schema("C", "Flags")];
+//!
+//! let cfg = CupidConfig::default();
+//! let thesaurus = Thesaurus::with_default_stopwords();
+//! let mut session = MatchSession::new(&cfg, &thesaurus);
+//! let ids = session.add_corpus(&corpus).unwrap();
+//! let summaries = session.match_all_pairs();
+//! assert_eq!(summaries.len(), 3); // (A,B), (A,C), (B,C)
+//! assert_eq!(ids.len(), session.stats().schemas);
+//! ```
+
+use cupid_lexical::{SimStore, Thesaurus, TokenSimCache, TokenTable};
+use cupid_model::{expand, ModelError, NodeId, Schema, SchemaTree};
+
+use crate::config::CupidConfig;
+use crate::linguistic::{pair_lsim, LsimTable, RawSchemaLing, SchemaLing};
+use crate::mapping::{leaf_mappings, nonleaf_mappings, Cardinality, MappingElement};
+use crate::treematch::tree_match;
+
+/// Handle of a schema prepared into a [`MatchSession`], in preparation
+/// order. Only meaningful relative to the session that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SchemaId(usize);
+
+impl SchemaId {
+    /// The dense index of this schema in its session.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One schema's complete per-schema precompute: the expanded tree plus
+/// the interned linguistic artifacts. Self-contained (no borrow of the
+/// input [`Schema`]), so pair execution over shared `&PreparedSchema`s
+/// can run on worker threads.
+#[derive(Debug, Clone)]
+pub struct PreparedSchema {
+    /// The schema's name (for reports).
+    pub name: String,
+    /// Expanded schema tree (§8).
+    pub tree: SchemaTree,
+    /// Interned linguistic precompute (names, categories, id slices).
+    pub ling: SchemaLing,
+}
+
+/// One leaf-pair similarity entry of a [`MatchSummary`]'s top-k list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityEntry {
+    /// Source context path.
+    pub source_path: String,
+    /// Target context path.
+    pub target_path: String,
+    /// Weighted similarity of the pair.
+    pub wsim: f64,
+}
+
+/// Lightweight per-pair result for batch mode: the generated mappings
+/// and the top-k leaf similarities, with the trees and similarity
+/// matrices dropped. An all-pairs corpus run holds O(N²) of these, so
+/// they must stay small; the single-pair API ([`crate::Cupid`]) keeps
+/// returning the full [`crate::MatchOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchSummary {
+    /// Source schema.
+    pub source: SchemaId,
+    /// Target schema.
+    pub target: SchemaId,
+    /// Leaf-level mapping (the paper's naïve 1:n generator, §7).
+    pub leaf_mappings: Vec<MappingElement>,
+    /// Non-leaf 1:1 mapping.
+    pub nonleaf_mappings: Vec<MappingElement>,
+    /// The k highest-`wsim` leaf pairs (threshold-free), descending;
+    /// ties broken by node indices for determinism.
+    pub top_pairs: Vec<SimilarityEntry>,
+    /// Element pairs the linguistic phase actually compared.
+    pub compared_pairs: usize,
+    /// Total element pairs (`|S1| × |S2|`).
+    pub total_pairs: usize,
+}
+
+impl MatchSummary {
+    /// True if some leaf mapping relates the two context paths.
+    pub fn has_leaf_mapping(&self, source_path: &str, target_path: &str) -> bool {
+        self.leaf_mappings
+            .iter()
+            .any(|m| m.source_path == source_path && m.target_path == target_path)
+    }
+
+    /// Highest leaf-pair weighted similarity (0.0 for empty schemas) —
+    /// the usual ranking score for corpus discovery.
+    pub fn best_wsim(&self) -> f64 {
+        self.top_pairs.first().map_or(0.0, |e| e.wsim)
+    }
+}
+
+/// Aggregate counters of a session, for reports and the `batch` bench
+/// context block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Schemas prepared into the session.
+    pub schemas: usize,
+    /// Pairs matched so far (across all `match_*` calls).
+    pub pairs_matched: usize,
+    /// Distinct interned tokens across the whole corpus (`|V|`).
+    pub vocab_size: usize,
+    /// Distinct token pairs whose similarity is memoized in the session
+    /// store — every further comparison anywhere in the corpus is a
+    /// lookup.
+    pub distinct_pairs_computed: usize,
+}
+
+/// A batch-matching session: shared interner, persistent similarity
+/// memo, per-schema precompute, sharded pair execution (DESIGN.md §7).
+///
+/// Construct via [`MatchSession::new`] or [`crate::Cupid::session`],
+/// [`MatchSession::add`]/[`add_corpus`](MatchSession::add_corpus) the
+/// schemas, then run [`match_pair`](MatchSession::match_pair),
+/// [`match_pairs`](MatchSession::match_pairs) or
+/// [`match_all_pairs`](MatchSession::match_all_pairs). Results are
+/// bit-identical to independent [`crate::Cupid::match_schemas`] calls
+/// regardless of the thread count.
+#[derive(Debug)]
+pub struct MatchSession<'a> {
+    config: &'a CupidConfig,
+    thesaurus: &'a Thesaurus,
+    table: TokenTable,
+    store: SimStore,
+    schemas: Vec<PreparedSchema>,
+    threads: usize,
+    top_k: usize,
+    pairs_matched: usize,
+}
+
+impl<'a> MatchSession<'a> {
+    /// A session over a configuration and thesaurus (both outlive the
+    /// session; one thesaurus serves the whole corpus).
+    ///
+    /// Defaults: one worker thread per available CPU (capped at 8) and
+    /// `top_k = 10` similarity entries per summary.
+    pub fn new(config: &'a CupidConfig, thesaurus: &'a Thesaurus) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
+        MatchSession {
+            config,
+            thesaurus,
+            table: TokenTable::new(),
+            store: SimStore::new(),
+            schemas: Vec::new(),
+            threads,
+            top_k: 10,
+            pairs_matched: 0,
+        }
+    }
+
+    /// Set the worker-thread count for sharded pair execution (and for
+    /// parallel per-schema prepare). `1` keeps everything on the calling
+    /// thread, where the session memo is shared perfectly across all
+    /// pairs; `n > 1` shards the worklist, each shard working on a clone
+    /// of the warm memo that is merged back afterwards. The thread count
+    /// never affects results, only wall-clock time.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Set how many top leaf similarities each [`MatchSummary`] keeps.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// Prepare one schema into the session: expansion, normalization,
+    /// categorization, interning — each done exactly once no matter how
+    /// many pairs the schema later participates in.
+    pub fn add(&mut self, schema: &Schema) -> Result<SchemaId, ModelError> {
+        let tree = expand(schema, &self.config.expand)?;
+        let raw = RawSchemaLing::of(schema, self.thesaurus);
+        Ok(self.push_prepared(schema.name().to_string(), tree, raw))
+    }
+
+    /// Prepare a whole corpus. The thread-safe half of preparation
+    /// (expansion, normalization, categorization) fans out across the
+    /// session's worker threads; interning into the shared table then
+    /// runs sequentially in corpus order, so ids — and therefore every
+    /// downstream artifact — are independent of thread scheduling.
+    ///
+    /// All-or-nothing: if any schema fails to expand, the error is
+    /// returned and the session is left exactly as it was — no schema
+    /// of the batch is added, so a retry after fixing the corpus cannot
+    /// create duplicates.
+    pub fn add_corpus(&mut self, schemas: &[Schema]) -> Result<Vec<SchemaId>, ModelError> {
+        let threads = self.threads.min(schemas.len()).max(1);
+        let config = self.config;
+        let thesaurus = self.thesaurus;
+        let mut raw: Vec<Option<Result<(SchemaTree, RawSchemaLing), ModelError>>> = Vec::new();
+        if threads <= 1 {
+            for s in schemas {
+                raw.push(Some(prepare_raw(s, config, thesaurus)));
+            }
+        } else {
+            raw.resize_with(schemas.len(), || None);
+            let chunk = schemas.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = schemas
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(w, shard)| {
+                        scope.spawn(move || {
+                            let prepared: Vec<_> =
+                                shard.iter().map(|s| prepare_raw(s, config, thesaurus)).collect();
+                            (w * chunk, prepared)
+                        })
+                    })
+                    .collect();
+                for worker in workers {
+                    let (base, prepared) = worker.join().expect("prepare worker panicked");
+                    for (i, p) in prepared.into_iter().enumerate() {
+                        raw[base + i] = Some(p);
+                    }
+                }
+            });
+        }
+        // Surface any preparation error before mutating the session, so
+        // a failed batch leaves no partial state behind.
+        let mut prepared = Vec::with_capacity(schemas.len());
+        for r in raw {
+            prepared.push(r.expect("every schema prepared")?);
+        }
+        let mut ids = Vec::with_capacity(schemas.len());
+        for (s, (tree, raw)) in schemas.iter().zip(prepared) {
+            ids.push(self.push_prepared(s.name().to_string(), tree, raw));
+        }
+        Ok(ids)
+    }
+
+    fn push_prepared(&mut self, name: String, tree: SchemaTree, raw: RawSchemaLing) -> SchemaId {
+        let ling = raw.intern(&mut self.table);
+        self.schemas.push(PreparedSchema { name, tree, ling });
+        SchemaId(self.schemas.len() - 1)
+    }
+
+    /// Number of schemas prepared so far.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// True if no schema has been prepared yet.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// A prepared schema, by id.
+    pub fn schema(&self, id: SchemaId) -> &PreparedSchema {
+        &self.schemas[id.0]
+    }
+
+    /// All schema ids, in preparation order.
+    pub fn ids(&self) -> impl Iterator<Item = SchemaId> {
+        (0..self.schemas.len()).map(SchemaId)
+    }
+
+    /// Aggregate session counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            schemas: self.schemas.len(),
+            pairs_matched: self.pairs_matched,
+            vocab_size: self.table.len(),
+            distinct_pairs_computed: self.store.distinct_pairs_computed(),
+        }
+    }
+
+    /// Match one prepared pair on the calling thread, reusing (and
+    /// further warming) the session's persistent similarity memo.
+    pub fn match_pair(&mut self, source: SchemaId, target: SchemaId) -> MatchSummary {
+        let store = std::mem::take(&mut self.store);
+        let mut cache =
+            TokenSimCache::with_store(&self.table, self.thesaurus, &self.config.affix, store);
+        let summary = execute_pair(
+            self.config,
+            &self.schemas[source.0],
+            &self.schemas[target.0],
+            source,
+            target,
+            self.top_k,
+            &mut cache,
+        );
+        self.store = cache.into_store();
+        self.pairs_matched += 1;
+        summary
+    }
+
+    /// The linguistic similarity table of a prepared pair, computed
+    /// through the session memo — diagnostics, and the anchor of the
+    /// batch-equivalence suite (bit-identical to
+    /// [`crate::linguistic::analyze`] on the same schemas).
+    pub fn lsim_of(&mut self, source: SchemaId, target: SchemaId) -> LsimTable {
+        let store = std::mem::take(&mut self.store);
+        let mut cache =
+            TokenSimCache::with_store(&self.table, self.thesaurus, &self.config.affix, store);
+        let pair = pair_lsim(
+            &self.schemas[source.0].ling,
+            &self.schemas[target.0].ling,
+            self.config,
+            &mut cache,
+        );
+        self.store = cache.into_store();
+        pair.lsim
+    }
+
+    /// Match an explicit worklist of prepared pairs, sharded across the
+    /// session's worker threads. Summaries come back in worklist order;
+    /// results are bit-identical for every thread count (DESIGN.md §7:
+    /// each pair is a pure function of frozen inputs, and cache state
+    /// only decides *when* a token-pair similarity is computed, never
+    /// *what* it is).
+    pub fn match_pairs(&mut self, worklist: &[(SchemaId, SchemaId)]) -> Vec<MatchSummary> {
+        let threads = self.threads.min(worklist.len());
+        if threads <= 1 {
+            return worklist.iter().map(|&(a, b)| self.match_pair(a, b)).collect();
+        }
+        let mut store = std::mem::take(&mut self.store);
+        let chunk = worklist.len().div_ceil(threads);
+        let this = &*self;
+        let mut summaries: Vec<MatchSummary> = Vec::with_capacity(worklist.len());
+        let mut shard_stores: Vec<SimStore> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = worklist
+                .chunks(chunk)
+                .map(|shard| {
+                    // Every shard starts from a clone of the warm session
+                    // memo: prior work is shared, only newly discovered
+                    // token pairs can be duplicated across shards.
+                    let shard_store = store.clone();
+                    scope.spawn(move || {
+                        let mut cache = TokenSimCache::with_store(
+                            &this.table,
+                            this.thesaurus,
+                            &this.config.affix,
+                            shard_store,
+                        );
+                        let out: Vec<MatchSummary> = shard
+                            .iter()
+                            .map(|&(a, b)| {
+                                execute_pair(
+                                    this.config,
+                                    &this.schemas[a.0],
+                                    &this.schemas[b.0],
+                                    a,
+                                    b,
+                                    this.top_k,
+                                    &mut cache,
+                                )
+                            })
+                            .collect();
+                        (out, cache.into_store())
+                    })
+                })
+                .collect();
+            for worker in workers {
+                let (out, shard_store) = worker.join().expect("match worker panicked");
+                summaries.extend(out);
+                shard_stores.push(shard_store);
+            }
+        });
+        for shard_store in shard_stores {
+            store.merge(shard_store);
+        }
+        self.store = store;
+        self.pairs_matched += worklist.len();
+        summaries
+    }
+
+    /// Match every unordered schema pair `(i, j)` with `i < j`, in
+    /// lexicographic order — the Valentine-style all-pairs discovery
+    /// workload.
+    pub fn match_all_pairs(&mut self) -> Vec<MatchSummary> {
+        let n = self.schemas.len();
+        let mut worklist = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                worklist.push((SchemaId(i), SchemaId(j)));
+            }
+        }
+        self.match_pairs(&worklist)
+    }
+}
+
+/// Per-schema raw preparation (the parallel-safe half of `add_corpus`).
+fn prepare_raw(
+    schema: &Schema,
+    config: &CupidConfig,
+    thesaurus: &Thesaurus,
+) -> Result<(SchemaTree, RawSchemaLing), ModelError> {
+    let tree = expand(schema, &config.expand)?;
+    Ok((tree, RawSchemaLing::of(schema, thesaurus)))
+}
+
+/// Execute one pair over frozen prepared schemas: per-pair linguistic
+/// combine, TreeMatch, mapping generation, top-k extraction. Mirrors
+/// [`crate::Cupid::match_trees`] (same phases, same cardinalities), so
+/// summaries agree bit-for-bit with the single-pair API.
+fn execute_pair(
+    cfg: &CupidConfig,
+    s1: &PreparedSchema,
+    s2: &PreparedSchema,
+    source: SchemaId,
+    target: SchemaId,
+    top_k: usize,
+    cache: &mut TokenSimCache<'_>,
+) -> MatchSummary {
+    let pair = pair_lsim(&s1.ling, &s2.ling, cfg, cache);
+    let res = tree_match(&s1.tree, &s2.tree, &pair.lsim, cfg);
+    let leaf = leaf_mappings(&s1.tree, &s2.tree, &res, &pair.lsim, cfg, Cardinality::OneToN);
+    let nonleaf =
+        nonleaf_mappings(&s1.tree, &s2.tree, &res, &pair.lsim, cfg, Cardinality::OneToOne);
+
+    // Top-k leaf similarities, threshold-free (discovery signal even
+    // when nothing clears th_accept). Deterministic order: descending
+    // wsim, then source/target node index.
+    let leaves = |tree: &SchemaTree| -> Vec<usize> {
+        tree.iter().filter(|(_, n)| n.is_leaf()).map(|(id, _)| id.index()).collect()
+    };
+    let (leaves1, leaves2) = (leaves(&s1.tree), leaves(&s2.tree));
+    let mut entries: Vec<(f64, usize, usize)> = Vec::with_capacity(leaves1.len() * leaves2.len());
+    for &s in &leaves1 {
+        for &t in &leaves2 {
+            entries.push((res.wsim.get(s, t), s, t));
+        }
+    }
+    entries.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    entries.truncate(top_k);
+    let top_pairs = entries
+        .into_iter()
+        .map(|(wsim, s, t)| SimilarityEntry {
+            source_path: s1.tree.path(NodeId::from_index(s)).to_string(),
+            target_path: s2.tree.path(NodeId::from_index(t)).to_string(),
+            wsim,
+        })
+        .collect();
+
+    MatchSummary {
+        source,
+        target,
+        leaf_mappings: leaf,
+        nonleaf_mappings: nonleaf,
+        top_pairs,
+        compared_pairs: pair.compared_pairs,
+        total_pairs: pair.total_pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cupid;
+    use cupid_lexical::ThesaurusBuilder;
+    use cupid_model::{DataType, ElementKind, SchemaBuilder};
+
+    fn thesaurus() -> Thesaurus {
+        ThesaurusBuilder::new()
+            .abbreviation("Qty", &["quantity"])
+            .synonym("Invoice", "Bill", 1.0)
+            .build()
+            .unwrap()
+    }
+
+    fn schema(name: &str, container: &str, fields: &[(&str, DataType)]) -> Schema {
+        let mut b = SchemaBuilder::new(name);
+        let c = b.structured(b.root(), container, ElementKind::XmlElement);
+        for (f, dt) in fields {
+            b.atomic(c, *f, ElementKind::XmlElement, *dt);
+        }
+        b.build().unwrap()
+    }
+
+    fn corpus() -> Vec<Schema> {
+        vec![
+            schema("S0", "Item", &[("Qty", DataType::Int), ("Invoice", DataType::String)]),
+            schema("S1", "Item", &[("Quantity", DataType::Int), ("Bill", DataType::String)]),
+            schema("S2", "Order", &[("Quantity", DataType::Int)]),
+            schema("S3", "Thing", &[("Unrelated", DataType::Date)]),
+        ]
+    }
+
+    #[test]
+    fn session_matches_single_pair_api() {
+        let cfg = CupidConfig::default();
+        let th = thesaurus();
+        let corpus = corpus();
+        let mut session = MatchSession::new(&cfg, &th).threads(1);
+        let ids = session.add_corpus(&corpus).unwrap();
+        let summary = session.match_pair(ids[0], ids[1]);
+        let outcome = Cupid::with_config(cfg.clone(), th.clone())
+            .match_schemas(&corpus[0], &corpus[1])
+            .unwrap();
+        assert_eq!(summary.leaf_mappings, outcome.leaf_mappings);
+        assert_eq!(summary.nonleaf_mappings, outcome.nonleaf_mappings);
+        assert_eq!(summary.compared_pairs, outcome.linguistic.compared_pairs);
+        assert!(summary.has_leaf_mapping("S0.Item.Qty", "S1.Item.Quantity"));
+    }
+
+    #[test]
+    fn all_pairs_order_and_count() {
+        let cfg = CupidConfig::default();
+        let th = thesaurus();
+        let corpus = corpus();
+        let mut session = MatchSession::new(&cfg, &th).threads(1);
+        session.add_corpus(&corpus).unwrap();
+        let summaries = session.match_all_pairs();
+        assert_eq!(summaries.len(), 6);
+        let pairs: Vec<(usize, usize)> =
+            summaries.iter().map(|s| (s.source.index(), s.target.index())).collect();
+        assert_eq!(pairs, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let stats = session.stats();
+        assert_eq!(stats.pairs_matched, 6);
+        assert_eq!(stats.schemas, 4);
+        assert!(stats.vocab_size > 0);
+        assert!(stats.distinct_pairs_computed > 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let cfg = CupidConfig::default();
+        let th = thesaurus();
+        let corpus = corpus();
+        let run = |threads: usize| {
+            let mut session = MatchSession::new(&cfg, &th).threads(threads);
+            session.add_corpus(&corpus).unwrap();
+            session.match_all_pairs()
+        };
+        let sequential = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn session_memo_carries_across_pairs() {
+        let cfg = CupidConfig::default();
+        let th = thesaurus();
+        let corpus = corpus();
+        let mut session = MatchSession::new(&cfg, &th).threads(1);
+        let ids = session.add_corpus(&corpus).unwrap();
+        session.match_pair(ids[0], ids[1]);
+        let after_first = session.stats().distinct_pairs_computed;
+        session.match_pair(ids[0], ids[1]);
+        assert_eq!(
+            session.stats().distinct_pairs_computed,
+            after_first,
+            "a repeated pair must be answered entirely from the memo"
+        );
+    }
+
+    #[test]
+    fn incremental_add_keeps_store_valid() {
+        let cfg = CupidConfig::default();
+        let th = thesaurus();
+        let corpus = corpus();
+        let mut session = MatchSession::new(&cfg, &th).threads(1);
+        let a = session.add(&corpus[0]).unwrap();
+        let b = session.add(&corpus[1]).unwrap();
+        let before = session.match_pair(a, b);
+        // Growing the vocabulary after matching must not invalidate the
+        // warm memo: the same pair still produces identical output.
+        let c = session.add(&corpus[2]).unwrap();
+        let again = session.match_pair(a, b);
+        assert_eq!(before, again);
+        let cross = session.match_pair(b, c);
+        assert!(cross.has_leaf_mapping("S1.Item.Quantity", "S2.Order.Quantity"));
+    }
+
+    #[test]
+    fn lsim_of_matches_analyze() {
+        let cfg = CupidConfig::default();
+        let th = thesaurus();
+        let corpus = corpus();
+        let mut session = MatchSession::new(&cfg, &th).threads(1);
+        let ids = session.add_corpus(&corpus).unwrap();
+        for (i, j) in [(0, 1), (1, 2), (2, 3)] {
+            let got = session.lsim_of(ids[i], ids[j]);
+            let want = crate::linguistic::analyze(&corpus[i], &corpus[j], &th, &cfg);
+            assert_eq!(got.matrix().max_abs_diff(want.lsim.matrix()), 0.0, "pair ({i}, {j})");
+        }
+    }
+
+    #[test]
+    fn top_pairs_are_sorted_and_capped() {
+        let cfg = CupidConfig::default();
+        let th = thesaurus();
+        let corpus = corpus();
+        let mut session = MatchSession::new(&cfg, &th).threads(1).top_k(2);
+        let ids = session.add_corpus(&corpus).unwrap();
+        let s = session.match_pair(ids[0], ids[1]);
+        assert_eq!(s.top_pairs.len(), 2);
+        assert!(s.top_pairs[0].wsim >= s.top_pairs[1].wsim);
+        assert_eq!(s.best_wsim(), s.top_pairs[0].wsim);
+    }
+
+    #[test]
+    fn failed_add_corpus_leaves_session_untouched() {
+        use cupid_model::ElementKind;
+        // A schema whose expansion fails: recursive type definition.
+        let mut b = SchemaBuilder::new("Bad");
+        let part = b.type_def("Part");
+        let sub = b.structured(part, "SubPart", ElementKind::XmlElement);
+        b.derive_from(sub, part);
+        let e = b.structured(b.root(), "Root", ElementKind::XmlElement);
+        b.derive_from(e, part);
+        let bad = b.build().unwrap();
+
+        let cfg = CupidConfig::default();
+        let th = thesaurus();
+        let mut batch = corpus();
+        batch.push(bad);
+        let mut session = MatchSession::new(&cfg, &th).threads(1);
+        assert!(session.add_corpus(&batch).is_err());
+        // All-or-nothing: the good schemas were not half-added, so a
+        // retry with the fixed corpus starts clean.
+        assert!(session.is_empty());
+        assert_eq!(session.stats().vocab_size, 0);
+        let ids = session.add_corpus(&batch[..4]).unwrap();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(session.len(), 4);
+    }
+
+    #[test]
+    fn empty_worklist_is_fine() {
+        let cfg = CupidConfig::default();
+        let th = thesaurus();
+        let mut session = MatchSession::new(&cfg, &th);
+        assert!(session.is_empty());
+        assert!(session.match_all_pairs().is_empty());
+        assert_eq!(session.stats().pairs_matched, 0);
+    }
+}

@@ -49,8 +49,9 @@ impl SimMatrix {
     /// Multiply entry `(i, j)` by `factor`, clamping into `[0, 1]`.
     #[inline]
     pub fn scale_clamped(&mut self, i: usize, j: usize, factor: f64) {
-        let v = (self.data[i * self.cols + j] * factor).clamp(0.0, 1.0);
-        self.data[i * self.cols + j] = v;
+        debug_assert!(i < self.rows && j < self.cols);
+        let cell = &mut self.data[i * self.cols + j];
+        *cell = (*cell * factor).clamp(0.0, 1.0);
     }
 
     /// Row `i` as a slice.
@@ -60,10 +61,10 @@ impl SimMatrix {
     }
 
     /// Maximum entry in row `i` with its column, `None` for empty rows.
+    #[inline]
     pub fn row_max(&self, i: usize) -> Option<(usize, f64)> {
-        let row = self.row(i);
         let mut best: Option<(usize, f64)> = None;
-        for (j, &v) in row.iter().enumerate() {
+        for (j, &v) in self.row(i).iter().enumerate() {
             match best {
                 Some((_, bv)) if bv >= v => {}
                 _ => best = Some((j, v)),
@@ -73,10 +74,13 @@ impl SimMatrix {
     }
 
     /// Maximum entry in column `j` with its row, `None` for empty columns.
+    #[inline]
     pub fn col_max(&self, j: usize) -> Option<(usize, f64)> {
+        // Walk rows as slices (one strided load per row) instead of
+        // recomputing `i * cols + j` bounds-checked per cell.
         let mut best: Option<(usize, f64)> = None;
-        for i in 0..self.rows {
-            let v = self.get(i, j);
+        for (i, row) in self.data.chunks_exact(self.cols.max(1)).enumerate() {
+            let v = row[j];
             match best {
                 Some((_, bv)) if bv >= v => {}
                 _ => best = Some((i, v)),

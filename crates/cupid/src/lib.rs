@@ -33,6 +33,17 @@
 //! let outcome = Cupid::new(thesaurus).match_schemas(&po, &order).unwrap();
 //! assert!(outcome.has_leaf_mapping("PO.Item.Qty", "Order.Item.Quantity"));
 //! assert!(outcome.has_leaf_mapping("PO.Item.UoM", "Order.Item.UnitOfMeasure"));
+//!
+//! // Corpus-scale batch matching (DESIGN.md §7): prepare each schema
+//! // once, share one token-similarity memo across all pairs, shard the
+//! // pair worklist across threads — bit-identical to single-pair calls.
+//! let thesaurus = Thesaurus::parse(
+//!     "abbrev Qty = quantity\nabbrev UoM = unit of measure",
+//! ).unwrap();
+//! let corpus = [po, order];
+//! let result = Cupid::new(thesaurus).match_corpus(&corpus).unwrap();
+//! assert_eq!(result.summaries.len(), 1);
+//! assert!(result.summaries[0].has_leaf_mapping("PO.Item.Qty", "Order.Item.Quantity"));
 //! ```
 //!
 //! See the crate-level docs of the member crates for the algorithmic
@@ -55,7 +66,10 @@ pub use cupid_model as model;
 
 /// The commonly used types, for glob import.
 pub mod prelude {
-    pub use cupid_core::{Cardinality, Cupid, CupidConfig, MappingElement, MatchOutcome};
+    pub use cupid_core::{
+        Cardinality, CorpusMatch, Cupid, CupidConfig, MappingElement, MatchOutcome, MatchSession,
+        MatchSummary, SchemaId, SessionStats,
+    };
     pub use cupid_lexical::{Thesaurus, ThesaurusBuilder};
     pub use cupid_model::{
         expand, DataType, ElementId, ElementKind, ExpandOptions, Schema, SchemaBuilder, SchemaTree,

@@ -4,6 +4,7 @@
 use crate::Report;
 
 pub mod ablation;
+pub mod discovery;
 pub mod fig1;
 pub mod fig2;
 pub mod fig8;
@@ -26,6 +27,7 @@ pub const ALL: &[&str] = &[
     "no-thesaurus",
     "scalability",
     "ablation",
+    "discovery",
 ];
 
 /// Run an experiment by id.
@@ -42,6 +44,7 @@ pub fn run(id: &str) -> Option<Report> {
         "no-thesaurus" => Some(ling_only::run_no_thesaurus()),
         "scalability" => Some(scalability::run()),
         "ablation" => Some(ablation::run()),
+        "discovery" => Some(discovery::run()),
         _ => None,
     }
 }

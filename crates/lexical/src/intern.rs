@@ -11,11 +11,14 @@
 //!   text)` pair into a dense [`TokenId`]. The key is exactly the
 //!   information [`crate::strsim::class_similarity`] depends on, so two
 //!   tokens with the same id are interchangeable for `sim`.
-//! * [`TokenSimCache`] lazily memoizes `sim` over a triangular
-//!   `|V|·(|V|+1)/2` matrix of the interned vocabulary: each distinct
-//!   token pair is computed exactly once per schema pair (symmetry of
-//!   `sim` makes the triangular layout lossless), and every further
-//!   comparison is a single array load.
+//! * [`TokenSimCache`] lazily memoizes `sim` over the triangular
+//!   `|V|·(|V|+1)/2` index space of the interned vocabulary: each
+//!   distinct token pair is computed exactly once (symmetry of `sim`
+//!   makes the triangular layout lossless), and every further
+//!   comparison is a single array load. The backing [`SimStore`]
+//!   allocates in chunks on first touch, survives table growth, and is
+//!   detachable, so one memo can persist across every pair of a batch
+//!   session (DESIGN.md §7).
 //!
 //! The interned fast path is bit-identical to the direct string path —
 //! both call the same [`crate::strsim::class_similarity`] on the same
@@ -124,35 +127,135 @@ impl TokenTable {
     }
 }
 
+/// Entries per lazily-allocated chunk of the triangular similarity
+/// matrix (4096 × 8 bytes = 32 KiB per chunk).
+const CHUNK_BITS: usize = 12;
+const CHUNK_LEN: usize = 1 << CHUNK_BITS;
+
+/// The owned, growable backing store of a [`TokenSimCache`]: memoized
+/// `sim` values over the triangular index space `k = j·(j+1)/2 + i`
+/// (`i ≤ j`), allocated in fixed-size chunks on first touch instead of
+/// as an eager `|V|·(|V|+1)/2` buffer — corpus-scale vocabularies would
+/// otherwise commit quadratic memory up front (DESIGN.md §7).
+///
+/// Because `k` depends only on the pair `(i, j)`, not on the vocabulary
+/// size, a store stays valid when its [`TokenTable`] grows: a
+/// [`crate::intern`] session can interleave interning and matching and
+/// keep the warm cache. The store carries no references, so it can be
+/// detached from a cache ([`TokenSimCache::into_store`]), sent to a
+/// worker thread, and merged back ([`SimStore::merge`]).
+#[derive(Debug, Clone, Default)]
+pub struct SimStore {
+    /// `NaN` marks "not yet computed" (`sim` itself is always in
+    /// `[0, 1]`); `None` marks a whole chunk never touched.
+    chunks: Vec<Option<Box<[f64]>>>,
+    computed: usize,
+}
+
+impl SimStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        SimStore::default()
+    }
+
+    /// Memoized value at triangular index `k`, or `NaN` if not yet
+    /// computed.
+    #[inline]
+    fn get(&self, k: usize) -> f64 {
+        match self.chunks.get(k >> CHUNK_BITS) {
+            Some(Some(chunk)) => chunk[k & (CHUNK_LEN - 1)],
+            _ => f64::NAN,
+        }
+    }
+
+    /// Record a freshly computed value at triangular index `k`.
+    #[inline]
+    fn set(&mut self, k: usize, v: f64) {
+        let c = k >> CHUNK_BITS;
+        if c >= self.chunks.len() {
+            self.chunks.resize(c + 1, None);
+        }
+        let chunk =
+            self.chunks[c].get_or_insert_with(|| vec![f64::NAN; CHUNK_LEN].into_boxed_slice());
+        chunk[k & (CHUNK_LEN - 1)] = v;
+        self.computed += 1;
+    }
+
+    /// Distinct token pairs computed into this store (diagnostics: the
+    /// denominator of the memoization win).
+    pub fn distinct_pairs_computed(&self) -> usize {
+        self.computed
+    }
+
+    /// Fold another store into this one. Both stores memoize the same
+    /// pure function over the same table, so wherever both have a value
+    /// it is bit-identical; the union simply fills each store's gaps
+    /// with the other's work. Used to merge per-shard caches back into
+    /// the session store after sharded pair execution (DESIGN.md §7).
+    pub fn merge(&mut self, other: SimStore) {
+        if other.chunks.len() > self.chunks.len() {
+            self.chunks.resize(other.chunks.len(), None);
+        }
+        for (slot, theirs) in self.chunks.iter_mut().zip(other.chunks) {
+            let Some(theirs) = theirs else { continue };
+            match slot {
+                None => {
+                    self.computed += theirs.iter().filter(|v| !v.is_nan()).count();
+                    *slot = Some(theirs);
+                }
+                Some(ours) => {
+                    for (o, t) in ours.iter_mut().zip(theirs.iter()) {
+                        if o.is_nan() && !t.is_nan() {
+                            *o = *t;
+                            self.computed += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Whole-match memo of `sim(t1, t2)` over an interned vocabulary.
 ///
-/// Built once per schema pair after all names (and category keywords)
-/// are interned; [`TokenSimCache::sim`] then computes each distinct
-/// token pair at most once and answers every repeat from a dense
-/// triangular matrix. Filling is lazy, so pairs never compared (e.g.
-/// same-schema pairs) cost nothing.
+/// Built after the names (and category keywords) it will compare are
+/// interned; [`TokenSimCache::sim`] then computes each distinct token
+/// pair at most once and answers every repeat from the backing
+/// [`SimStore`]. Filling is lazy — chunk allocation included — so
+/// pairs never compared (e.g. same-schema pairs) cost nothing, and a
+/// batch session can detach the store ([`TokenSimCache::into_store`])
+/// to persist the memo across many schema pairs (DESIGN.md §7).
 #[derive(Debug)]
 pub struct TokenSimCache<'a> {
     table: &'a TokenTable,
     thesaurus: &'a Thesaurus,
     affix: AffixConfig,
-    /// Triangular `|V|·(|V|+1)/2` matrix; `NaN` marks "not yet
-    /// computed" (`sim` itself is always in `[0, 1]`).
-    sims: Vec<f64>,
-    computed: usize,
+    store: SimStore,
 }
 
 impl<'a> TokenSimCache<'a> {
-    /// A cache over the (fully interned) table's vocabulary.
+    /// A cold cache over the table's vocabulary.
     pub fn new(table: &'a TokenTable, thesaurus: &'a Thesaurus, affix: &AffixConfig) -> Self {
-        let n = table.len();
-        TokenSimCache {
-            table,
-            thesaurus,
-            affix: *affix,
-            sims: vec![f64::NAN; n * (n + 1) / 2],
-            computed: 0,
-        }
+        TokenSimCache::with_store(table, thesaurus, affix, SimStore::new())
+    }
+
+    /// A cache resuming from a previously detached [`SimStore`]. The
+    /// store must come from a cache over the same (possibly since
+    /// grown) table, thesaurus and affix configuration — triangular
+    /// indices are only meaningful relative to the table's ids.
+    pub fn with_store(
+        table: &'a TokenTable,
+        thesaurus: &'a Thesaurus,
+        affix: &AffixConfig,
+        store: SimStore,
+    ) -> Self {
+        TokenSimCache { table, thesaurus, affix: *affix, store }
+    }
+
+    /// Detach the backing store, e.g. to persist it across pairs in a
+    /// batch session or to [`SimStore::merge`] it into another store.
+    pub fn into_store(self) -> SimStore {
+        self.store
     }
 
     /// `sim(a, b)`, memoized. The first query of a distinct unordered
@@ -161,15 +264,14 @@ impl<'a> TokenSimCache<'a> {
     pub fn sim(&mut self, a: TokenId, b: TokenId) -> f64 {
         let (i, j) = if a.0 <= b.0 { (a.index(), b.index()) } else { (b.index(), a.index()) };
         let k = j * (j + 1) / 2 + i;
-        let v = self.sims[k];
+        let v = self.store.get(k);
         if !v.is_nan() {
             return v;
         }
         let (ca, ta) = &self.table.entries[i];
         let (cb, tb) = &self.table.entries[j];
         let v = class_similarity(*ca, ta, *cb, tb, self.thesaurus, &self.affix);
-        self.sims[k] = v;
-        self.computed += 1;
+        self.store.set(k, v);
         v
     }
 
@@ -181,7 +283,7 @@ impl<'a> TokenSimCache<'a> {
     /// Distinct token pairs actually computed so far (diagnostics: the
     /// denominator of the memoization win).
     pub fn distinct_pairs_computed(&self) -> usize {
-        self.computed
+        self.store.distinct_pairs_computed()
     }
 }
 
@@ -285,5 +387,65 @@ mod tests {
         // self-similarity of a word is 1.0
         assert_eq!(cache.sim(a, a), 1.0);
         assert_eq!(cache.vocab_size(), 2);
+    }
+
+    #[test]
+    fn store_survives_table_growth() {
+        let thesaurus = Thesaurus::empty();
+        let affix = AffixConfig::default();
+        let mut table = TokenTable::new();
+        let a = table.intern(SimClass::Word, "street");
+        let b = table.intern(SimClass::Word, "straight");
+        let mut cache = TokenSimCache::new(&table, &thesaurus, &affix);
+        let v1 = cache.sim(a, b);
+        let store = cache.into_store();
+        assert_eq!(store.distinct_pairs_computed(), 1);
+        // Grow the vocabulary, re-attach, and check old entries are hits
+        // while pairs involving new ids compute fresh.
+        let c = table.intern(SimClass::Word, "road");
+        let mut cache = TokenSimCache::with_store(&table, &thesaurus, &affix, store);
+        assert_eq!(cache.sim(a, b).to_bits(), v1.to_bits());
+        assert_eq!(cache.distinct_pairs_computed(), 1);
+        let _ = cache.sim(a, c);
+        assert_eq!(cache.distinct_pairs_computed(), 2);
+    }
+
+    #[test]
+    fn merge_unions_two_stores() {
+        let thesaurus = Thesaurus::empty();
+        let affix = AffixConfig::default();
+        let mut table = TokenTable::new();
+        let ids: Vec<TokenId> = ["street", "straight", "road", "lane"]
+            .iter()
+            .map(|w| table.intern(SimClass::Word, w))
+            .collect();
+        let mut c1 = TokenSimCache::new(&table, &thesaurus, &affix);
+        let v01 = c1.sim(ids[0], ids[1]);
+        let v02 = c1.sim(ids[0], ids[2]);
+        let mut c2 = TokenSimCache::new(&table, &thesaurus, &affix);
+        let v02b = c2.sim(ids[0], ids[2]); // overlap with c1
+        let v23 = c2.sim(ids[2], ids[3]);
+        assert_eq!(v02.to_bits(), v02b.to_bits());
+        let mut merged = c1.into_store();
+        merged.merge(c2.into_store());
+        // overlap counted once: {01, 02, 23}
+        assert_eq!(merged.distinct_pairs_computed(), 3);
+        let mut cache = TokenSimCache::with_store(&table, &thesaurus, &affix, merged);
+        assert_eq!(cache.sim(ids[0], ids[1]).to_bits(), v01.to_bits());
+        assert_eq!(cache.sim(ids[2], ids[3]).to_bits(), v23.to_bits());
+        assert_eq!(cache.distinct_pairs_computed(), 3, "merged values must be hits");
+    }
+
+    #[test]
+    fn store_chunks_allocate_lazily() {
+        // Touch a high triangular index; only its chunk materializes.
+        let mut store = SimStore::new();
+        let k = 10 * CHUNK_LEN + 7;
+        assert!(store.get(k).is_nan());
+        store.set(k, 0.5);
+        assert_eq!(store.get(k), 0.5);
+        assert!(store.get(0).is_nan(), "untouched chunks stay unallocated");
+        assert_eq!(store.chunks.iter().filter(|c| c.is_some()).count(), 1);
+        assert_eq!(store.distinct_pairs_computed(), 1);
     }
 }

@@ -26,7 +26,11 @@
 //! * when the `BENCH_JSON_DIR` environment variable names a directory, a
 //!   measured (non-smoke) run writes `BENCH_<bench>.json` there in the
 //!   results convention of BENCHMARKS.md: per-id min/mean/max ns, sample
-//!   and iteration counts, and a `context` block (commit, rustc, CPU).
+//!   and iteration counts, and a `context` block (commit, rustc, CPU,
+//!   plus any entries the bench registered via [`set_context`]). A
+//!   relative dir resolves against the *workspace root*, not the bench
+//!   binary's working directory (cargo sets the latter to the package
+//!   dir, which is never where committed results live).
 //!
 //! Numbers from this shim are honest wall-clock measurements and fine
 //! for relative comparisons on a quiet machine, but they lack
@@ -68,6 +72,26 @@ struct MeasuredResult {
 /// all groups of the binary, in execution order.
 static RESULTS: Mutex<Vec<MeasuredResult>> = Mutex::new(Vec::new());
 
+/// Extra context entries registered by the bench body via
+/// [`set_context`], emitted into the JSON `context` block.
+static EXTRA_CONTEXT: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+
+/// Register an extra `context` entry for the JSON emitted by this bench
+/// binary (a criterion-shim extension; real criterion has no
+/// counterpart, so benches should gate calls on the shim if they ever
+/// move to real criterion). Benches use this to record run metadata
+/// that isn't timing — e.g. the `batch` bench records the session's
+/// vocabulary size and memoized token-pair count. Re-registering a key
+/// overwrites its value; insertion order is preserved in the output.
+pub fn set_context(key: impl Into<String>, value: impl Display) {
+    let (key, value) = (key.into(), value.to_string());
+    let mut ctx = EXTRA_CONTEXT.lock().unwrap_or_else(|e| e.into_inner());
+    match ctx.iter_mut().find(|(k, _)| *k == key) {
+        Some(entry) => entry.1 = value,
+        None => ctx.push((key, value)),
+    }
+}
+
 /// Called by [`criterion_main!`] after all groups ran. A positional
 /// argument that was really the value of some flag would silently
 /// filter out everything; make that loud.
@@ -100,12 +124,40 @@ pub fn finalize() {
         return; // smoke runs record nothing
     }
     let bench = bench_name();
-    let path = std::path::Path::new(&dir).join(format!("BENCH_{bench}.json"));
+    let dir = resolve_json_dir(&dir);
+    let path = dir.join(format!("BENCH_{bench}.json"));
     let json = results_json(&bench, &results);
     match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)) {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
+}
+
+/// Resolve `BENCH_JSON_DIR`. Cargo runs bench binaries with the
+/// *package* directory as working directory, so a relative dir would
+/// silently land in `crates/bench/benchmarks` while BENCHMARKS.md's
+/// canonical command expects the workspace root's `benchmarks/`.
+/// Anchor relative paths at the workspace root instead: the nearest
+/// ancestor of `CARGO_MANIFEST_DIR` holding a `Cargo.lock` (falling
+/// back to the working directory when not running under cargo).
+fn resolve_json_dir(dir: &str) -> std::path::PathBuf {
+    let path = std::path::Path::new(dir);
+    if path.is_absolute() {
+        return path.to_path_buf();
+    }
+    if let Ok(manifest_dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        let mut root = std::path::Path::new(&manifest_dir);
+        loop {
+            if root.join("Cargo.lock").exists() {
+                return root.join(path);
+            }
+            match root.parent() {
+                Some(parent) => root = parent,
+                None => break,
+            }
+        }
+    }
+    path.to_path_buf()
 }
 
 /// The bench target name, from the binary path: cargo names bench
@@ -180,8 +232,11 @@ fn results_json(bench: &str, results: &[MeasuredResult]) -> String {
     out.push_str("  \"context\": {\n");
     out.push_str(&format!("    \"commit\": \"{}\",\n", json_escape(&commit)));
     out.push_str(&format!("    \"rustc\": \"{}\",\n", json_escape(&rustc)));
-    out.push_str(&format!("    \"cpu\": \"{}\"\n", json_escape(&cpu_model())));
-    out.push_str("  },\n");
+    out.push_str(&format!("    \"cpu\": \"{}\"", json_escape(&cpu_model())));
+    for (k, v) in EXTRA_CONTEXT.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        out.push_str(&format!(",\n    \"{}\": \"{}\"", json_escape(k), json_escape(v)));
+    }
+    out.push_str("\n  },\n");
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 < results.len() { "," } else { "" };
@@ -477,5 +532,29 @@ mod tests {
         assert!(json.contains("\"commit\""));
         assert!(json.contains("\"rustc\""));
         assert!(json.contains("\"cpu\""));
+    }
+
+    #[test]
+    fn json_dir_resolves_relative_to_workspace_root() {
+        // Under cargo, CARGO_MANIFEST_DIR is set and the workspace root
+        // (the Cargo.lock holder) is an ancestor.
+        let resolved = resolve_json_dir("benchmarks");
+        assert!(resolved.is_absolute(), "{resolved:?}");
+        assert!(resolved.ends_with("benchmarks"));
+        assert!(resolved.parent().unwrap().join("Cargo.lock").exists());
+        // Absolute dirs pass through untouched.
+        assert_eq!(resolve_json_dir("/tmp/x"), std::path::Path::new("/tmp/x"));
+    }
+
+    #[test]
+    fn set_context_entries_reach_the_json() {
+        set_context("session.vocab_size", 123);
+        set_context("session.note", "warm");
+        set_context("session.vocab_size", 456); // overwrite, keep position
+        let json = results_json("batch", &[]);
+        let vocab = json.find("\"session.vocab_size\": \"456\"").expect("overwritten entry");
+        let note = json.find("\"session.note\": \"warm\"").expect("second entry");
+        assert!(vocab < note, "insertion order preserved");
+        assert!(!json.contains("\"123\""));
     }
 }
