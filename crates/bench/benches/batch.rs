@@ -105,6 +105,10 @@ fn bench_corpus(
         format!("{label}.distinct_pairs_computed"),
         stats.distinct_pairs_computed,
     );
+    // SimStore memory footprint (chunks materialize lazily; DESIGN.md
+    // §7): how much the whole-corpus memo actually committed.
+    criterion::set_context(format!("{label}.sim_chunks"), stats.sim_chunks);
+    criterion::set_context(format!("{label}.sim_bytes"), stats.sim_bytes);
     criterion::set_context("session_mt.threads", threads);
 }
 

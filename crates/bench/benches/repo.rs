@@ -1,0 +1,113 @@
+//! Persistent-repository benchmarks (DESIGN.md §8): the three
+//! lifecycle costs of a 32-schema corpus.
+//!
+//! * `cold_build` — prepare all 32 schemas from scratch and execute
+//!   the full 496-pair worklist (what every run costs without
+//!   persistence);
+//! * `warm_load` — reopen the saved snapshot and answer the same 496
+//!   pairs entirely from the persisted summary cache (zero executions);
+//! * `incremental` — reopen the snapshot, replace one edited schema,
+//!   and re-match: exactly the edited schema's 31 pairs execute.
+//!
+//! The snapshot is built once per process in a temp directory and
+//! deleted on exit; each timed iteration re-opens it from disk, so
+//! `warm_load` honestly pays deserialization (table, memo chunks,
+//! prepared schemas, cached summaries), not just cache hits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cupid_core::CupidConfig;
+use cupid_corpus::synthetic::{generate, SyntheticConfig};
+use cupid_eval::configs;
+use cupid_lexical::Thesaurus;
+use cupid_model::Schema;
+use cupid_repo::Repository;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const SCHEMAS: usize = 32;
+const LEAVES: usize = 24;
+
+/// A 32-schema corpus: 16 generated pairs over the shared word pool,
+/// renamed to unique repository keys.
+fn corpus() -> Vec<Schema> {
+    let mut out = Vec::with_capacity(SCHEMAS);
+    for seed in 0..(SCHEMAS as u64 / 2) {
+        let pair = generate(&SyntheticConfig::sized(LEAVES, 1000 + seed));
+        for (half, mut s) in [("a", pair.source), ("b", pair.target)] {
+            s.rename(format!("S{seed}{half}"));
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// The edited variant of schema 0 used by the `incremental` leg.
+fn edited_first(corpus: &[Schema]) -> Schema {
+    let mut s = generate(&SyntheticConfig::sized(LEAVES, 99_999)).source;
+    s.rename(corpus[0].name());
+    s
+}
+
+fn cold_build(cfg: &CupidConfig, th: &Thesaurus, corpus: &[Schema], path: &PathBuf) -> usize {
+    let mut repo = Repository::open_or_create(path, cfg, th).expect("open");
+    repo.add_corpus(corpus).expect("corpus prepares");
+    let n = repo.match_all_pairs().len();
+    assert_eq!(repo.pairs_executed(), n);
+    n
+}
+
+fn bench_repo(c: &mut Criterion) {
+    let cfg = configs::synthetic();
+    let th = generate(&SyntheticConfig::sized(LEAVES, 1000)).thesaurus;
+    let corpus = corpus();
+    let edited = edited_first(&corpus);
+    let dir = std::env::temp_dir().join(format!("cupid-bench-repo-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let fresh_path = dir.join("fresh.repo"); // never saved: cold runs stay cold
+    let snap_path = dir.join("warm.repo");
+
+    // Build the snapshot the warm/incremental legs reopen.
+    let (snapshot_bytes, total_pairs) = {
+        let mut repo = Repository::open_or_create(&snap_path, &cfg, &th).expect("open");
+        repo.add_corpus(&corpus).expect("corpus prepares");
+        let n = repo.match_all_pairs().len();
+        repo.save().expect("snapshot");
+        (std::fs::metadata(&snap_path).map(|m| m.len()).unwrap_or(0), n)
+    };
+
+    let mut g = c.benchmark_group("repo");
+    g.sample_size(10);
+    g.bench_function(format!("cold_build/synthetic{SCHEMAS}"), |b| {
+        b.iter(|| black_box(cold_build(&cfg, &th, &corpus, &fresh_path)))
+    });
+    g.bench_function(format!("warm_load/synthetic{SCHEMAS}"), |b| {
+        b.iter(|| {
+            let mut repo = Repository::open_or_create(&snap_path, &cfg, &th).expect("open");
+            assert!(repo.was_loaded());
+            let summaries = repo.match_all_pairs();
+            assert_eq!(repo.pairs_executed(), 0, "warm load executes nothing");
+            black_box(summaries.len())
+        })
+    });
+    g.bench_function(format!("incremental/synthetic{SCHEMAS}"), |b| {
+        b.iter(|| {
+            let mut repo = Repository::open_or_create(&snap_path, &cfg, &th).expect("open");
+            repo.replace(&edited).expect("replace");
+            let summaries = repo.match_all_pairs();
+            assert_eq!(repo.pairs_executed(), SCHEMAS - 1, "only the edited schema's pairs");
+            black_box(summaries.len())
+        })
+    });
+    g.finish();
+
+    criterion::set_context("schemas", SCHEMAS);
+    criterion::set_context("leaves_per_schema", LEAVES);
+    criterion::set_context("total_pairs", total_pairs);
+    criterion::set_context("incremental_pairs", SCHEMAS - 1);
+    criterion::set_context("snapshot_bytes", snapshot_bytes);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_repo);
+criterion_main!(benches);

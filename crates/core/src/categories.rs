@@ -21,7 +21,8 @@
 use std::collections::HashMap;
 
 use cupid_lexical::{NormalizedName, Token, TokenType};
-use cupid_model::{BroadType, ElementId, ElementKind, Schema};
+use cupid_model::wire::{broad_type_code, broad_type_from_code};
+use cupid_model::{BroadType, ElementId, ElementKind, Schema, WireError, WireReader, WireWriter};
 
 /// Identity of a category within one schema.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -58,6 +59,95 @@ impl SchemaCategories {
     /// Categories an element belongs to.
     pub fn of(&self, e: ElementId) -> &[u32] {
         &self.element_categories[e.index()]
+    }
+
+    /// Encode the categories (snapshot support; DESIGN.md §8). `vocab`
+    /// scopes the keyword names' interned ids on decode.
+    pub fn write_wire(&self, w: &mut WireWriter) {
+        w.put_len(self.categories.len());
+        for c in &self.categories {
+            match &c.key {
+                CategoryKey::Concept(name) => {
+                    w.put_u8(0);
+                    w.put_str(name);
+                }
+                CategoryKey::Broad(b) => {
+                    w.put_u8(1);
+                    w.put_u8(broad_type_code(*b));
+                }
+                CategoryKey::Container(e) => {
+                    w.put_u8(2);
+                    w.put_u32(e.index() as u32);
+                }
+            }
+            c.keywords.write_wire(w);
+            w.put_len(c.members.len());
+            for m in &c.members {
+                w.put_u32(m.index() as u32);
+            }
+        }
+        w.put_len(self.element_categories.len());
+        for cs in &self.element_categories {
+            w.put_len(cs.len());
+            for &c in cs {
+                w.put_u32(c);
+            }
+        }
+    }
+
+    /// Decode categories written by [`SchemaCategories::write_wire`].
+    pub fn read_wire(r: &mut WireReader<'_>, vocab: usize) -> Result<SchemaCategories, WireError> {
+        let nc = r.get_len()?;
+        let mut categories = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            let key = match r.get_u8()? {
+                0 => CategoryKey::Concept(r.get_str()?),
+                1 => CategoryKey::Broad(
+                    broad_type_from_code(r.get_u8()?)
+                        .ok_or_else(|| r.err("unknown broad type code"))?,
+                ),
+                2 => CategoryKey::Container(ElementId::from_index(r.get_u32()? as usize)),
+                c => return Err(r.err(format!("unknown category key code {c}"))),
+            };
+            let keywords = NormalizedName::read_wire(r, vocab)?;
+            let nm = r.get_len()?;
+            let mut members = Vec::with_capacity(nm);
+            for _ in 0..nm {
+                members.push(ElementId::from_index(r.get_u32()? as usize));
+            }
+            categories.push(Category { key, keywords, members });
+        }
+        let ne = r.get_len()?;
+        let mut element_categories = Vec::with_capacity(ne);
+        for _ in 0..ne {
+            let n = r.get_len()?;
+            let mut cs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let c = r.get_u32()?;
+                if c as usize >= nc {
+                    return Err(r.err(format!("category index {c} out of bounds ({nc})")));
+                }
+                cs.push(c);
+            }
+            element_categories.push(cs);
+        }
+        // Element ids inside the categories are only checkable now that
+        // the element count is known; without this, a crafted snapshot
+        // could smuggle out-of-range members into `pair_lsim`'s matrix
+        // writes.
+        for c in &categories {
+            if let CategoryKey::Container(e) = c.key {
+                if e.index() >= ne {
+                    return Err(r.err(format!("container id {e} out of bounds ({ne} elements)")));
+                }
+            }
+            for &m in &c.members {
+                if m.index() >= ne {
+                    return Err(r.err(format!("member id {m} out of bounds ({ne} elements)")));
+                }
+            }
+        }
+        Ok(SchemaCategories { categories, element_categories })
     }
 }
 

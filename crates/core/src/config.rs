@@ -132,6 +132,63 @@ impl Default for CupidConfig {
 }
 
 impl CupidConfig {
+    /// Deterministic 64-bit fingerprint of every control parameter —
+    /// thresholds and factors by exact bit pattern, token weights,
+    /// affix and type-compatibility tables, expansion options. Two
+    /// configs with the same fingerprint produce bit-identical match
+    /// results on the same inputs, so the repository stores this next
+    /// to each snapshot and treats any mismatch as "the persisted memo
+    /// and pair cache are for a different matcher" (DESIGN.md §8).
+    pub fn fingerprint(&self) -> u64 {
+        let mut w = cupid_model::WireWriter::new();
+        // Layout version: bump when fields are added/reordered so old
+        // fingerprints can never collide with new ones by accident.
+        w.put_u32(1);
+        for v in [
+            self.th_ns,
+            self.th_high,
+            self.th_low,
+            self.c_inc,
+            self.c_dec,
+            self.th_accept,
+            self.w_struct,
+            self.w_struct_leaf,
+            self.initial_mapping_lsim,
+        ] {
+            w.put_f64(v);
+        }
+        match self.leaf_ratio_prune {
+            Some(r) => {
+                w.put_bool(true);
+                w.put_f64(r);
+            }
+            None => w.put_bool(false),
+        }
+        match self.leaf_depth_limit {
+            Some(k) => {
+                w.put_bool(true);
+                w.put_u32(k);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_bool(self.use_optionality);
+        for v in [
+            self.token_weights.content,
+            self.token_weights.concept,
+            self.token_weights.number,
+            self.token_weights.special,
+            self.token_weights.common,
+        ] {
+            w.put_f64(v);
+        }
+        w.put_u32(self.affix.min_affix_len as u32);
+        w.put_f64(self.affix.max_score);
+        self.type_compat.fingerprint_into(&mut w);
+        w.put_bool(self.expand.join_views);
+        w.put_bool(self.expand.views);
+        cupid_model::fnv1a(w.bytes())
+    }
+
     /// The `wstruct` to use for a pair, depending on whether both sides
     /// are leaves.
     #[inline]
@@ -229,6 +286,30 @@ mod tests {
         let mut c = CupidConfig::default();
         c.leaf_ratio_prune = Some(0.5);
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_knob() {
+        let base = CupidConfig::default().fingerprint();
+        assert_eq!(base, CupidConfig::default().fingerprint(), "fingerprint is deterministic");
+        let mut c = CupidConfig::default();
+        c.th_accept = 0.55;
+        assert_ne!(c.fingerprint(), base);
+        let mut c = CupidConfig::default();
+        c.leaf_depth_limit = Some(3);
+        assert_ne!(c.fingerprint(), base);
+        let mut c = CupidConfig::default();
+        c.token_weights.number = 0.75;
+        assert_ne!(c.fingerprint(), base);
+        let mut c = CupidConfig::default();
+        c.affix.min_affix_len = 4;
+        assert_ne!(c.fingerprint(), base);
+        let mut c = CupidConfig::default();
+        c.type_compat.set_override(cupid_model::DataType::Int, cupid_model::DataType::Money, 0.45);
+        assert_ne!(c.fingerprint(), base);
+        let mut c = CupidConfig::default();
+        c.expand = ExpandOptions::none();
+        assert_ne!(c.fingerprint(), base);
     }
 
     #[test]

@@ -21,9 +21,10 @@
 
 use cupid_lexical::strsim::{token_similarity, AffixConfig};
 use cupid_lexical::{
-    NormalizedName, Normalizer, Thesaurus, Token, TokenId, TokenSimCache, TokenTable, TokenType,
+    token_id_from_wire, NormalizedName, Normalizer, Thesaurus, Token, TokenId, TokenSimCache,
+    TokenTable, TokenType,
 };
-use cupid_model::{ElementId, Schema};
+use cupid_model::{ElementId, Schema, WireError, WireReader, WireWriter};
 
 use crate::categories::{categorize, is_linguistically_comparable, SchemaCategories};
 use crate::config::{CupidConfig, TokenTypeWeights};
@@ -152,6 +153,36 @@ impl TypedIds {
     #[inline]
     fn of_type(&self, k: usize) -> &[TokenId] {
         &self.ids[self.starts[k] as usize..self.starts[k + 1] as usize]
+    }
+
+    /// Encode the grouped id slices (snapshot support; DESIGN.md §8).
+    pub fn write_wire(&self, w: &mut WireWriter) {
+        w.put_len(self.ids.len());
+        for id in &self.ids {
+            w.put_u32(id.index() as u32);
+        }
+        for s in self.starts {
+            w.put_u32(s);
+        }
+    }
+
+    /// Decode grouped id slices written by [`TypedIds::write_wire`].
+    pub fn read_wire(r: &mut WireReader<'_>, vocab: usize) -> Result<TypedIds, WireError> {
+        let n = r.get_len()?;
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            let raw = r.get_u32()?;
+            ids.push(token_id_from_wire(r, raw, vocab)?);
+        }
+        let mut starts = [0u32; 6];
+        for s in starts.iter_mut() {
+            *s = r.get_u32()?;
+        }
+        let monotone = starts.windows(2).all(|w| w[0] <= w[1]);
+        if !monotone || starts[0] != 0 || starts[5] as usize != n {
+            return Err(r.err(format!("invalid type-group offsets {starts:?} for {n} ids")));
+        }
+        Ok(TypedIds { ids, starts })
     }
 }
 
@@ -282,6 +313,77 @@ impl SchemaLing {
     /// True if the schema had no elements.
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
+    }
+
+    /// Encode the complete precompute verbatim — names, categories,
+    /// per-type id slices, keyword ids, comparability flags. Nothing is
+    /// re-derived on decode, so a loaded `SchemaLing` drives
+    /// [`pair_lsim`] through the exact same id slices (and therefore
+    /// the exact same float operations) as the one that was saved —
+    /// the heart of the snapshot bit-identity argument (DESIGN.md §8).
+    pub fn write_wire(&self, w: &mut WireWriter) {
+        w.put_len(self.names.len());
+        for n in &self.names {
+            n.write_wire(w);
+        }
+        self.categories.write_wire(w);
+        for t in &self.typed {
+            t.write_wire(w);
+        }
+        w.put_len(self.keyword_ids.len());
+        for ids in &self.keyword_ids {
+            w.put_len(ids.len());
+            for id in ids {
+                w.put_u32(id.index() as u32);
+            }
+        }
+        for &c in &self.comparable {
+            w.put_bool(c);
+        }
+    }
+
+    /// Decode a precompute written by [`SchemaLing::write_wire`]. Ids
+    /// are bounds-checked against `vocab`, the vocabulary size of the
+    /// snapshot's [`TokenTable`].
+    pub fn read_wire(r: &mut WireReader<'_>, vocab: usize) -> Result<SchemaLing, WireError> {
+        let n = r.get_len()?;
+        let mut names = Vec::with_capacity(n);
+        for _ in 0..n {
+            names.push(NormalizedName::read_wire(r, vocab)?);
+        }
+        let categories = SchemaCategories::read_wire(r, vocab)?;
+        if categories.element_categories.len() != n {
+            return Err(r.err(format!(
+                "category index covers {} elements, schema has {n}",
+                categories.element_categories.len()
+            )));
+        }
+        let mut typed = Vec::with_capacity(n);
+        for _ in 0..n {
+            typed.push(TypedIds::read_wire(r, vocab)?);
+        }
+        let nk = r.get_len()?;
+        if nk != categories.categories.len() {
+            return Err(r.err(format!(
+                "{nk} keyword id lists for {} categories",
+                categories.categories.len()
+            )));
+        }
+        let mut keyword_ids = Vec::with_capacity(nk);
+        for _ in 0..nk {
+            let ni = r.get_len()?;
+            let mut ids = Vec::with_capacity(ni);
+            for _ in 0..ni {
+                let raw = r.get_u32()?;
+                ids.push(token_id_from_wire(r, raw, vocab)?);
+            }
+            keyword_ids.push(ids);
+        }
+        let mut comparable = Vec::with_capacity(n);
+        for _ in 0..n {
+            comparable.push(r.get_bool()?);
+        }
+        Ok(SchemaLing { names, categories, typed, keyword_ids, comparable })
     }
 }
 

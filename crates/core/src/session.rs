@@ -40,7 +40,9 @@
 //! ```
 
 use cupid_lexical::{SimStore, Thesaurus, TokenSimCache, TokenTable};
-use cupid_model::{expand, ModelError, NodeId, Schema, SchemaTree};
+use cupid_model::{
+    expand, ModelError, NodeId, Schema, SchemaTree, WireError, WireReader, WireWriter,
+};
 
 use crate::config::CupidConfig;
 use crate::linguistic::{pair_lsim, LsimTable, RawSchemaLing, SchemaLing};
@@ -58,6 +60,15 @@ impl SchemaId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Construct from a dense index. Callers that persist or remap
+    /// summaries (the repository's incremental pair cache) use this to
+    /// re-anchor a summary to the current session's indices; bounds are
+    /// the caller's obligation.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        SchemaId(i)
+    }
 }
 
 /// One schema's complete per-schema precompute: the expanded tree plus
@@ -72,6 +83,40 @@ pub struct PreparedSchema {
     pub tree: SchemaTree,
     /// Interned linguistic precompute (names, categories, id slices).
     pub ling: SchemaLing,
+}
+
+impl PreparedSchema {
+    /// Export the precompute into the wire format (DESIGN.md §8): the
+    /// expanded tree plus the interned linguistic artifacts, verbatim.
+    /// A decoded `PreparedSchema` drives pair execution without
+    /// re-running expansion, normalization, categorization or interning.
+    pub fn write_wire(&self, w: &mut WireWriter) {
+        w.put_str(&self.name);
+        self.tree.write_wire(w);
+        self.ling.write_wire(w);
+    }
+
+    /// Import a precompute written by [`PreparedSchema::write_wire`].
+    /// `vocab` is the vocabulary size of the session [`TokenTable`] the
+    /// snapshot was taken with; all interned ids are checked against it.
+    pub fn read_wire(r: &mut WireReader<'_>, vocab: usize) -> Result<PreparedSchema, WireError> {
+        let name = r.get_str()?;
+        let tree = SchemaTree::read_wire(r)?;
+        let ling = SchemaLing::read_wire(r, vocab)?;
+        // Cross-check the two halves: every tree node must point at a
+        // linguistic entry, or pair execution (and the discovery index)
+        // would index past `ling.names`.
+        for (id, node) in tree.iter() {
+            if node.element.index() >= ling.len() {
+                return Err(r.err(format!(
+                    "tree node {id} references element {} but the schema has {} elements",
+                    node.element,
+                    ling.len()
+                )));
+            }
+        }
+        Ok(PreparedSchema { name, tree, ling })
+    }
 }
 
 /// One leaf-pair similarity entry of a [`MatchSummary`]'s top-k list.
@@ -122,6 +167,79 @@ impl MatchSummary {
     pub fn best_wsim(&self) -> f64 {
         self.top_pairs.first().map_or(0.0, |e| e.wsim)
     }
+
+    /// Encode the summary, similarity bits included, for the
+    /// repository's persisted pair cache (DESIGN.md §8).
+    pub fn write_wire(&self, w: &mut WireWriter) {
+        w.put_u32(self.source.0 as u32);
+        w.put_u32(self.target.0 as u32);
+        for mappings in [&self.leaf_mappings, &self.nonleaf_mappings] {
+            w.put_len(mappings.len());
+            for m in mappings {
+                w.put_u32(m.source.index() as u32);
+                w.put_u32(m.target.index() as u32);
+                w.put_str(&m.source_path);
+                w.put_str(&m.target_path);
+                w.put_f64(m.wsim);
+                w.put_f64(m.ssim);
+                w.put_f64(m.lsim);
+            }
+        }
+        w.put_len(self.top_pairs.len());
+        for e in &self.top_pairs {
+            w.put_str(&e.source_path);
+            w.put_str(&e.target_path);
+            w.put_f64(e.wsim);
+        }
+        // Plain u64 counters, not put_len: these are statistics, not
+        // allocation counts — they may legitimately exceed the
+        // remaining input length that get_len sanity-checks against
+        // (total_pairs is |S1|·|S2|), and must never truncate.
+        w.put_u64(self.compared_pairs as u64);
+        w.put_u64(self.total_pairs as u64);
+    }
+
+    /// Decode a summary written by [`MatchSummary::write_wire`].
+    pub fn read_wire(r: &mut WireReader<'_>) -> Result<MatchSummary, WireError> {
+        let source = SchemaId(r.get_u32()? as usize);
+        let target = SchemaId(r.get_u32()? as usize);
+        let read_mappings = |r: &mut WireReader<'_>| -> Result<Vec<MappingElement>, WireError> {
+            let n = r.get_len()?;
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(MappingElement {
+                    source: NodeId::from_index(r.get_u32()? as usize),
+                    target: NodeId::from_index(r.get_u32()? as usize),
+                    source_path: r.get_str()?,
+                    target_path: r.get_str()?,
+                    wsim: r.get_f64()?,
+                    ssim: r.get_f64()?,
+                    lsim: r.get_f64()?,
+                });
+            }
+            Ok(out)
+        };
+        let leaf_mappings = read_mappings(r)?;
+        let nonleaf_mappings = read_mappings(r)?;
+        let n = r.get_len()?;
+        let mut top_pairs = Vec::with_capacity(n);
+        for _ in 0..n {
+            top_pairs.push(SimilarityEntry {
+                source_path: r.get_str()?,
+                target_path: r.get_str()?,
+                wsim: r.get_f64()?,
+            });
+        }
+        Ok(MatchSummary {
+            source,
+            target,
+            leaf_mappings,
+            nonleaf_mappings,
+            top_pairs,
+            compared_pairs: r.get_u64()? as usize,
+            total_pairs: r.get_u64()? as usize,
+        })
+    }
 }
 
 /// Aggregate counters of a session, for reports and the `batch` bench
@@ -138,6 +256,11 @@ pub struct SessionStats {
     /// store — every further comparison anywhere in the corpus is a
     /// lookup.
     pub distinct_pairs_computed: usize,
+    /// Chunks the session's [`SimStore`] has allocated (32 KiB each;
+    /// only touched regions of the triangular index space materialize).
+    pub sim_chunks: usize,
+    /// Bytes committed by those chunks — the memo's memory footprint.
+    pub sim_bytes: usize,
 }
 
 /// A batch-matching session: shared interner, persistent similarity
@@ -189,8 +312,14 @@ impl<'a> MatchSession<'a> {
     /// of the warm memo that is merged back afterwards. The thread count
     /// never affects results, only wall-clock time.
     pub fn threads(mut self, n: usize) -> Self {
-        self.threads = n.max(1);
+        self.set_threads(n);
         self
+    }
+
+    /// Set the worker-thread count on an existing session (the
+    /// non-consuming form of [`MatchSession::threads`]).
+    pub fn set_threads(&mut self, n: usize) {
+        self.threads = n.max(1);
     }
 
     /// Set how many top leaf similarities each [`MatchSummary`] keeps.
@@ -269,6 +398,65 @@ impl<'a> MatchSession<'a> {
         SchemaId(self.schemas.len() - 1)
     }
 
+    /// Re-prepare the schema at `id` in place — the incremental-update
+    /// primitive behind the repository's `replace`. The new schema's
+    /// tokens are interned into the (append-only) session table; stale
+    /// tokens from the old version stay interned, which wastes a few
+    /// table entries but keeps every other schema's id slices — and the
+    /// whole warm similarity memo — valid.
+    pub fn replace(&mut self, id: SchemaId, schema: &Schema) -> Result<(), ModelError> {
+        let tree = expand(schema, &self.config.expand)?;
+        let raw = RawSchemaLing::of(schema, self.thesaurus);
+        let ling = raw.intern(&mut self.table);
+        self.schemas[id.0] = PreparedSchema { name: schema.name().to_string(), tree, ling };
+        Ok(())
+    }
+
+    /// Remove the schema at `id`. Every schema after it shifts down by
+    /// one — all previously issued [`SchemaId`]s at or past `id` are
+    /// invalidated, which is why this is a building block for the
+    /// repository (which tracks schemas by name and re-derives ids)
+    /// rather than a casual session operation. The interner and memo
+    /// are untouched: ids of the remaining schemas stay valid.
+    pub fn remove(&mut self, id: SchemaId) -> PreparedSchema {
+        self.schemas.remove(id.0)
+    }
+
+    /// Rebuild a session from exported state: the (config, thesaurus)
+    /// pair it will match under, plus the token table, similarity memo
+    /// and prepared schemas of a snapshot. The caller attests the three
+    /// parts belong together — the repository enforces this with
+    /// config/thesaurus fingerprints before calling (DESIGN.md §8).
+    pub fn from_parts(
+        config: &'a CupidConfig,
+        thesaurus: &'a Thesaurus,
+        table: TokenTable,
+        store: SimStore,
+        schemas: Vec<PreparedSchema>,
+    ) -> Self {
+        let mut session = MatchSession::new(config, thesaurus);
+        session.table = table;
+        session.store = store;
+        session.schemas = schemas;
+        session
+    }
+
+    /// Decompose the session into its persistent parts (token table,
+    /// similarity memo, prepared schemas) for snapshotting.
+    pub fn into_parts(self) -> (TokenTable, SimStore, Vec<PreparedSchema>) {
+        (self.table, self.store, self.schemas)
+    }
+
+    /// The session's token table (snapshot export).
+    pub fn table(&self) -> &TokenTable {
+        &self.table
+    }
+
+    /// The session's similarity memo (snapshot export).
+    pub fn store(&self) -> &SimStore {
+        &self.store
+    }
+
     /// Number of schemas prepared so far.
     pub fn len(&self) -> usize {
         self.schemas.len()
@@ -284,6 +472,12 @@ impl<'a> MatchSession<'a> {
         &self.schemas[id.0]
     }
 
+    /// All prepared schemas, in preparation order (snapshot export and
+    /// index construction).
+    pub fn prepared(&self) -> &[PreparedSchema] {
+        &self.schemas
+    }
+
     /// All schema ids, in preparation order.
     pub fn ids(&self) -> impl Iterator<Item = SchemaId> {
         (0..self.schemas.len()).map(SchemaId)
@@ -296,6 +490,8 @@ impl<'a> MatchSession<'a> {
             pairs_matched: self.pairs_matched,
             vocab_size: self.table.len(),
             distinct_pairs_computed: self.store.distinct_pairs_computed(),
+            sim_chunks: self.store.allocated_chunks(),
+            sim_bytes: self.store.allocated_bytes(),
         }
     }
 
@@ -656,6 +852,116 @@ mod tests {
         let ids = session.add_corpus(&batch[..4]).unwrap();
         assert_eq!(ids.len(), 4);
         assert_eq!(session.len(), 4);
+    }
+
+    #[test]
+    fn prepared_schema_and_summary_wire_round_trip() {
+        let cfg = CupidConfig::default();
+        let th = thesaurus();
+        let corpus = corpus();
+        let mut session = MatchSession::new(&cfg, &th).threads(1);
+        let ids = session.add_corpus(&corpus).unwrap();
+        let summary = session.match_pair(ids[0], ids[1]);
+        let vocab = session.stats().vocab_size;
+
+        let prepared = session.schema(ids[0]);
+        let mut w = WireWriter::new();
+        prepared.write_wire(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let back = PreparedSchema::read_wire(&mut r, vocab).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.name, prepared.name);
+        assert_eq!(back.tree.len(), prepared.tree.len());
+        assert_eq!(back.ling.names, prepared.ling.names);
+
+        let mut w = WireWriter::new();
+        summary.write_wire(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let back = MatchSummary::read_wire(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, summary);
+    }
+
+    #[test]
+    fn imported_prepared_schema_matches_bit_identically() {
+        // Round-trip *every* prepared schema plus the table and store,
+        // rebuild a session from the parts, and check a pair executes
+        // to the exact same summary — the snapshot bit-identity
+        // argument in miniature (DESIGN.md §8).
+        let cfg = CupidConfig::default();
+        let th = thesaurus();
+        let corpus = corpus();
+        let mut session = MatchSession::new(&cfg, &th).threads(1);
+        let ids = session.add_corpus(&corpus).unwrap();
+        let want: Vec<MatchSummary> = session.match_all_pairs();
+        let vocab = session.stats().vocab_size;
+
+        let (table, store, schemas) = session.into_parts();
+        let mut w = WireWriter::new();
+        table.write_wire(&mut w);
+        store.write_wire(&mut w);
+        w.put_len(schemas.len());
+        for s in &schemas {
+            s.write_wire(&mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let table2 = cupid_lexical::TokenTable::read_wire(&mut r).unwrap();
+        let store2 = SimStore::read_wire(&mut r).unwrap();
+        let n = r.get_len().unwrap();
+        let schemas2: Vec<PreparedSchema> =
+            (0..n).map(|_| PreparedSchema::read_wire(&mut r, vocab).unwrap()).collect();
+        r.finish().unwrap();
+
+        let mut session = MatchSession::from_parts(&cfg, &th, table2, store2, schemas2).threads(1);
+        let got = session.match_all_pairs();
+        assert_eq!(got, want);
+        assert_eq!(
+            session.stats().distinct_pairs_computed,
+            store.distinct_pairs_computed(),
+            "a warm store answers every repeated pair without recomputing"
+        );
+        let _ = ids;
+    }
+
+    #[test]
+    fn replace_reprepares_in_place() {
+        let cfg = CupidConfig::default();
+        let th = thesaurus();
+        let corpus = corpus();
+        let mut session = MatchSession::new(&cfg, &th).threads(1);
+        let ids = session.add_corpus(&corpus).unwrap();
+        let before = session.match_pair(ids[0], ids[1]);
+        let edited =
+            schema("S1", "Item", &[("Quantity", DataType::Int), ("Total", DataType::Money)]);
+        session.replace(ids[1], &edited).unwrap();
+        let after = session.match_pair(ids[0], ids[1]);
+        assert_ne!(before, after);
+        assert!(after.has_leaf_mapping("S0.Item.Qty", "S1.Item.Quantity"));
+        // Untouched pairs still match exactly as a fresh session would.
+        let cross = session.match_pair(ids[2], ids[3]);
+        let mut fresh = MatchSession::new(&cfg, &th).threads(1);
+        let fids = fresh.add_corpus(&corpus).unwrap();
+        let want = fresh.match_pair(fids[2], fids[3]);
+        assert_eq!(cross.leaf_mappings, want.leaf_mappings);
+    }
+
+    #[test]
+    fn remove_shifts_later_ids() {
+        let cfg = CupidConfig::default();
+        let th = thesaurus();
+        let corpus = corpus();
+        let mut session = MatchSession::new(&cfg, &th).threads(1);
+        let ids = session.add_corpus(&corpus).unwrap();
+        let removed = session.remove(ids[1]);
+        assert_eq!(removed.name, "S1");
+        assert_eq!(session.len(), 3);
+        assert_eq!(session.schema(SchemaId::from_index(1)).name, "S2");
+        // The surviving schemas still match (table/store untouched).
+        let s = session.match_pair(SchemaId::from_index(1), SchemaId::from_index(2));
+        assert_eq!(s.total_pairs, corpus[2].len() * corpus[3].len());
     }
 
     #[test]

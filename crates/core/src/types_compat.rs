@@ -46,6 +46,30 @@ impl Default for TypeCompatibility {
 }
 
 impl TypeCompatibility {
+    /// Write the table's canonical encoding (defaults plus overrides,
+    /// sorted by wire code so `HashMap` iteration order can't leak in)
+    /// into a fingerprint writer — a component of
+    /// [`crate::CupidConfig::fingerprint`].
+    pub(crate) fn fingerprint_into(&self, w: &mut cupid_model::WireWriter) {
+        use cupid_model::wire::data_type_code;
+        for v in [self.identical, self.same_broad, self.text_vs_other, self.unknown_vs_other] {
+            w.put_f64(v);
+        }
+        w.put_f64(self.unrelated);
+        let mut overrides: Vec<(u8, u8, f64)> = self
+            .overrides
+            .iter()
+            .map(|(&(a, b), &v)| (data_type_code(a), data_type_code(b), v))
+            .collect();
+        overrides.sort_by_key(|x| (x.0, x.1));
+        w.put_len(overrides.len());
+        for (a, b, v) in overrides {
+            w.put_u8(a);
+            w.put_u8(b);
+            w.put_f64(v);
+        }
+    }
+
     /// Install a symmetric override for a specific type pair. The value is
     /// clamped into `[0, 0.5]`.
     pub fn set_override(&mut self, a: DataType, b: DataType, value: f64) -> &mut Self {

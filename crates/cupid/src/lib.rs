@@ -50,8 +50,10 @@
 //! details: [`cupid_core`] (the matcher), [`cupid_model`] (the schema
 //! model), [`cupid_lexical`] (the linguistic substrate),
 //! [`cupid_baselines`] (DIKE / MOMIS-ARTEMIS), [`cupid_corpus`] (the
-//! paper's schemas and gold mappings), [`cupid_io`] (importers) and
-//! [`cupid_eval`] (the experiment harness).
+//! paper's schemas and gold mappings), [`cupid_io`] (importers and the
+//! SDL writer), [`cupid_repo`] (the persistent schema repository:
+//! on-disk session snapshots, incremental re-matching, top-k
+//! discovery) and [`cupid_eval`] (the experiment harness).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,6 +65,7 @@ pub use cupid_eval as eval;
 pub use cupid_io as io;
 pub use cupid_lexical as lexical;
 pub use cupid_model as model;
+pub use cupid_repo as repo;
 
 /// The commonly used types, for glob import.
 pub mod prelude {
@@ -74,4 +77,5 @@ pub mod prelude {
     pub use cupid_model::{
         expand, DataType, ElementId, ElementKind, ExpandOptions, Schema, SchemaBuilder, SchemaTree,
     };
+    pub use cupid_repo::{CupidRepositoryExt, DiscoveryIndex, RepoError, Repository};
 }

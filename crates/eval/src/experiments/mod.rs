@@ -9,6 +9,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig8;
 pub mod ling_only;
+pub mod retrieval;
 pub mod scalability;
 pub mod table1;
 pub mod table2;
@@ -28,6 +29,7 @@ pub const ALL: &[&str] = &[
     "scalability",
     "ablation",
     "discovery",
+    "retrieval",
 ];
 
 /// Run an experiment by id.
@@ -45,6 +47,7 @@ pub fn run(id: &str) -> Option<Report> {
         "scalability" => Some(scalability::run()),
         "ablation" => Some(ablation::run()),
         "discovery" => Some(discovery::run()),
+        "retrieval" => Some(retrieval::run()),
         _ => None,
     }
 }

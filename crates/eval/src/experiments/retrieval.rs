@@ -1,0 +1,166 @@
+//! Top-k candidate retrieval vs exhaustive discovery (DESIGN.md §8.4).
+//!
+//! The discovery index prunes the all-pairs worklist by cheap leaf-
+//! token overlap before any full tree match runs — the staged
+//! retrieve-then-refine shape of modern dataset-discovery systems
+//! (Valentine's benchmark; Schemora's retrieval tier). Pruning is only
+//! admissible if it keeps the answers: this experiment measures, on the
+//! paper's eight schemas, how much of the exhaustive ranking each `k`
+//! preserves and how many of the 28 full pair executions it avoids.
+//!
+//! Two measurements per `k`:
+//!
+//! * **curated recall** — the four pairs the paper actually studies
+//!   (Figure 1, Figure 2, CIDX–Excel, RDB–Star) must be retrieved;
+//! * **preserved prefix** — the longest prefix of the exhaustive
+//!   best-`wsim` ranking fully contained in the pruned set. Executed
+//!   pairs are bit-identical to the exhaustive run's, so a contained
+//!   prefix is reproduced *in the same order*.
+
+use cupid_core::{MatchSession, MatchSummary};
+use cupid_corpus::thesauri;
+use cupid_repo::DiscoveryIndex;
+
+use crate::configs;
+use crate::experiments::discovery;
+use crate::table::TextTable;
+use crate::Report;
+
+/// The four same-domain pairs the paper's experiments study, by corpus
+/// label (order-insensitive).
+pub const CURATED: &[(&str, &str)] = &[
+    ("fig1/PO", "fig1/POrder"),
+    ("fig2/PO", "fig2/PurchaseOrder"),
+    ("CIDX", "Excel"),
+    ("RDB", "Star"),
+];
+
+/// Rank summaries the way the `discovery` experiment does: best leaf
+/// wsim descending, mapping count as tie-break.
+fn rank(mut summaries: Vec<MatchSummary>) -> Vec<MatchSummary> {
+    summaries.sort_by(|a, b| {
+        b.best_wsim()
+            .partial_cmp(&a.best_wsim())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.leaf_mappings.len().cmp(&a.leaf_mappings.len()))
+    });
+    summaries
+}
+
+/// One retrieval measurement at a fixed `k`.
+#[derive(Debug, Clone)]
+pub struct RetrievalPoint {
+    /// Candidates kept per schema.
+    pub k: usize,
+    /// Full pairs executed (out of the exhaustive 28).
+    pub pairs_executed: usize,
+    /// Curated pairs retrieved (of [`CURATED`]'s 4).
+    pub curated_hits: usize,
+    /// Longest exhaustive-ranking prefix fully contained in (and hence
+    /// reproduced by) the pruned ranking.
+    pub preserved_prefix: usize,
+}
+
+/// Run the sweep `k = 1..=max_k`. Exposed for tests.
+pub fn sweep(max_k: usize) -> (Vec<RetrievalPoint>, usize) {
+    let labeled = discovery::corpus();
+    let names: Vec<&'static str> = labeled.iter().map(|(n, _)| *n).collect();
+    let schemas: Vec<_> = labeled.into_iter().map(|(_, s)| s).collect();
+    let cfg = configs::shallow_xml();
+    let thesaurus = thesauri::paper_thesaurus();
+
+    let mut session = MatchSession::new(&cfg, &thesaurus);
+    session.add_corpus(&schemas).expect("corpus expands");
+    let exhaustive = rank(session.match_all_pairs());
+    let total_pairs = schemas.len() * (schemas.len() - 1) / 2;
+    let index = DiscoveryIndex::build(session.prepared());
+
+    let label = |s: &MatchSummary| -> (usize, usize) { (s.source.index(), s.target.index()) };
+    let curated_indices: Vec<(usize, usize)> = CURATED
+        .iter()
+        .map(|(a, b)| {
+            let i = names.iter().position(|n| n == a).expect("label");
+            let j = names.iter().position(|n| n == b).expect("label");
+            (i.min(j), i.max(j))
+        })
+        .collect();
+
+    let mut points = Vec::new();
+    for k in 1..=max_k {
+        let pruned = index.top_k_pairs(k);
+        let contains = |p: &(usize, usize)| pruned.binary_search(p).is_ok();
+        let curated_hits = curated_indices.iter().filter(|p| contains(p)).count();
+        let preserved_prefix = exhaustive.iter().take_while(|s| contains(&label(s))).count();
+        points.push(RetrievalPoint {
+            k,
+            pairs_executed: pruned.len(),
+            curated_hits,
+            preserved_prefix,
+        });
+    }
+    (points, total_pairs)
+}
+
+/// Run the retrieval experiment.
+pub fn run() -> Report {
+    let mut report =
+        Report::new("top-k retrieval — discovery index vs exhaustive all-pairs (DESIGN.md §8.4)");
+    let (points, total) = sweep(4);
+    let mut t = TextTable::new(
+        "Index-pruned discovery on the paper's 8 schemas (28 exhaustive pairs)",
+        vec!["k", "pairs executed", "curated pairs retrieved", "exhaustive prefix preserved"],
+    );
+    for p in &points {
+        t.row(vec![
+            p.k.to_string(),
+            format!("{}/{total}", p.pairs_executed),
+            format!("{}/{}", p.curated_hits, CURATED.len()),
+            p.preserved_prefix.to_string(),
+        ]);
+    }
+    report.tables.push(t);
+    report.notes.push(
+        "executed pairs are bit-identical to the exhaustive run, so a preserved prefix \
+         is reproduced in the exact same order; the index retrieves by leaf-token \
+         overlap only (no thesaurus, no tree traversal), which is why small k already \
+         recovers every curated pair at a fraction of the full worklist."
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_k_reproduces_the_exhaustive_ranking_with_fewer_pairs() {
+        let (points, total) = sweep(3);
+        assert_eq!(total, 28);
+        let p3 = &points[2];
+        assert_eq!(p3.k, 3);
+        assert!(p3.pairs_executed < total, "pruning must drop pairs: {p3:?}");
+        assert_eq!(p3.curated_hits, CURATED.len(), "every curated pair retrieved: {p3:?}");
+        assert!(
+            p3.preserved_prefix >= 4,
+            "the top of the exhaustive ranking must survive pruning: {p3:?}"
+        );
+    }
+
+    #[test]
+    fn recall_is_monotone_in_k() {
+        let (points, _) = sweep(4);
+        for w in points.windows(2) {
+            assert!(w[1].pairs_executed >= w[0].pairs_executed);
+            assert!(w[1].curated_hits >= w[0].curated_hits);
+            assert!(w[1].preserved_prefix >= w[0].preserved_prefix);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run();
+        assert_eq!(r.tables[0].rows.len(), 4, "{}", r.render());
+        assert!(!r.notes.is_empty());
+    }
+}

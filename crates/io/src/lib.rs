@@ -22,7 +22,7 @@ pub mod sdl;
 pub mod xml;
 
 pub use ddl::parse_ddl;
-pub use sdl::parse_sdl;
+pub use sdl::{parse_sdl, write_sdl};
 pub use xml::schema_from_xml;
 
 /// Parse errors shared by the importers.

@@ -14,11 +14,22 @@
 //!       attr Quantity : decimal optional
 //! ```
 //!
-//! Directives: `schema NAME` (first line), `element NAME [uses TYPE…]`,
-//! `type NAME` (a shared type definition), `attr NAME : TYPE [optional]
-//! [key]`. Indentation is two spaces per level; `#` starts a comment.
+//! Directives: `schema NAME` (first line), `element NAME [uses TYPE…]`
+//! for structured elements, `element NAME : TYPE [optional] [key]` for
+//! atomic (leaf) elements, `type NAME` (a shared type definition),
+//! `attr NAME : TYPE [optional] [key]`. Indentation is two spaces per
+//! level; `#` starts a comment.
+//!
+//! [`write_sdl`] is the inverse: it renders a schema back into this
+//! format, so SDL is a faithful on-disk *export* format, not only an
+//! input one — the persistent repository uses it for schema
+//! export/import (DESIGN.md §8). `parse → write → parse` is the
+//! identity on everything SDL can express, which
+//! `tests/io_roundtrip.rs` proves over randomized schemas.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
 
 use cupid_model::{DataType, ElementId, ElementKind, Schema, SchemaBuilder};
 
@@ -95,6 +106,43 @@ pub fn parse_sdl(text: &str) -> Result<Schema, ParseError> {
                     return Err(ParseError { line: line.no, message: "missing name".into() });
                 }
                 let name = line.words[1];
+                // `element NAME : TYPE …` declares an atomic (leaf)
+                // element with a data type, mirroring `attr` but with
+                // element kind — needed so every expressible schema
+                // tree can round-trip through `write_sdl`.
+                if line.words.get(2) == Some(&":") && line.words[0] == "element" {
+                    if line.words.len() < 4 {
+                        return Err(ParseError {
+                            line: line.no,
+                            message: "expected `element NAME : TYPE`".into(),
+                        });
+                    }
+                    let id = b.atomic(
+                        parent,
+                        name,
+                        ElementKind::XmlElement,
+                        DataType::parse(line.words[3]),
+                    );
+                    for &w in &line.words[4..] {
+                        match w {
+                            "optional" => {
+                                b.set_optional(id, true);
+                            }
+                            "key" => {
+                                b.set_key(id, true);
+                            }
+                            other => {
+                                return Err(ParseError {
+                                    line: line.no,
+                                    message: format!("unknown modifier `{other}`"),
+                                })
+                            }
+                        }
+                    }
+                    // atomic: nothing may nest below it, so it never
+                    // goes on the stack.
+                    continue;
+                }
                 let id = if line.words[0] == "type" {
                     if line.indent != 1 {
                         return Err(ParseError {
@@ -183,6 +231,160 @@ pub fn parse_sdl(text: &str) -> Result<Schema, ParseError> {
     b.build().map_err(|e| ParseError { line: 0, message: e.to_string() })
 }
 
+/// Error raised by [`write_sdl`] for schemas the SDL grammar cannot
+/// express (relational key/constraint machinery, views, annotations,
+/// names the line-oriented format cannot quote).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteError {
+    /// Name of the offending element.
+    pub element: String,
+    /// Why it cannot be written.
+    pub message: String,
+}
+
+impl fmt::Display for WriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot write `{}` as SDL: {}", self.element, self.message)
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+/// Check a name survives the line-oriented grammar: it must stay one
+/// whitespace token, not start a comment, and not collide with the
+/// `attr NAME : TYPE` colon scan.
+fn writable_name(name: &str) -> Result<(), WriteError> {
+    let bad = name.is_empty() || name.chars().any(|c| c.is_whitespace() || c == '#' || c == ':');
+    if bad {
+        Err(WriteError {
+            element: name.to_string(),
+            message: "names must be non-empty and contain no whitespace, `#` or `:`".into(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Render a schema as an SDL document (the inverse of [`parse_sdl`]).
+///
+/// Expressible schemas are XML-shaped: structured elements, atomic
+/// elements/attributes with data types and `optional`/`key` flags,
+/// shared type definitions with `uses` references. Element kinds
+/// normalize to the kinds [`parse_sdl`] assigns (`XmlElement`,
+/// `XmlAttribute`, `TypeDef`), so for schemas built from those kinds
+/// `parse_sdl(&write_sdl(s)?)` reproduces `s` exactly — content hash
+/// included. Relational constraint machinery (keys, foreign keys,
+/// views), aggregation/reference edges, annotations, and
+/// non-top-level type definitions have no SDL spelling and are
+/// reported as [`WriteError`]s rather than dropped silently.
+pub fn write_sdl(schema: &Schema) -> Result<String, WriteError> {
+    writable_name(schema.name())?;
+    let mut out = String::new();
+    writeln!(out, "schema {}", schema.name()).expect("string write");
+    for &child in schema.children(schema.root()) {
+        write_element(schema, child, 1, &mut out)?;
+    }
+    // Anything not reachable through containment (free-standing
+    // elements) has no place in the document.
+    let mut reachable = vec![false; schema.len()];
+    reachable[schema.root().index()] = true;
+    for id in schema.descendants(schema.root()) {
+        reachable[id.index()] = true;
+    }
+    if let Some((id, e)) = schema.iter().find(|(id, _)| !reachable[id.index()]) {
+        return Err(WriteError {
+            element: e.name.clone(),
+            message: format!("element {id} is not reachable through containment"),
+        });
+    }
+    Ok(out)
+}
+
+fn write_element(
+    schema: &Schema,
+    id: ElementId,
+    depth: usize,
+    out: &mut String,
+) -> Result<(), WriteError> {
+    let e = schema.element(id);
+    writable_name(&e.name)?;
+    let fail = |message: String| Err(WriteError { element: e.name.clone(), message });
+    if e.annotation.is_some() {
+        return fail("annotations have no SDL spelling".into());
+    }
+    if !schema.aggregates(id).is_empty() || !schema.references(id).is_empty() {
+        return fail("aggregation/reference edges have no SDL spelling".into());
+    }
+    match e.kind {
+        ElementKind::Key | ElementKind::ForeignKey | ElementKind::View => {
+            return fail(format!("{} elements have no SDL spelling", e.kind));
+        }
+        ElementKind::TypeDef if depth != 1 => {
+            return fail("type definitions live at top level".into());
+        }
+        _ => {}
+    }
+    let indent = "  ".repeat(depth);
+    let is_typedef = e.kind == ElementKind::TypeDef;
+    if e.not_instantiated && !is_typedef {
+        return fail("not-instantiated elements have no SDL spelling".into());
+    }
+    // Atomic spelling (`… NAME : TYPE`) when the element carries a real
+    // data type, or is a bare leaf with no `uses` to splice members in.
+    let atomic = !is_typedef
+        && (e.data_type != DataType::Complex
+            || (schema.children(id).is_empty() && schema.derived_from(id).is_empty()));
+    if atomic {
+        if !schema.children(id).is_empty() {
+            return fail("an element with a data type cannot contain children".into());
+        }
+        if !schema.derived_from(id).is_empty() {
+            return fail("an atomic element cannot use a type".into());
+        }
+        let keyword = if e.kind == ElementKind::XmlAttribute
+            || e.kind == ElementKind::Attribute
+            || e.kind == ElementKind::Column
+        {
+            "attr"
+        } else {
+            "element"
+        };
+        write!(out, "{indent}{keyword} {} : {}", e.name, e.data_type).expect("string write");
+        if e.optional {
+            out.push_str(" optional");
+        }
+        if e.is_key {
+            out.push_str(" key");
+        }
+        out.push('\n');
+    } else {
+        // Structured spelling, shared by `element` and `type` lines:
+        // both accept `uses` (multi-level derivation, §8.1) and
+        // `optional`.
+        let keyword = if is_typedef { "type" } else { "element" };
+        write!(out, "{indent}{keyword} {}", e.name).expect("string write");
+        for &ty in schema.derived_from(id) {
+            let t = schema.element(ty);
+            if t.kind != ElementKind::TypeDef {
+                return fail(format!("`uses` target `{}` is not a type definition", t.name));
+            }
+            writable_name(&t.name)?;
+            write!(out, " uses {}", t.name).expect("string write");
+        }
+        if e.optional {
+            out.push_str(" optional");
+        }
+        if e.is_key {
+            return fail("only atomic elements can be keys in SDL".into());
+        }
+        out.push('\n');
+    }
+    for &child in schema.children(id) {
+        write_element(schema, child, depth + 1, out)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +442,82 @@ schema PurchaseOrder
     fn empty_document_fails() {
         assert!(parse_sdl("").is_err());
         assert!(parse_sdl("# only a comment\n").is_err());
+    }
+
+    #[test]
+    fn write_then_parse_is_identity_on_the_running_example() {
+        let s = parse_sdl(DOC).unwrap();
+        let text = write_sdl(&s).unwrap();
+        let back = parse_sdl(&text).unwrap();
+        assert_eq!(back.content_hash(), s.content_hash(), "document:\n{text}");
+        // and writing again is a fixed point
+        assert_eq!(write_sdl(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn atomic_element_grammar_extension_round_trips() {
+        let doc = "\
+schema PO
+  element Items
+    element Line : int key
+    element Note : string optional
+    attr Count : int
+";
+        let s = parse_sdl(doc).unwrap();
+        let line = s.find("Line").unwrap();
+        assert_eq!(s.element(line).kind, ElementKind::XmlElement);
+        assert_eq!(s.element(line).data_type, DataType::Int);
+        assert!(s.element(line).is_key);
+        let note = s.find("Note").unwrap();
+        assert!(s.element(note).optional);
+        let text = write_sdl(&s).unwrap();
+        assert_eq!(parse_sdl(&text).unwrap().content_hash(), s.content_hash());
+        // nothing may nest below an atomic element
+        let bad = "schema S\n  element A : int\n    attr B : int\n";
+        assert!(parse_sdl(bad).is_err());
+    }
+
+    #[test]
+    fn typedef_uses_round_trips() {
+        // Multi-level derivation (§8.1): USAddress uses Address.
+        let doc = "\
+schema S
+  type Address
+    attr Street : string
+  type USAddress uses Address
+    attr ZipCode : string
+  element ShipTo uses USAddress
+";
+        let s = parse_sdl(doc).unwrap();
+        let text = write_sdl(&s).unwrap();
+        assert_eq!(parse_sdl(&text).unwrap().content_hash(), s.content_hash(), "{text}");
+    }
+
+    #[test]
+    fn unwritable_constructs_are_loud() {
+        use cupid_model::SchemaBuilder;
+        // relational key machinery
+        let mut b = SchemaBuilder::new("DB");
+        let t = b.table("Orders");
+        let c = b.column(t, "OrderID", DataType::Int);
+        b.primary_key(t, &[c]);
+        let err = write_sdl(&b.build().unwrap()).unwrap_err();
+        assert!(err.message.contains("SDL"), "{err}");
+        // unwritable name
+        let mut b = SchemaBuilder::new("S");
+        b.atomic(b.root(), "two words", ElementKind::XmlAttribute, DataType::Int);
+        assert!(write_sdl(&b.build().unwrap()).is_err());
+        // annotation
+        let mut b = SchemaBuilder::new("S");
+        let a = b.atomic(b.root(), "X", ElementKind::XmlAttribute, DataType::Int);
+        b.annotate(a, "note");
+        assert!(write_sdl(&b.build().unwrap()).is_err());
+        // writable relational *columns* still export as attrs
+        let mut b = SchemaBuilder::new("DB");
+        let t = b.table("Orders");
+        b.column(t, "OrderID", DataType::Int);
+        let text = write_sdl(&b.build().unwrap()).unwrap();
+        assert!(text.contains("attr OrderID : int"), "{text}");
     }
 
     #[test]

@@ -27,6 +27,8 @@
 
 use std::collections::HashMap;
 
+use cupid_model::{WireError, WireReader, WireWriter};
+
 use crate::normalize::NormalizedName;
 use crate::strsim::{class_similarity, AffixConfig};
 use crate::thesaurus::Thesaurus;
@@ -43,6 +45,28 @@ impl TokenId {
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Reconstruct an id from a raw index (wire decoding within this
+    /// crate and `cupid-core`; bounds are the caller's obligation).
+    #[inline]
+    pub(crate) fn from_raw(i: u32) -> Self {
+        TokenId(i)
+    }
+}
+
+/// Decode a token id written as a raw `u32` index, bounds-checked
+/// against a vocabulary size. Shared by the wire decoders of this crate
+/// and `cupid-core` (which cannot construct [`TokenId`] directly).
+pub fn token_id_from_wire(
+    r: &WireReader<'_>,
+    raw: u32,
+    vocab: usize,
+) -> Result<TokenId, WireError> {
+    if (raw as usize) < vocab {
+        Ok(TokenId::from_raw(raw))
+    } else {
+        Err(r.err(format!("token id {raw} out of bounds (vocabulary {vocab})")))
     }
 }
 
@@ -125,6 +149,47 @@ impl TokenTable {
     pub fn class(&self, id: TokenId) -> SimClass {
         self.entries[id.index()].0
     }
+
+    /// Iterate every interned entry in id order — the stable iteration
+    /// hook snapshots are built on: encoding, then re-interning in this
+    /// order, reproduces the exact same id assignment.
+    pub fn entries(&self) -> impl Iterator<Item = (TokenId, SimClass, &str)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, (c, t))| (TokenId::from_raw(i as u32), *c, t.as_str()))
+    }
+
+    /// Encode the table: every entry in id order.
+    pub fn write_wire(&self, w: &mut WireWriter) {
+        w.put_len(self.entries.len());
+        for (c, t) in &self.entries {
+            w.put_u8(c.index() as u8);
+            w.put_str(t);
+        }
+    }
+
+    /// Decode a table written by [`TokenTable::write_wire`]. Entries
+    /// are re-interned in stored order, so every id comes back exactly
+    /// as it was assigned — which is what keeps persisted id slices
+    /// ([`NormalizedName::ids`] and the core's per-element id tables)
+    /// valid against the decoded table.
+    pub fn read_wire(r: &mut WireReader<'_>) -> Result<TokenTable, WireError> {
+        let n = r.get_len()?;
+        let mut table = TokenTable::new();
+        for i in 0..n {
+            let class = match r.get_u8()? {
+                c if (c as usize) < SimClass::ALL.len() => SimClass::ALL[c as usize],
+                c => return Err(r.err(format!("unknown sim class code {c}"))),
+            };
+            let text = r.get_str()?;
+            let id = table.intern(class, &text);
+            if id.index() != i {
+                return Err(r.err(format!("duplicate interned entry at id {i}")));
+            }
+        }
+        Ok(table)
+    }
 }
 
 /// Entries per lazily-allocated chunk of the triangular similarity
@@ -185,6 +250,63 @@ impl SimStore {
     /// denominator of the memoization win).
     pub fn distinct_pairs_computed(&self) -> usize {
         self.computed
+    }
+
+    /// Number of chunks actually allocated (touched at least once).
+    pub fn allocated_chunks(&self) -> usize {
+        self.chunks.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Bytes committed by the allocated chunks (the store's memory
+    /// footprint, modulo the chunk directory itself).
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated_chunks() * CHUNK_LEN * std::mem::size_of::<f64>()
+    }
+
+    /// Encode the store: allocated chunks only, each as its directory
+    /// index plus its raw `f64` bit patterns (`NaN` is the in-memory
+    /// "not computed" sentinel and round-trips exactly, so no separate
+    /// presence bitmap is needed).
+    pub fn write_wire(&self, w: &mut WireWriter) {
+        w.put_len(self.chunks.len());
+        w.put_len(self.allocated_chunks());
+        for (i, chunk) in self.chunks.iter().enumerate() {
+            let Some(chunk) = chunk else { continue };
+            w.put_u32(i as u32);
+            for v in chunk.iter() {
+                w.put_f64(*v);
+            }
+        }
+    }
+
+    /// Decode a store written by [`SimStore::write_wire`]. The computed
+    /// count is rebuilt by counting non-`NaN` entries, so a decoded
+    /// store reports the same [`SimStore::distinct_pairs_computed`] as
+    /// the one that was saved.
+    pub fn read_wire(r: &mut WireReader<'_>) -> Result<SimStore, WireError> {
+        let dir_len = r.get_len()?;
+        let present = r.get_len()?;
+        if present > dir_len {
+            return Err(r.err(format!("{present} chunks present but directory holds {dir_len}")));
+        }
+        let mut store = SimStore::new();
+        store.chunks.resize(dir_len, None);
+        for _ in 0..present {
+            let idx = r.get_u32()? as usize;
+            if idx >= dir_len {
+                return Err(r.err(format!("chunk index {idx} out of bounds ({dir_len})")));
+            }
+            if store.chunks[idx].is_some() {
+                return Err(r.err(format!("duplicate chunk index {idx}")));
+            }
+            let mut chunk = vec![f64::NAN; CHUNK_LEN].into_boxed_slice();
+            for slot in chunk.iter_mut() {
+                *slot = r.get_f64()?;
+            }
+            store.computed += chunk.iter().filter(|v| !v.is_nan()).count();
+            store.chunks[idx] = Some(chunk);
+        }
+        Ok(store)
     }
 
     /// Fold another store into this one. Both stores memoize the same
@@ -434,6 +556,80 @@ mod tests {
         assert_eq!(cache.sim(ids[0], ids[1]).to_bits(), v01.to_bits());
         assert_eq!(cache.sim(ids[2], ids[3]).to_bits(), v23.to_bits());
         assert_eq!(cache.distinct_pairs_computed(), 3, "merged values must be hits");
+    }
+
+    #[test]
+    fn table_wire_round_trip_preserves_ids() {
+        let t = ThesaurusBuilder::new().abbreviation("PO", &["purchase", "order"]).build().unwrap();
+        let mut table = TokenTable::new();
+        for (name, class) in
+            [("street", SimClass::Word), ("4", SimClass::Number), ("#", SimClass::Special)]
+        {
+            table.intern(class, name);
+        }
+        let mut name = Normalizer::default().normalize("POLines", &t);
+        table.intern_name(&mut name);
+        let mut w = cupid_model::WireWriter::new();
+        table.write_wire(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = cupid_model::WireReader::new(&bytes);
+        let back = TokenTable::read_wire(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.len(), table.len());
+        for (id, class, text) in table.entries() {
+            assert_eq!(back.class(id), class);
+            assert_eq!(back.text(id), text);
+            assert_eq!(back.lookup(class, text), Some(id));
+        }
+        // name ids round-trip against the decoded table
+        let mut w = cupid_model::WireWriter::new();
+        name.write_wire(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = cupid_model::WireReader::new(&bytes);
+        let name_back = NormalizedName::read_wire(&mut r, back.len()).unwrap();
+        assert_eq!(name_back, name);
+        assert_eq!(name_back.ids, name.ids);
+    }
+
+    #[test]
+    fn store_wire_round_trip_preserves_values_and_count() {
+        let thesaurus = Thesaurus::empty();
+        let affix = AffixConfig::default();
+        let mut table = TokenTable::new();
+        let ids: Vec<TokenId> = ["street", "straight", "road", "lane"]
+            .iter()
+            .map(|w| table.intern(SimClass::Word, w))
+            .collect();
+        let mut cache = TokenSimCache::new(&table, &thesaurus, &affix);
+        let v01 = cache.sim(ids[0], ids[1]);
+        let v23 = cache.sim(ids[2], ids[3]);
+        let store = cache.into_store();
+        let mut w = cupid_model::WireWriter::new();
+        store.write_wire(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = cupid_model::WireReader::new(&bytes);
+        let back = SimStore::read_wire(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.distinct_pairs_computed(), store.distinct_pairs_computed());
+        assert_eq!(back.allocated_chunks(), store.allocated_chunks());
+        assert_eq!(back.allocated_bytes(), store.allocated_bytes());
+        let mut cache = TokenSimCache::with_store(&table, &thesaurus, &affix, back);
+        assert_eq!(cache.sim(ids[0], ids[1]).to_bits(), v01.to_bits());
+        assert_eq!(cache.sim(ids[2], ids[3]).to_bits(), v23.to_bits());
+        assert_eq!(cache.distinct_pairs_computed(), 2, "round-tripped values must be hits");
+    }
+
+    #[test]
+    fn store_wire_rejects_corrupt_directories() {
+        let mut store = SimStore::new();
+        store.set(3, 0.25);
+        let mut w = cupid_model::WireWriter::new();
+        store.write_wire(&mut w);
+        let mut bytes = w.into_bytes();
+        // chunk index out of bounds
+        bytes[8] = 0xfe;
+        let mut r = cupid_model::WireReader::new(&bytes);
+        assert!(SimStore::read_wire(&mut r).is_err());
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod thesaurus;
 pub mod token;
 pub mod tokenizer;
 
-pub use intern::{SimStore, TokenId, TokenSimCache, TokenTable};
+pub use intern::{token_id_from_wire, SimStore, TokenId, TokenSimCache, TokenTable};
 pub use normalize::{NormalizedName, Normalizer};
 pub use stem::stem;
 pub use strsim::token_similarity;

@@ -150,6 +150,44 @@ impl Thesaurus {
         self.abbreviations.len()
     }
 
+    /// Deterministic 64-bit fingerprint of the full thesaurus content
+    /// (abbreviations, stop words, concepts, synonym and hypernym
+    /// entries with their exact coefficient bits). Every table is a
+    /// `BTreeMap`/`BTreeSet`, so iteration — and therefore the
+    /// fingerprint — is independent of insertion order. Snapshots store
+    /// this next to the config fingerprint: a persisted similarity memo
+    /// is only valid for the exact thesaurus it was computed with, so a
+    /// mismatch invalidates the snapshot (DESIGN.md §8).
+    pub fn fingerprint(&self) -> u64 {
+        let mut w = cupid_model::WireWriter::new();
+        w.put_len(self.abbreviations.len());
+        for (short, exp) in &self.abbreviations {
+            w.put_str(short);
+            w.put_len(exp.len());
+            for word in exp {
+                w.put_str(word);
+            }
+        }
+        w.put_len(self.stopwords.len());
+        for s in &self.stopwords {
+            w.put_str(s);
+        }
+        w.put_len(self.concepts.len());
+        for (token, concept) in &self.concepts {
+            w.put_str(token);
+            w.put_str(concept);
+        }
+        for table in [&self.synonyms, &self.hypernyms] {
+            w.put_len(table.len());
+            for ((a, b), coeff) in table {
+                w.put_str(a);
+                w.put_str(b);
+                w.put_f64(*coeff);
+            }
+        }
+        cupid_model::fnv1a(w.bytes())
+    }
+
     /// Parse the plain-text thesaurus format. Lines:
     ///
     /// ```text

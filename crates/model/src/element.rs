@@ -196,7 +196,9 @@ impl DataType {
             "time" => DataType::Time,
             "datetime" | "timestamp" | "datetime2" | "smalldatetime" => DataType::DateTime,
             "binary" | "varbinary" | "blob" | "image" => DataType::Binary,
-            "id" | "idref" | "guid" | "uuid" | "uniqueidentifier" => DataType::Identifier,
+            "id" | "idref" | "guid" | "uuid" | "uniqueidentifier" | "identifier" => {
+                DataType::Identifier
+            }
             "enum" | "enumeration" => DataType::Enumeration,
             "complex" => DataType::Complex,
             _ => DataType::Unknown,

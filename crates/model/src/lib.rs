@@ -32,6 +32,7 @@ pub mod error;
 pub mod joinview;
 pub mod schema;
 pub mod tree;
+pub mod wire;
 
 pub use builder::SchemaBuilder;
 pub use element::{BroadType, DataType, Element, ElementId, ElementKind};
@@ -39,3 +40,4 @@ pub use error::ModelError;
 pub use joinview::ExpandOptions;
 pub use schema::Schema;
 pub use tree::{expand, NodeId, SchemaTree, TreeNode};
+pub use wire::{fnv1a, WireError, WireReader, WireWriter};

@@ -41,6 +41,15 @@ impl Schema {
         ElementId(0)
     }
 
+    /// Rename the schema — and its root element, which carries the
+    /// schema name (paths and the repository key follow). Useful when
+    /// registering the same schema shape under several names.
+    pub fn rename(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        self.elements[0].name.clone_from(&name);
+        self.name = name;
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.elements.len()

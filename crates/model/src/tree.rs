@@ -241,6 +241,17 @@ impl SchemaTree {
         id
     }
 
+    /// Set the root node (wire decoding; expansion sets it directly).
+    pub(crate) fn set_root(&mut self, root: NodeId) {
+        self.root = root;
+    }
+
+    /// Recompute every derived table from the adjacency — the wire
+    /// decoder's entry to [`SchemaTree::finalize`].
+    pub(crate) fn refresh_derived(&mut self) {
+        self.finalize();
+    }
+
     pub(crate) fn link(&mut self, parent: NodeId, child: NodeId) {
         self.nodes[parent.index()].children.push(child);
         self.nodes[child.index()].parents.push(parent);

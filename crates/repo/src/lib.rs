@@ -1,0 +1,764 @@
+//! # cupid-repo — the persistent schema repository (DESIGN.md §8)
+//!
+//! The paper frames matching as one step of a long-lived
+//! data-integration workflow (§9), and PR 3's [`MatchSession`] made the
+//! in-process half of that cheap: prepare every schema once, share one
+//! token-similarity memo across all pairs. This crate is the half that
+//! survives restarts:
+//!
+//! * **Snapshots** — a [`Repository`] persists the whole session
+//!   (token table, similarity memo chunks, every prepared schema, the
+//!   source schema graphs) in a versioned, hand-rolled binary format
+//!   with a trailing checksum. Config and thesaurus fingerprints are
+//!   stored alongside; opening with a different matcher configuration
+//!   invalidates the snapshot instead of serving subtly wrong numbers.
+//! * **Incremental re-matching** — per-pair [`MatchSummary`] results
+//!   are cached keyed by the two schemas' *content hashes*. Editing
+//!   one schema of an `N`-schema corpus re-executes only that schema's
+//!   `N−1` pairs; everything else is served from the cache,
+//!   bit-identical to a cold rebuild.
+//! * **Top-k discovery** — an inverted index over interned leaf name
+//!   tokens ([`DiscoveryIndex`]) retrieves match candidates by cheap
+//!   token overlap, so corpus discovery can execute `N·k` pairs
+//!   instead of `N·(N−1)/2`.
+//!
+//! ```
+//! use cupid_core::{Cupid, CupidConfig};
+//! use cupid_lexical::Thesaurus;
+//! use cupid_model::{DataType, ElementKind, SchemaBuilder};
+//! use cupid_repo::Repository;
+//!
+//! let schema = |name: &str, field: &str| {
+//!     let mut b = SchemaBuilder::new(name);
+//!     let item = b.structured(b.root(), "Item", ElementKind::XmlElement);
+//!     b.atomic(item, field, ElementKind::XmlElement, DataType::Int);
+//!     b.build().unwrap()
+//! };
+//!
+//! let dir = std::env::temp_dir().join(format!("cupid-repo-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let config = CupidConfig::default();
+//! let thesaurus = Thesaurus::with_default_stopwords();
+//!
+//! // First run: build, match, save.
+//! let mut repo = Repository::open_or_create(&dir, &config, &thesaurus).unwrap();
+//! repo.add(&schema("A", "Quantity")).unwrap();
+//! repo.add(&schema("B", "Quantity")).unwrap();
+//! let summaries = repo.match_all_pairs();
+//! assert_eq!(repo.pairs_executed(), 1);
+//! repo.save().unwrap();
+//!
+//! // Second run: everything — including the pair result — comes back
+//! // from disk; nothing is re-executed.
+//! let mut warm = Repository::open_or_create(&dir, &config, &thesaurus).unwrap();
+//! assert_eq!(warm.match_all_pairs(), summaries);
+//! assert_eq!(warm.pairs_executed(), 0);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use cupid_core::{
+    Cupid, CupidConfig, LsimTable, MatchSession, MatchSummary, SchemaId, SessionStats,
+};
+use cupid_lexical::Thesaurus;
+use cupid_model::{ModelError, Schema};
+
+mod index;
+mod snapshot;
+
+pub use index::{Candidate, DiscoveryIndex};
+
+/// Default file name used when a repository path points at a directory.
+pub const SNAPSHOT_FILE: &str = "cupid.repo";
+
+/// Errors of the repository subsystem.
+#[derive(Debug)]
+pub enum RepoError {
+    /// Reading or writing the snapshot file failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        message: String,
+    },
+    /// The snapshot bytes are damaged (bad magic, checksum mismatch,
+    /// malformed structure). The repository refuses to guess; delete
+    /// the file to start over.
+    Corrupt {
+        /// What failed to decode.
+        message: String,
+    },
+    /// The snapshot is well-formed but was produced by a different
+    /// matcher configuration, thesaurus, or container version, so its
+    /// persisted similarities are not valid here.
+    /// [`Repository::open_or_create`] recovers by starting fresh.
+    Stale {
+        /// Which fingerprint differed.
+        reason: String,
+    },
+    /// A schema with this name is already in the repository.
+    DuplicateName(String),
+    /// No schema with this name is in the repository.
+    UnknownName(String),
+    /// Preparing a schema failed (e.g. recursive type definitions).
+    Model(ModelError),
+    /// Exporting a schema to SDL failed (construct not representable).
+    Export {
+        /// The schema being exported.
+        name: String,
+        /// Why it is not representable.
+        message: String,
+    },
+    /// Importing an SDL document failed.
+    Import(cupid_io::ParseError),
+}
+
+impl fmt::Display for RepoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepoError::Io { path, message } => write!(f, "{}: {message}", path.display()),
+            RepoError::Corrupt { message } => write!(f, "corrupt snapshot: {message}"),
+            RepoError::Stale { reason } => write!(f, "stale snapshot: {reason}"),
+            RepoError::DuplicateName(n) => write!(f, "schema `{n}` already in repository"),
+            RepoError::UnknownName(n) => write!(f, "no schema `{n}` in repository"),
+            RepoError::Model(e) => write!(f, "schema preparation failed: {e}"),
+            RepoError::Export { name, message } => {
+                write!(f, "cannot export `{name}` as SDL: {message}")
+            }
+            RepoError::Import(e) => write!(f, "SDL import failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepoError {}
+
+impl From<ModelError> for RepoError {
+    fn from(e: ModelError) -> Self {
+        RepoError::Model(e)
+    }
+}
+
+/// Aggregate repository counters, for reports and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepositoryStats {
+    /// Schemas in the repository.
+    pub schemas: usize,
+    /// Pair summaries currently cached (including stale-keyed entries
+    /// not yet pruned by [`Repository::save`]).
+    pub cached_pairs: usize,
+    /// Full pair executions since this handle was opened — the number
+    /// the incremental machinery exists to minimize.
+    pub pairs_executed: usize,
+    /// The underlying session's counters (vocabulary, memo, memory).
+    pub session: SessionStats,
+}
+
+/// A persistent schema repository: a [`MatchSession`] plus source
+/// schemas, content hashes, a per-pair summary cache, and an on-disk
+/// snapshot location (DESIGN.md §8).
+///
+/// Schemas are keyed by their schema name ([`Schema::name`]); content
+/// hashes track edits, so [`Repository::replace`] with an unchanged
+/// schema is free and a real edit invalidates exactly that schema's
+/// cached pairs. Nothing touches disk until [`Repository::save`].
+#[derive(Debug)]
+pub struct Repository<'a> {
+    path: PathBuf,
+    config: &'a CupidConfig,
+    thesaurus: &'a Thesaurus,
+    session: MatchSession<'a>,
+    names: Vec<String>,
+    sources: Vec<Schema>,
+    hashes: Vec<u64>,
+    /// (source hash, target hash) → summary, as executed.
+    pair_cache: BTreeMap<(u64, u64), MatchSummary>,
+    pairs_executed: usize,
+    dirty: bool,
+    loaded: bool,
+    recovered_stale: Option<String>,
+}
+
+impl<'a> Repository<'a> {
+    /// Open the repository persisted at `path` (a snapshot file, or a
+    /// directory in which [`SNAPSHOT_FILE`] is used), or start an empty
+    /// one if nothing is persisted yet.
+    ///
+    /// A snapshot whose config/thesaurus fingerprints (or container
+    /// version) do not match is *discarded* and a fresh repository is
+    /// returned — the stale reason is kept in
+    /// [`Repository::recovered_stale`] for diagnostics. A snapshot that
+    /// is damaged (checksum mismatch, malformed bytes) is an error:
+    /// silent data loss is worse than a loud one.
+    pub fn open_or_create(
+        path: impl AsRef<Path>,
+        config: &'a CupidConfig,
+        thesaurus: &'a Thesaurus,
+    ) -> Result<Self, RepoError> {
+        let path = resolve_path(path.as_ref());
+        let mut repo = Repository {
+            path: path.clone(),
+            config,
+            thesaurus,
+            session: MatchSession::new(config, thesaurus),
+            names: Vec::new(),
+            sources: Vec::new(),
+            hashes: Vec::new(),
+            pair_cache: BTreeMap::new(),
+            pairs_executed: 0,
+            dirty: false,
+            loaded: false,
+            recovered_stale: None,
+        };
+        if !path.exists() {
+            return Ok(repo);
+        }
+        let bytes = std::fs::read(&path)
+            .map_err(|e| RepoError::Io { path: path.clone(), message: e.to_string() })?;
+        match snapshot::decode(&bytes, config.fingerprint(), thesaurus.fingerprint()) {
+            Ok(state) => {
+                repo.session = MatchSession::from_parts(
+                    config,
+                    thesaurus,
+                    state.table,
+                    state.store,
+                    state.prepared,
+                );
+                repo.names = state.names;
+                repo.sources = state.sources;
+                repo.hashes = state.hashes;
+                repo.pair_cache = state.cache;
+                repo.loaded = true;
+                Ok(repo)
+            }
+            Err(RepoError::Stale { reason }) => {
+                repo.recovered_stale = Some(reason);
+                Ok(repo)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Set the worker-thread count used for pair execution.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.session.set_threads(n);
+        self
+    }
+
+    /// The snapshot file this repository persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// True if this handle was populated from an on-disk snapshot.
+    pub fn was_loaded(&self) -> bool {
+        self.loaded
+    }
+
+    /// The reason a stale snapshot was discarded at open, if one was.
+    pub fn recovered_stale(&self) -> Option<&str> {
+        self.recovered_stale.as_deref()
+    }
+
+    /// True if in-memory state has diverged from the snapshot file.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Number of schemas in the repository.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the repository holds no schemas.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Schema names, in repository order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// True if a schema with this name is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.iter().any(|n| n == name)
+    }
+
+    /// The source schema graph stored under `name`.
+    pub fn schema(&self, name: &str) -> Option<&Schema> {
+        self.index_of(name).ok().map(|i| &self.sources[i])
+    }
+
+    /// Full pair executions since this handle was opened.
+    pub fn pairs_executed(&self) -> usize {
+        self.pairs_executed
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> RepositoryStats {
+        RepositoryStats {
+            schemas: self.names.len(),
+            cached_pairs: self.pair_cache.len(),
+            pairs_executed: self.pairs_executed,
+            session: self.session.stats(),
+        }
+    }
+
+    fn index_of(&self, name: &str) -> Result<usize, RepoError> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| RepoError::UnknownName(name.to_string()))
+    }
+
+    /// Add a schema, keyed by its schema name.
+    pub fn add(&mut self, schema: &Schema) -> Result<(), RepoError> {
+        if self.contains(schema.name()) {
+            return Err(RepoError::DuplicateName(schema.name().to_string()));
+        }
+        self.session.add(schema)?;
+        self.names.push(schema.name().to_string());
+        self.sources.push(schema.clone());
+        self.hashes.push(schema.content_hash());
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Add a whole corpus. All-or-nothing like
+    /// [`MatchSession::add_corpus`]: name collisions (against the
+    /// repository or within the batch) and preparation errors are
+    /// reported before anything is added.
+    pub fn add_corpus(&mut self, schemas: &[Schema]) -> Result<(), RepoError> {
+        let mut batch: BTreeSet<&str> = BTreeSet::new();
+        for s in schemas {
+            if self.contains(s.name()) || !batch.insert(s.name()) {
+                return Err(RepoError::DuplicateName(s.name().to_string()));
+            }
+        }
+        self.session.add_corpus(schemas)?;
+        for s in schemas {
+            self.names.push(s.name().to_string());
+            self.sources.push(s.clone());
+            self.hashes.push(s.content_hash());
+        }
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Replace the stored schema with the same name. A no-op when the
+    /// content hash is unchanged (the pair cache stays fully valid);
+    /// otherwise the schema is re-prepared and its cached pairs become
+    /// unreachable, so the next match re-executes exactly this
+    /// schema's pairs.
+    pub fn replace(&mut self, schema: &Schema) -> Result<(), RepoError> {
+        let i = self.index_of(schema.name())?;
+        let hash = schema.content_hash();
+        if hash == self.hashes[i] {
+            return Ok(());
+        }
+        self.session.replace(SchemaId::from_index(i), schema)?;
+        self.sources[i] = schema.clone();
+        self.hashes[i] = hash;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Remove (and return) the schema stored under `name`.
+    pub fn remove(&mut self, name: &str) -> Result<Schema, RepoError> {
+        let i = self.index_of(name)?;
+        self.session.remove(SchemaId::from_index(i));
+        self.names.remove(i);
+        self.hashes.remove(i);
+        self.dirty = true;
+        Ok(self.sources.remove(i))
+    }
+
+    /// Execute the uncached subset of a worklist and fill the cache.
+    fn execute_missing(&mut self, pairs: &[(usize, usize)]) {
+        let mut need: BTreeSet<(u64, u64)> = BTreeSet::new();
+        let mut worklist: Vec<(SchemaId, SchemaId)> = Vec::new();
+        for &(i, j) in pairs {
+            let key = (self.hashes[i], self.hashes[j]);
+            if !self.pair_cache.contains_key(&key) && need.insert(key) {
+                worklist.push((SchemaId::from_index(i), SchemaId::from_index(j)));
+            }
+        }
+        if worklist.is_empty() {
+            return;
+        }
+        let summaries = self.session.match_pairs(&worklist);
+        self.pairs_executed += worklist.len();
+        self.dirty = true;
+        for s in summaries {
+            let key = (self.hashes[s.source.index()], self.hashes[s.target.index()]);
+            self.pair_cache.insert(key, s);
+        }
+    }
+
+    /// A cached summary re-anchored to the current indices `(i, j)`.
+    /// Valid because everything in a summary except the two ids is a
+    /// pure function of the schemas' *content* (plus config and
+    /// thesaurus, which are fingerprint-pinned).
+    fn serve(&self, i: usize, j: usize) -> MatchSummary {
+        let key = (self.hashes[i], self.hashes[j]);
+        let mut s = self.pair_cache.get(&key).expect("pair executed or cached").clone();
+        s.source = SchemaId::from_index(i);
+        s.target = SchemaId::from_index(j);
+        s
+    }
+
+    /// Match every unordered schema pair, serving cached pairs from the
+    /// persisted summary cache and executing only the rest. Summaries
+    /// come back in lexicographic `(i, j)` order, `i < j`, exactly like
+    /// [`MatchSession::match_all_pairs`] — and bit-identical to it.
+    pub fn match_all_pairs(&mut self) -> Vec<MatchSummary> {
+        let n = self.names.len();
+        let mut pairs = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                pairs.push((i, j));
+            }
+        }
+        self.execute_missing(&pairs);
+        pairs.into_iter().map(|(i, j)| self.serve(i, j)).collect()
+    }
+
+    /// Match one named pair (cached or executed).
+    pub fn match_pair(&mut self, source: &str, target: &str) -> Result<MatchSummary, RepoError> {
+        let i = self.index_of(source)?;
+        let j = self.index_of(target)?;
+        self.execute_missing(&[(i, j)]);
+        Ok(self.serve(i, j))
+    }
+
+    /// Index-assisted discovery (DESIGN.md §8.4): build the
+    /// [`DiscoveryIndex`], take each schema's top-`k` candidates by
+    /// leaf-token overlap, and execute only that pruned worklist.
+    /// Returns the executed pairs' summaries in `(i, j)` order; rank
+    /// them by [`MatchSummary::best_wsim`] for a discovery listing.
+    /// The recall/pruning trade-off is measured by the eval harness's
+    /// `retrieval` experiment.
+    pub fn top_k_pairs(&mut self, k: usize) -> Vec<MatchSummary> {
+        let pairs = self.discovery_index().top_k_pairs(k);
+        self.execute_missing(&pairs);
+        pairs.into_iter().map(|(i, j)| self.serve(i, j)).collect()
+    }
+
+    /// Build the discovery index over the current corpus. Positions
+    /// match [`Repository::names`] order.
+    pub fn discovery_index(&self) -> DiscoveryIndex {
+        DiscoveryIndex::build(self.session.prepared())
+    }
+
+    /// The linguistic similarity table of a named pair, computed
+    /// through the session memo (diagnostics and the bit-identity test
+    /// suite).
+    pub fn lsim_of(&mut self, source: &str, target: &str) -> Result<LsimTable, RepoError> {
+        let i = self.index_of(source)?;
+        let j = self.index_of(target)?;
+        Ok(self.session.lsim_of(SchemaId::from_index(i), SchemaId::from_index(j)))
+    }
+
+    /// Persist the repository to its snapshot file (write-temp +
+    /// atomic rename). Cache entries keyed by hashes no longer in the
+    /// corpus (from [`Repository::replace`]/[`Repository::remove`]) are
+    /// pruned first, so snapshots do not grow monotonically.
+    pub fn save(&mut self) -> Result<(), RepoError> {
+        let live: BTreeSet<u64> = self.hashes.iter().copied().collect();
+        self.pair_cache.retain(|(a, b), _| live.contains(a) && live.contains(b));
+        let refs = snapshot::SnapshotRefs {
+            names: &self.names,
+            hashes: &self.hashes,
+            sources: &self.sources,
+            prepared: self.session.prepared(),
+            table: self.session.table(),
+            store: self.session.store(),
+            cache: &self.pair_cache,
+        };
+        let bytes =
+            snapshot::encode(&refs, self.config.fingerprint(), self.thesaurus.fingerprint());
+        let tmp = self.path.with_extension("tmp");
+        let io_err = |path: &Path, e: std::io::Error| RepoError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        };
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| io_err(parent, e))?;
+            }
+        }
+        std::fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, e))?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| io_err(&self.path, e))?;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Export the schema stored under `name` as an SDL document — the
+    /// reproduction's native text format — for review, diffing, or
+    /// re-import into another repository.
+    pub fn export_sdl(&self, name: &str) -> Result<String, RepoError> {
+        let i = self.index_of(name)?;
+        cupid_io::sdl::write_sdl(&self.sources[i])
+            .map_err(|e| RepoError::Export { name: name.to_string(), message: e.to_string() })
+    }
+
+    /// Parse an SDL document and add it, returning the schema's name.
+    pub fn import_sdl(&mut self, text: &str) -> Result<String, RepoError> {
+        let schema = cupid_io::parse_sdl(text).map_err(RepoError::Import)?;
+        let name = schema.name().to_string();
+        self.add(&schema)?;
+        Ok(name)
+    }
+}
+
+/// Resolve a user-supplied path: directories get the default snapshot
+/// file name appended.
+fn resolve_path(path: &Path) -> PathBuf {
+    if path.is_dir() {
+        path.join(SNAPSHOT_FILE)
+    } else {
+        path.to_path_buf()
+    }
+}
+
+/// Extension trait putting `repository()` on the [`Cupid`] facade —
+/// the open-or-create entry point of the persistence subsystem.
+///
+/// A separate trait (rather than an inherent method) because `Cupid`
+/// lives in `cupid-core`, which this crate builds on top of.
+pub trait CupidRepositoryExt {
+    /// Open (or create) the repository persisted at `path`, bound to
+    /// this matcher's configuration and thesaurus.
+    fn repository<P: AsRef<Path>>(&self, path: P) -> Result<Repository<'_>, RepoError>;
+}
+
+impl CupidRepositoryExt for Cupid {
+    fn repository<P: AsRef<Path>>(&self, path: P) -> Result<Repository<'_>, RepoError> {
+        Repository::open_or_create(path, self.config(), self.thesaurus())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cupid_model::{DataType, ElementKind, SchemaBuilder};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// A unique, self-cleaning snapshot location per test.
+    struct TempRepo(PathBuf);
+
+    impl TempRepo {
+        fn new() -> Self {
+            static SEQ: AtomicU32 = AtomicU32::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "cupid-repo-test-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempRepo(dir.join(SNAPSHOT_FILE))
+        }
+    }
+
+    impl Drop for TempRepo {
+        fn drop(&mut self) {
+            if let Some(dir) = self.0.parent() {
+                std::fs::remove_dir_all(dir).ok();
+            }
+        }
+    }
+
+    fn schema(name: &str, container: &str, fields: &[(&str, DataType)]) -> Schema {
+        let mut b = SchemaBuilder::new(name);
+        let c = b.structured(b.root(), container, ElementKind::XmlElement);
+        for (f, dt) in fields {
+            b.atomic(c, *f, ElementKind::XmlElement, *dt);
+        }
+        b.build().unwrap()
+    }
+
+    fn corpus() -> Vec<Schema> {
+        vec![
+            schema("S0", "Item", &[("Qty", DataType::Int), ("Invoice", DataType::String)]),
+            schema("S1", "Item", &[("Quantity", DataType::Int), ("Bill", DataType::String)]),
+            schema("S2", "Order", &[("Quantity", DataType::Int)]),
+            schema("S3", "Thing", &[("Unrelated", DataType::Date)]),
+        ]
+    }
+
+    #[test]
+    fn save_load_serves_everything_from_cache() {
+        let tmp = TempRepo::new();
+        let config = CupidConfig::default();
+        let th = Thesaurus::with_default_stopwords();
+        let want;
+        {
+            let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+            assert!(!repo.was_loaded());
+            repo.add_corpus(&corpus()).unwrap();
+            want = repo.match_all_pairs();
+            assert_eq!(repo.pairs_executed(), 6);
+            repo.save().unwrap();
+            assert!(!repo.is_dirty());
+        }
+        let mut warm = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        assert!(warm.was_loaded());
+        assert_eq!(warm.names(), ["S0", "S1", "S2", "S3"]);
+        let got = warm.match_all_pairs();
+        assert_eq!(got, want, "loaded repository must serve bit-identical summaries");
+        assert_eq!(warm.pairs_executed(), 0, "everything served from the persisted cache");
+    }
+
+    #[test]
+    fn replace_reexecutes_only_that_schemas_pairs() {
+        let tmp = TempRepo::new();
+        let config = CupidConfig::default();
+        let th = Thesaurus::with_default_stopwords();
+        let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        repo.add_corpus(&corpus()).unwrap();
+        repo.match_all_pairs();
+        assert_eq!(repo.pairs_executed(), 6);
+        // Unchanged replace: free.
+        repo.replace(&corpus()[1]).unwrap();
+        repo.match_all_pairs();
+        assert_eq!(repo.pairs_executed(), 6);
+        // Real edit: exactly S1's 3 pairs re-execute.
+        let edited =
+            schema("S1", "Item", &[("Quantity", DataType::Int), ("Total", DataType::Money)]);
+        repo.replace(&edited).unwrap();
+        let summaries = repo.match_all_pairs();
+        assert_eq!(repo.pairs_executed(), 9, "only the edited schema's 3 pairs run again");
+        // And the result equals a cold rebuild, bit for bit.
+        let tmp2 = TempRepo::new();
+        let mut cold = Repository::open_or_create(&tmp2.0, &config, &th).unwrap();
+        let mut fresh = corpus();
+        fresh[1] = edited;
+        cold.add_corpus(&fresh).unwrap();
+        assert_eq!(cold.match_all_pairs(), summaries);
+    }
+
+    #[test]
+    fn remove_and_reindex() {
+        let tmp = TempRepo::new();
+        let config = CupidConfig::default();
+        let th = Thesaurus::with_default_stopwords();
+        let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        repo.add_corpus(&corpus()).unwrap();
+        repo.match_all_pairs();
+        let removed = repo.remove("S1").unwrap();
+        assert_eq!(removed.name(), "S1");
+        assert!(!repo.contains("S1"));
+        assert_eq!(repo.len(), 3);
+        let executed = repo.pairs_executed();
+        let summaries = repo.match_all_pairs();
+        assert_eq!(summaries.len(), 3);
+        assert_eq!(repo.pairs_executed(), executed, "surviving pairs come from cache");
+        assert_eq!(summaries[0].source.index(), 0);
+        assert_eq!(summaries[0].target.index(), 1, "ids re-anchored after the shift");
+        assert!(repo.remove("S1").is_err());
+    }
+
+    #[test]
+    fn stale_config_discards_snapshot() {
+        let tmp = TempRepo::new();
+        let th = Thesaurus::with_default_stopwords();
+        let config = CupidConfig::default();
+        {
+            let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+            repo.add_corpus(&corpus()).unwrap();
+            repo.match_all_pairs();
+            repo.save().unwrap();
+        }
+        let mut other = CupidConfig::default();
+        other.th_accept = 0.45;
+        let repo = Repository::open_or_create(&tmp.0, &other, &th).unwrap();
+        assert!(!repo.was_loaded());
+        assert!(repo.recovered_stale().unwrap().contains("config fingerprint"));
+        assert!(repo.is_empty());
+        // Different thesaurus: also stale.
+        let th2 = Thesaurus::empty();
+        let repo = Repository::open_or_create(&tmp.0, &config, &th2).unwrap();
+        assert!(repo.recovered_stale().unwrap().contains("thesaurus fingerprint"));
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_loud_error() {
+        let tmp = TempRepo::new();
+        let th = Thesaurus::with_default_stopwords();
+        let config = CupidConfig::default();
+        {
+            let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+            repo.add(&corpus()[0]).unwrap();
+            repo.save().unwrap();
+        }
+        let mut bytes = std::fs::read(&tmp.0).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&tmp.0, &bytes).unwrap();
+        match Repository::open_or_create(&tmp.0, &config, &th) {
+            Err(RepoError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_and_unknown_names() {
+        let tmp = TempRepo::new();
+        let th = Thesaurus::with_default_stopwords();
+        let config = CupidConfig::default();
+        let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        repo.add(&corpus()[0]).unwrap();
+        assert!(matches!(repo.add(&corpus()[0]), Err(RepoError::DuplicateName(_))));
+        assert!(matches!(repo.match_pair("S0", "Nope"), Err(RepoError::UnknownName(_))));
+        assert!(repo.schema("S0").is_some());
+        assert!(repo.schema("Nope").is_none());
+        // batch-internal duplicate
+        let batch = vec![corpus()[1].clone(), corpus()[1].clone()];
+        assert!(matches!(repo.add_corpus(&batch), Err(RepoError::DuplicateName(_))));
+        assert_eq!(repo.len(), 1, "failed batch adds nothing");
+    }
+
+    #[test]
+    fn facade_extension_opens_repositories() {
+        let tmp = TempRepo::new();
+        let cupid = Cupid::new(Thesaurus::with_default_stopwords());
+        let mut repo = cupid.repository(&tmp.0).unwrap();
+        repo.add(&corpus()[0]).unwrap();
+        repo.add(&corpus()[1]).unwrap();
+        let s = repo.match_pair("S0", "S1").unwrap();
+        assert!(s.has_leaf_mapping("S0.Item.Qty", "S1.Item.Quantity") || s.total_pairs > 0);
+        repo.save().unwrap();
+        assert!(tmp.0.exists());
+    }
+
+    #[test]
+    fn top_k_executes_fewer_pairs_than_all_pairs() {
+        let tmp = TempRepo::new();
+        let th = Thesaurus::with_default_stopwords();
+        let config = CupidConfig::default();
+        let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        // Two clear domains with zero cross-domain token overlap.
+        repo.add_corpus(&[
+            schema("C1", "Customer", &[("CustomerName", DataType::String)]),
+            schema("C2", "Customer", &[("CustomerName", DataType::String)]),
+            schema("O1", "Order", &[("OrderDate", DataType::Date)]),
+            schema("O2", "Order", &[("OrderDate", DataType::Date)]),
+        ])
+        .unwrap();
+        let pruned = repo.top_k_pairs(1);
+        assert!(repo.pairs_executed() < 6, "pruned discovery beats the 6-pair full worklist");
+        let best: Vec<(usize, usize)> = pruned
+            .iter()
+            .filter(|s| s.best_wsim() > 0.5)
+            .map(|s| (s.source.index(), s.target.index()))
+            .collect();
+        assert!(best.contains(&(0, 1)), "C1~C2 retrieved");
+        assert!(best.contains(&(2, 3)), "O1~O2 retrieved");
+    }
+}
