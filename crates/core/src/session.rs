@@ -515,6 +515,71 @@ impl<'a> MatchSession<'a> {
         summary
     }
 
+    /// Match one prepared pair through a **shared** (`&self`) handle —
+    /// the read half of the session's read/write split (DESIGN.md §9).
+    ///
+    /// Pair execution is a pure function of frozen inputs, so it needs
+    /// no exclusive access: this method runs the pair over a clone of
+    /// the warm similarity memo and returns the summary together with
+    /// that warmed clone. Results are bit-identical to
+    /// [`MatchSession::match_pair`]; the only difference is bookkeeping
+    /// — the session's own memo and `pairs_matched` counter are
+    /// untouched until the caller hands the warmed store back through
+    /// [`MatchSession::absorb`] (or drops it, which only costs future
+    /// recomputation).
+    ///
+    /// This is what lets a daemon answer match requests from many
+    /// threads under a read lock, serializing only the cheap merge.
+    pub fn match_pair_shared(
+        &self,
+        source: SchemaId,
+        target: SchemaId,
+    ) -> (MatchSummary, SimStore) {
+        let (mut summaries, store) = self.match_pairs_shared(&[(source, target)]);
+        (summaries.pop().expect("one pair in, one summary out"), store)
+    }
+
+    /// The worklist form of [`MatchSession::match_pair_shared`]: run a
+    /// whole worklist through **one** clone of the warm memo on the
+    /// calling thread, returning the summaries in worklist order plus
+    /// that single warmed clone. A caller serving an N-pair discovery
+    /// request pays one memo clone and one merge instead of N of each.
+    pub fn match_pairs_shared(
+        &self,
+        worklist: &[(SchemaId, SchemaId)],
+    ) -> (Vec<MatchSummary>, SimStore) {
+        let mut cache = TokenSimCache::with_store(
+            &self.table,
+            self.thesaurus,
+            &self.config.affix,
+            self.store.clone(),
+        );
+        let summaries = worklist
+            .iter()
+            .map(|&(source, target)| {
+                execute_pair(
+                    self.config,
+                    &self.schemas[source.0],
+                    &self.schemas[target.0],
+                    source,
+                    target,
+                    self.top_k,
+                    &mut cache,
+                )
+            })
+            .collect();
+        (summaries, cache.into_store())
+    }
+
+    /// Absorb the results of [`MatchSession::match_pair_shared`] calls:
+    /// merge a warmed store clone back into the session memo and credit
+    /// `pairs` executions to the session counters. The write half of the
+    /// read/write split — call it under exclusive access.
+    pub fn absorb(&mut self, store: SimStore, pairs: usize) {
+        self.store.merge(store);
+        self.pairs_matched += pairs;
+    }
+
     /// The linguistic similarity table of a prepared pair, computed
     /// through the session memo — diagnostics, and the anchor of the
     /// batch-equivalence suite (bit-identical to
@@ -798,6 +863,39 @@ mod tests {
         assert_eq!(before, again);
         let cross = session.match_pair(b, c);
         assert!(cross.has_leaf_mapping("S1.Item.Quantity", "S2.Order.Quantity"));
+    }
+
+    #[test]
+    fn shared_match_is_bit_identical_and_absorbable() {
+        let cfg = CupidConfig::default();
+        let th = thesaurus();
+        let corpus = corpus();
+        let mut session = MatchSession::new(&cfg, &th).threads(1);
+        let ids = session.add_corpus(&corpus).unwrap();
+        let want = session.match_pair(ids[0], ids[1]);
+        let computed_after_exclusive = session.stats().distinct_pairs_computed;
+
+        // The shared path answers through `&self`, bit for bit, from
+        // many threads at once.
+        let (a, b) = (ids[0], ids[1]);
+        std::thread::scope(|scope| {
+            let session = &session;
+            let workers: Vec<_> =
+                (0..3).map(|_| scope.spawn(move || session.match_pair_shared(a, b).0)).collect();
+            for w in workers {
+                assert_eq!(w.join().unwrap(), want);
+            }
+        });
+        // ...without touching the session's own memo or counters...
+        assert_eq!(session.stats().distinct_pairs_computed, computed_after_exclusive);
+        assert_eq!(session.stats().pairs_matched, 1);
+
+        // ...and absorbing a warmed clone merges the memo and credits
+        // the execution.
+        let (summary, store) = session.match_pair_shared(ids[1], ids[2]);
+        session.absorb(store, 1);
+        assert_eq!(session.stats().pairs_matched, 2);
+        assert_eq!(session.match_pair(ids[1], ids[2]), summary);
     }
 
     #[test]

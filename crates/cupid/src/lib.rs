@@ -53,7 +53,9 @@
 //! paper's schemas and gold mappings), [`cupid_io`] (importers and the
 //! SDL writer), [`cupid_repo`] (the persistent schema repository:
 //! on-disk session snapshots, incremental re-matching, top-k
-//! discovery) and [`cupid_eval`] (the experiment harness).
+//! discovery), [`cupid_serve`] (the long-running match daemon: wire
+//! protocol, TCP server, client) and [`cupid_eval`] (the experiment
+//! harness).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -66,6 +68,7 @@ pub use cupid_io as io;
 pub use cupid_lexical as lexical;
 pub use cupid_model as model;
 pub use cupid_repo as repo;
+pub use cupid_serve as serve;
 
 /// The commonly used types, for glob import.
 pub mod prelude {
@@ -78,4 +81,5 @@ pub mod prelude {
         expand, DataType, ElementId, ElementKind, ExpandOptions, Schema, SchemaBuilder, SchemaTree,
     };
     pub use cupid_repo::{CupidRepositoryExt, DiscoveryIndex, RepoError, Repository};
+    pub use cupid_serve::{CupidServeExt, ServeClient, ServeError, ServeOptions, Server};
 }

@@ -1,0 +1,128 @@
+//! Daemon fidelity: wire responses vs in-process matching (DESIGN.md §9).
+//!
+//! The serving layer must be *invisible* in the results: a summary that
+//! crossed the daemon's checksummed wire protocol — SDL in, match
+//! summaries out — has to equal the in-process summary down to the
+//! similarity bits, or the daemon is not a deployment of the matcher
+//! but a different matcher. This experiment round-trips the paper's
+//! schemas through a loopback daemon under two concurrent clients and
+//! scores the agreement pair by pair.
+//!
+//! Schemas travel as SDL, so the comparison is scoped to the
+//! SDL-expressible subset of the corpus (the expected side parses the
+//! *same* SDL text the clients ship, making the comparison exact by
+//! construction rather than up to export fidelity).
+
+use cupid_core::MatchSession;
+use cupid_corpus::thesauri;
+use cupid_io::{parse_sdl, write_sdl};
+use cupid_model::Schema;
+use cupid_serve::{ServeClient, ServeOptions, Server};
+
+use crate::configs;
+use crate::experiments::discovery;
+use crate::table::TextTable;
+use crate::Report;
+
+/// The SDL-expressible subset of the paper corpus, as (name, SDL) with
+/// unique repository keys.
+fn sdl_corpus() -> Vec<(String, String)> {
+    discovery::corpus()
+        .into_iter()
+        .filter_map(|(label, mut schema)| {
+            let key = label.replace('/', ".");
+            schema.rename(&key);
+            write_sdl(&schema).ok().map(|sdl| (key, sdl))
+        })
+        .collect()
+}
+
+/// Run the daemon fidelity experiment.
+pub fn run() -> Report {
+    let mut report = Report::new("daemon fidelity — wire responses vs in-process (DESIGN.md §9)");
+    let config = configs::shallow_xml();
+    let thesaurus = thesauri::paper_thesaurus();
+    let corpus = sdl_corpus();
+
+    // In-process ground truth over the exact SDL bytes the clients ship.
+    let schemas: Vec<Schema> = corpus.iter().map(|(_, sdl)| parse_sdl(sdl).unwrap()).collect();
+    let mut session = MatchSession::new(&config, &thesaurus);
+    let ids = session.add_corpus(&schemas).expect("corpus prepares");
+    let mut expected = Vec::new();
+    for i in 0..ids.len() {
+        for j in (i + 1)..ids.len() {
+            let summary = session.match_pair(ids[i], ids[j]);
+            expected.push((corpus[i].0.clone(), corpus[j].0.clone(), summary));
+        }
+    }
+
+    // The daemon, on a loopback port over a throwaway snapshot.
+    let dir = std::env::temp_dir().join(format!("cupid-eval-daemon-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let server = Server::bind("127.0.0.1:0", &dir, &config, &thesaurus, ServeOptions::default())
+        .expect("bind daemon");
+    let addr = server.local_addr();
+
+    let mut rows: Vec<(String, bool)> = Vec::new();
+    let mut requests_served = 0;
+    std::thread::scope(|scope| {
+        scope.spawn(move || server.run().expect("daemon run"));
+        let mut setup = ServeClient::connect(addr).expect("connect");
+        for (_, sdl) in &corpus {
+            setup.add_sdl(sdl).expect("add schema");
+        }
+        // Two concurrent clients sweep the worklist from opposite ends.
+        let handles: Vec<_> = (0..2)
+            .map(|c| {
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect(addr).expect("connect");
+                    let mut agreements = Vec::new();
+                    let mut order: Vec<usize> = (0..expected.len()).collect();
+                    if c == 1 {
+                        order.reverse();
+                    }
+                    for idx in order {
+                        let (a, b, want) = &expected[idx];
+                        let got = client.match_pair(a, b).expect("match");
+                        agreements.push((idx, &got == want));
+                    }
+                    agreements
+                })
+            })
+            .collect();
+        let mut agree = vec![true; expected.len()];
+        for h in handles {
+            for (idx, ok) in h.join().expect("client thread") {
+                agree[idx] &= ok;
+            }
+        }
+        for ((a, b, _), ok) in expected.iter().zip(&agree) {
+            rows.push((format!("{a} ~ {b}"), *ok));
+        }
+        requests_served = setup.stats().expect("stats").requests_served;
+        setup.shutdown().expect("shutdown");
+    });
+    std::fs::remove_dir_all(&dir).ok();
+
+    let agreed = rows.iter().filter(|(_, ok)| *ok).count();
+    let mut t = TextTable::new(
+        "Bit-identity of daemon responses (2 concurrent clients, every pair twice)",
+        vec!["pair", "wire == in-process"],
+    );
+    for (pair, ok) in &rows {
+        t.row(vec![pair.clone(), if *ok { "yes".into() } else { "NO".into() }]);
+    }
+    report.tables.push(t);
+    report.notes.push(format!(
+        "{agreed}/{} pairs bit-identical across the wire ({} SDL-expressible schemas of {}, \
+         {requests_served} requests served)",
+        rows.len(),
+        corpus.len(),
+        discovery::corpus().len(),
+    ));
+    if agreed != rows.len() {
+        report.notes.push("DIVERGENCE: the daemon is not serving the matcher's results".into());
+    }
+    report
+}

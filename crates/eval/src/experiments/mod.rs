@@ -4,6 +4,7 @@
 use crate::Report;
 
 pub mod ablation;
+pub mod daemon;
 pub mod discovery;
 pub mod fig1;
 pub mod fig2;
@@ -30,6 +31,7 @@ pub const ALL: &[&str] = &[
     "ablation",
     "discovery",
     "retrieval",
+    "daemon",
 ];
 
 /// Run an experiment by id.
@@ -48,6 +50,7 @@ pub fn run(id: &str) -> Option<Report> {
         "ablation" => Some(ablation::run()),
         "discovery" => Some(discovery::run()),
         "retrieval" => Some(retrieval::run()),
+        "daemon" => Some(daemon::run()),
         _ => None,
     }
 }

@@ -24,6 +24,7 @@ use crate::element::{BroadType, DataType, Element, ElementId, ElementKind};
 use crate::schema::{Edges, Schema};
 use crate::tree::{NodeId, SchemaTree, SyntheticKind, TreeNode};
 use std::fmt;
+use std::io::{Read, Write};
 
 /// Error produced when decoding malformed or truncated wire bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -217,16 +218,146 @@ impl<'a> WireReader<'a> {
     }
 }
 
+// --- framed messages --------------------------------------------------
+
+/// Leading magic of every wire frame (the daemon protocol's message
+/// container; see `cupid-serve`).
+pub const FRAME_MAGIC: [u8; 4] = *b"CPDF";
+
+/// Upper bound on a frame payload. Protects both ends of a connection
+/// from allocating gigabytes off one corrupt (or hostile) length
+/// prefix; real payloads — SDL documents, match summaries — are orders
+/// of magnitude smaller.
+pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
+
+/// Error produced while reading or writing a wire frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed (or closed mid-frame).
+    Io(std::io::Error),
+    /// The bytes on the stream are not a valid frame (bad magic,
+    /// oversized length, checksum mismatch). The connection cannot be
+    /// resynchronized after this; close it.
+    Malformed(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one length-prefixed, checksummed frame:
+///
+/// ```text
+/// magic    4 bytes   b"CPDF"
+/// kind     u8        message discriminator (the caller's namespace)
+/// len      u32 LE    payload length, at most MAX_FRAME_PAYLOAD
+/// payload  len bytes
+/// checksum u64 LE    fnv1a over kind byte + payload
+/// ```
+///
+/// The checksum makes corruption on the stream loud: a reader never
+/// hands a damaged payload to a decoder.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Malformed(format!(
+            "payload of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte frame cap",
+            payload.len()
+        )));
+    }
+    let mut header = [0u8; 9];
+    header[..4].copy_from_slice(&FRAME_MAGIC);
+    header[4] = kind;
+    header[5..9].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.write_all(&frame_checksum(kind, payload).to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame written by [`write_frame`].
+///
+/// Returns `Ok(None)` on a clean end-of-stream (the peer closed the
+/// connection *between* frames); end-of-stream anywhere inside a frame
+/// is an [`FrameError::Io`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
+    let mut magic = [0u8; 4];
+    // Hand-read the first byte so "peer hung up before the next frame"
+    // (normal) is distinguishable from "stream died mid-frame" (error).
+    loop {
+        match r.read(&mut magic[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    r.read_exact(&mut magic[1..])?;
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::Malformed(format!("bad magic {magic:02x?}")));
+    }
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind)?;
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Malformed(format!(
+            "payload length {len} exceeds the {MAX_FRAME_PAYLOAD}-byte frame cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut checksum = [0u8; 8];
+    r.read_exact(&mut checksum)?;
+    let stored = u64::from_le_bytes(checksum);
+    let actual = frame_checksum(kind[0], &payload);
+    if stored != actual {
+        return Err(FrameError::Malformed(format!(
+            "checksum mismatch: stored {stored:#x}, actual {actual:#x}"
+        )));
+    }
+    Ok(Some((kind[0], payload)))
+}
+
+/// The checksum a frame carries: FNV-1a over the kind byte followed by
+/// the payload.
+fn frame_checksum(kind: u8, payload: &[u8]) -> u64 {
+    fnv1a_extend(fnv1a_extend(FNV_OFFSET_BASIS, &[kind]), payload)
+}
+
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold more bytes into a running FNV-1a state (the incremental form
+/// every FNV user in this module goes through, so the constants exist
+/// exactly once).
+fn fnv1a_extend(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 /// 64-bit FNV-1a over a byte slice — the workspace's deterministic,
 /// dependency-free content hash (snapshot checksums, schema content
 /// hashes, config/thesaurus fingerprints).
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    fnv1a_extend(FNV_OFFSET_BASIS, bytes)
 }
 
 // --- enum codes -------------------------------------------------------
@@ -742,6 +873,40 @@ mod tests {
             let mut r = WireReader::new(&bytes[..cut]);
             assert!(Schema::read_wire(&mut r).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 7, b"hello frames").unwrap();
+        write_frame(&mut buf, 0x84, &[]).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some((7, b"hello frames".to_vec())));
+        assert_eq!(read_frame(&mut r).unwrap(), Some((0x84, Vec::new())));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF between frames");
+    }
+
+    #[test]
+    fn corrupt_frames_are_loud() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 3, b"payload bytes").unwrap();
+        // Flipping any byte must fail to read (magic, kind/len/payload
+        // via checksum, or the checksum itself).
+        for i in 0..buf.len() {
+            let mut broken = buf.clone();
+            broken[i] ^= 0x01;
+            assert!(read_frame(&mut &broken[..]).is_err(), "flipped byte {i} slipped through");
+        }
+        // Truncation inside the frame is an I/O error, not a hang or a
+        // partial payload.
+        for cut in 1..buf.len() {
+            assert!(read_frame(&mut &buf[..cut]).is_err(), "cut at {cut}");
+        }
+        // Over-cap length prefix rejected before allocating.
+        let mut oversized = buf.clone();
+        oversized[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(read_frame(&mut &oversized[..]), Err(FrameError::Malformed(_))));
+        assert!(write_frame(&mut Vec::new(), 0, &vec![0u8; MAX_FRAME_PAYLOAD + 1]).is_err());
     }
 
     #[test]

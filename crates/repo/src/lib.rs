@@ -21,6 +21,11 @@
 //!   tokens ([`DiscoveryIndex`]) retrieves match candidates by cheap
 //!   token overlap, so corpus discovery can execute `N·k` pairs
 //!   instead of `N·(N−1)/2`.
+//! * **Single-writer locking** — opening a repository takes an
+//!   advisory lock file next to the snapshot for the lifetime of the
+//!   handle ([`RepoLock`]), so two processes can no longer clobber
+//!   each other's saves last-rename-wins; the loser gets a loud
+//!   [`RepoError::Locked`] naming the holder's pid.
 //!
 //! ```
 //! use cupid_core::{Cupid, CupidConfig};
@@ -40,13 +45,17 @@
 //! let config = CupidConfig::default();
 //! let thesaurus = Thesaurus::with_default_stopwords();
 //!
-//! // First run: build, match, save.
-//! let mut repo = Repository::open_or_create(&dir, &config, &thesaurus).unwrap();
-//! repo.add(&schema("A", "Quantity")).unwrap();
-//! repo.add(&schema("B", "Quantity")).unwrap();
-//! let summaries = repo.match_all_pairs();
-//! assert_eq!(repo.pairs_executed(), 1);
-//! repo.save().unwrap();
+//! // First run: build, match, save. The handle holds the snapshot's
+//! // single-writer lock, so it must drop before the warm reopen.
+//! let summaries = {
+//!     let mut repo = Repository::open_or_create(&dir, &config, &thesaurus).unwrap();
+//!     repo.add(&schema("A", "Quantity")).unwrap();
+//!     repo.add(&schema("B", "Quantity")).unwrap();
+//!     let summaries = repo.match_all_pairs();
+//!     assert_eq!(repo.pairs_executed(), 1);
+//!     repo.save().unwrap();
+//!     summaries
+//! };
 //!
 //! // Second run: everything — including the pair result — comes back
 //! // from disk; nothing is re-executed.
@@ -66,13 +75,15 @@ use std::path::{Path, PathBuf};
 use cupid_core::{
     Cupid, CupidConfig, LsimTable, MatchSession, MatchSummary, SchemaId, SessionStats,
 };
-use cupid_lexical::Thesaurus;
+use cupid_lexical::{SimStore, Thesaurus};
 use cupid_model::{ModelError, Schema};
 
 mod index;
+mod lock;
 mod snapshot;
 
 pub use index::{Candidate, DiscoveryIndex};
+pub use lock::RepoLock;
 
 /// Default file name used when a repository path points at a directory.
 pub const SNAPSHOT_FILE: &str = "cupid.repo";
@@ -102,6 +113,16 @@ pub enum RepoError {
         /// Which fingerprint differed.
         reason: String,
     },
+    /// Another live repository handle holds the snapshot's
+    /// single-writer lock. Two handles saving the same snapshot would
+    /// clobber each other last-rename-wins, so opening is refused
+    /// loudly instead (DESIGN.md §9.4).
+    Locked {
+        /// The lock file that is held.
+        path: PathBuf,
+        /// The holder's pid, as recorded in the lock file.
+        pid: u32,
+    },
     /// A schema with this name is already in the repository.
     DuplicateName(String),
     /// No schema with this name is in the repository.
@@ -125,6 +146,12 @@ impl fmt::Display for RepoError {
             RepoError::Io { path, message } => write!(f, "{}: {message}", path.display()),
             RepoError::Corrupt { message } => write!(f, "corrupt snapshot: {message}"),
             RepoError::Stale { reason } => write!(f, "stale snapshot: {reason}"),
+            RepoError::Locked { path, pid } => write!(
+                f,
+                "repository is locked by pid {pid} ({}); a snapshot has exactly one \
+                 writer at a time",
+                path.display()
+            ),
             RepoError::DuplicateName(n) => write!(f, "schema `{n}` already in repository"),
             RepoError::UnknownName(n) => write!(f, "no schema `{n}` in repository"),
             RepoError::Model(e) => write!(f, "schema preparation failed: {e}"),
@@ -159,6 +186,57 @@ pub struct RepositoryStats {
     pub session: SessionStats,
 }
 
+/// The result of [`Repository::match_pair_shared`]: either served from
+/// the persisted cache, or executed over a memo clone and awaiting
+/// publication via [`Repository::absorb`].
+#[derive(Debug)]
+pub enum SharedMatch {
+    /// The pair was already cached; nothing to publish.
+    Cached(MatchSummary),
+    /// The pair executed through the shared read path (a one-entry
+    /// batch).
+    Executed(SharedBatch),
+}
+
+impl SharedMatch {
+    /// The match result, wherever it came from.
+    pub fn summary(&self) -> &MatchSummary {
+        match self {
+            SharedMatch::Cached(s) => s,
+            SharedMatch::Executed(batch) => batch.summaries().next().expect("one-entry batch"),
+        }
+    }
+}
+
+/// A worklist executed through the shared (`&self`) read path, ready to
+/// publish with [`Repository::absorb`]: the summaries, **one** warmed
+/// similarity-memo clone shared by the whole worklist, and each pair's
+/// content-hash cache key captured at execution time (immune to
+/// re-indexing by interleaved mutations). Batching matters: an N-pair
+/// discovery request costs one memo clone and one merge, not N.
+#[derive(Debug, Clone)]
+pub struct SharedBatch {
+    entries: Vec<((u64, u64), MatchSummary)>,
+    store: SimStore,
+}
+
+impl SharedBatch {
+    /// The executed summaries, in worklist order.
+    pub fn summaries(&self) -> impl Iterator<Item = &MatchSummary> {
+        self.entries.iter().map(|(_, s)| s)
+    }
+
+    /// Number of pairs executed in this batch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the batch executed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// A persistent schema repository: a [`MatchSession`] plus source
 /// schemas, content hashes, a per-pair summary cache, and an on-disk
 /// snapshot location (DESIGN.md §8).
@@ -182,6 +260,9 @@ pub struct Repository<'a> {
     dirty: bool,
     loaded: bool,
     recovered_stale: Option<String>,
+    /// Held for the whole handle lifetime; released on drop.
+    #[allow(dead_code)]
+    lock: RepoLock,
 }
 
 impl<'a> Repository<'a> {
@@ -195,12 +276,29 @@ impl<'a> Repository<'a> {
     /// [`Repository::recovered_stale`] for diagnostics. A snapshot that
     /// is damaged (checksum mismatch, malformed bytes) is an error:
     /// silent data loss is worse than a loud one.
+    ///
+    /// Opening acquires the snapshot's single-writer advisory lock
+    /// (`<snapshot>.lock`, holder pid inside) for the lifetime of the
+    /// handle; a second open of the same path — from this process or
+    /// another — fails with [`RepoError::Locked`] instead of letting
+    /// two `save`s clobber each other last-rename-wins. The lock is
+    /// released on drop, and a lock left by a crashed process is
+    /// reclaimed.
     pub fn open_or_create(
         path: impl AsRef<Path>,
         config: &'a CupidConfig,
         thesaurus: &'a Thesaurus,
     ) -> Result<Self, RepoError> {
         let path = resolve_path(path.as_ref());
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| RepoError::Io {
+                    path: parent.to_path_buf(),
+                    message: e.to_string(),
+                })?;
+            }
+        }
+        let lock = RepoLock::acquire(&path)?;
         let mut repo = Repository {
             path: path.clone(),
             config,
@@ -214,6 +312,7 @@ impl<'a> Repository<'a> {
             dirty: false,
             loaded: false,
             recovered_stale: None,
+            lock,
         };
         if !path.exists() {
             return Ok(repo);
@@ -435,6 +534,94 @@ impl<'a> Repository<'a> {
         let j = self.index_of(target)?;
         self.execute_missing(&[(i, j)]);
         Ok(self.serve(i, j))
+    }
+
+    /// The cached summary of a named pair, through a shared (`&self`)
+    /// handle — the pure read path of the daemon's read/write split
+    /// (DESIGN.md §9). `None` if the pair has not been executed under
+    /// the current content hashes.
+    pub fn cached_pair(
+        &self,
+        source: &str,
+        target: &str,
+    ) -> Result<Option<MatchSummary>, RepoError> {
+        let i = self.index_of(source)?;
+        let j = self.index_of(target)?;
+        Ok(self.cached_pair_at(i, j))
+    }
+
+    /// [`Repository::cached_pair`] by repository indices (the discovery
+    /// index speaks indices). Panics if an index is out of bounds.
+    pub fn cached_pair_at(&self, i: usize, j: usize) -> Option<MatchSummary> {
+        let key = (self.hashes[i], self.hashes[j]);
+        self.pair_cache.get(&key).map(|s| {
+            let mut s = s.clone();
+            s.source = SchemaId::from_index(i);
+            s.target = SchemaId::from_index(j);
+            s
+        })
+    }
+
+    /// Match one named pair through a shared (`&self`) handle. A cached
+    /// pair is served directly ([`SharedMatch::Cached`]); an uncached
+    /// pair executes over a clone of the warm session memo
+    /// ([`MatchSession::match_pair_shared`]) and comes back as a
+    /// [`SharedMatch::Executed`] one-entry batch carrying the warmed
+    /// memo clone and the pair's content-hash cache key, for the
+    /// caller to publish via [`Repository::absorb`] under exclusive
+    /// access. Summaries are bit-identical to
+    /// [`Repository::match_pair`] either way.
+    pub fn match_pair_shared(&self, source: &str, target: &str) -> Result<SharedMatch, RepoError> {
+        let i = self.index_of(source)?;
+        let j = self.index_of(target)?;
+        match self.cached_pair_at(i, j) {
+            Some(s) => Ok(SharedMatch::Cached(s)),
+            None => Ok(SharedMatch::Executed(self.execute_pairs_shared(&[(i, j)]))),
+        }
+    }
+
+    /// Execute a worklist of pairs (by repository indices) over **one**
+    /// clone of the warm session memo, without mutating the repository
+    /// ([`MatchSession::match_pairs_shared`]). The returned
+    /// [`SharedBatch`] records each pair's content-hash cache key *as
+    /// of this call*, so publishing it later through
+    /// [`Repository::absorb`] stays correct even if an interleaved
+    /// mutation re-indexed or replaced schemas in between. Panics if an
+    /// index is out of bounds.
+    pub fn execute_pairs_shared(&self, pairs: &[(usize, usize)]) -> SharedBatch {
+        let worklist: Vec<(SchemaId, SchemaId)> = pairs
+            .iter()
+            .map(|&(i, j)| (SchemaId::from_index(i), SchemaId::from_index(j)))
+            .collect();
+        let (summaries, store) = self.session.match_pairs_shared(&worklist);
+        let entries = pairs
+            .iter()
+            .zip(summaries)
+            .map(|(&(i, j), s)| ((self.hashes[i], self.hashes[j]), s))
+            .collect();
+        SharedBatch { entries, store }
+    }
+
+    /// Absorb a batch from the shared path: insert each summary into
+    /// the pair cache under the content-hash key captured at execution
+    /// time, and merge the warmed store clone back into the session
+    /// memo. The write half of the read/write split — call it under
+    /// exclusive access. Absorbing the same pair twice is harmless (the
+    /// summary is a pure function of schema content, so the insert
+    /// overwrites an identical value), and an execution whose schemas
+    /// were meanwhile replaced or removed parks under a dead key that
+    /// the next [`Repository::save`] prunes.
+    pub fn absorb(&mut self, batch: SharedBatch) {
+        if batch.entries.is_empty() {
+            return;
+        }
+        let executed = batch.entries.len();
+        for (key, summary) in batch.entries {
+            self.pair_cache.insert(key, summary);
+        }
+        self.session.absorb(batch.store, executed);
+        self.pairs_executed += executed;
+        self.dirty = true;
     }
 
     /// Index-assisted discovery (DESIGN.md §8.4): build the
@@ -681,7 +868,8 @@ mod tests {
         assert!(!repo.was_loaded());
         assert!(repo.recovered_stale().unwrap().contains("config fingerprint"));
         assert!(repo.is_empty());
-        // Different thesaurus: also stale.
+        drop(repo); // release the single-writer lock before reopening
+                    // Different thesaurus: also stale.
         let th2 = Thesaurus::empty();
         let repo = Repository::open_or_create(&tmp.0, &config, &th2).unwrap();
         assert!(repo.recovered_stale().unwrap().contains("thesaurus fingerprint"));
@@ -735,6 +923,63 @@ mod tests {
         assert!(s.has_leaf_mapping("S0.Item.Qty", "S1.Item.Quantity") || s.total_pairs > 0);
         repo.save().unwrap();
         assert!(tmp.0.exists());
+    }
+
+    #[test]
+    fn concurrent_open_is_refused_until_drop() {
+        let tmp = TempRepo::new();
+        let config = CupidConfig::default();
+        let th = Thesaurus::with_default_stopwords();
+        let repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        match Repository::open_or_create(&tmp.0, &config, &th) {
+            Err(RepoError::Locked { pid, .. }) => assert_eq!(pid, std::process::id()),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        drop(repo);
+        // Lock released with the handle: the reopen succeeds.
+        let again = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        assert!(!again.was_loaded());
+    }
+
+    #[test]
+    fn shared_reads_and_absorb_agree_with_exclusive_path() {
+        let tmp = TempRepo::new();
+        let config = CupidConfig::default();
+        let th = Thesaurus::with_default_stopwords();
+        let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        repo.add_corpus(&corpus()).unwrap();
+        // Uncached: the shared path executes over a memo clone...
+        let batch = match repo.match_pair_shared("S0", "S1").unwrap() {
+            SharedMatch::Executed(batch) => batch,
+            other => panic!("uncached pair must execute, got {other:?}"),
+        };
+        assert_eq!(batch.len(), 1);
+        let shared = batch.summaries().next().unwrap().clone();
+        assert_eq!(repo.pairs_executed(), 0, "shared execution is not yet absorbed");
+        assert!(repo.cached_pair("S0", "S1").unwrap().is_none());
+        // ...absorbing publishes it...
+        repo.absorb(batch);
+        assert_eq!(repo.pairs_executed(), 1);
+        assert_eq!(repo.cached_pair("S0", "S1").unwrap().as_ref(), Some(&shared));
+        // ...and the exclusive path serves the identical summary.
+        assert_eq!(repo.match_pair("S0", "S1").unwrap(), shared);
+        // A cached pair serves directly through the shared path too.
+        match repo.match_pair_shared("S0", "S1").unwrap() {
+            SharedMatch::Cached(s) => assert_eq!(s, shared),
+            other => panic!("cached pair must serve from cache, got {other:?}"),
+        }
+        // A whole worklist executes over one memo clone, and an
+        // execution published after its schema was replaced parks
+        // under the old (now dead) key instead of corrupting the cache.
+        let stale = repo.execute_pairs_shared(&[(2, 3), (1, 2)]);
+        assert_eq!(stale.len(), 2);
+        let edited = schema("S2", "Order", &[("Qty", DataType::Int)]);
+        repo.replace(&edited).unwrap();
+        repo.absorb(stale);
+        assert!(
+            repo.cached_pair("S2", "S3").unwrap().is_none(),
+            "stale execution must not serve for the replaced schema"
+        );
     }
 
     #[test]

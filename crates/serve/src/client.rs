@@ -1,0 +1,121 @@
+//! The daemon's client library: one blocking TCP connection, one
+//! request/response exchange per call.
+//!
+//! A [`ServeClient`] is deliberately thin — it owns a single stream and
+//! runs the protocol synchronously, so "N concurrent clients" is N
+//! `ServeClient`s on N threads, which is exactly how the integration
+//! suite and the throughput bench drive the daemon.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use cupid_core::MatchSummary;
+
+use crate::protocol::{Request, Response, StatsReport};
+use crate::ServeError;
+
+/// A connected daemon client.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+/// The result of a top-`k` discovery request: the executed candidate
+/// pairs plus the daemon's name table for rendering summary ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKListing {
+    /// Schema names, in repository order.
+    pub names: Vec<String>,
+    /// Executed candidate pairs' summaries, in `(i, j)` index order.
+    pub summaries: Vec<MatchSummary>,
+}
+
+impl ServeClient {
+    /// Connect to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient, ServeError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ServeError::Io { context: "connect".into(), message: e.to_string() })?;
+        stream.set_nodelay(true).ok();
+        Ok(ServeClient { stream })
+    }
+
+    /// One request/response exchange.
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ServeError> {
+        request.write_to(&mut self.stream).map_err(ServeError::Frame)?;
+        match Response::read_from(&mut self.stream).map_err(ServeError::Frame)? {
+            Some(Response::Error { message }) => Err(ServeError::Remote(message)),
+            Some(response) => Ok(response),
+            None => Err(ServeError::Closed),
+        }
+    }
+
+    fn unexpected(response: Response) -> ServeError {
+        ServeError::Unexpected(format!("unexpected response variant: {response:?}"))
+    }
+
+    /// Add a schema from SDL text; returns the stored name.
+    pub fn add_sdl(&mut self, sdl: &str) -> Result<String, ServeError> {
+        match self.roundtrip(&Request::AddSchema { sdl: sdl.to_string() })? {
+            Response::Added { name } => Ok(name),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Replace the stored schema with the same name, from SDL text.
+    pub fn replace_sdl(&mut self, sdl: &str) -> Result<String, ServeError> {
+        match self.roundtrip(&Request::ReplaceSchema { sdl: sdl.to_string() })? {
+            Response::Replaced { name } => Ok(name),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Remove the schema stored under `name`.
+    pub fn remove(&mut self, name: &str) -> Result<(), ServeError> {
+        match self.roundtrip(&Request::RemoveSchema { name: name.to_string() })? {
+            Response::Removed { .. } => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Match one stored pair by name. The summary is bit-identical to
+    /// an in-process match of the same schemas.
+    pub fn match_pair(&mut self, source: &str, target: &str) -> Result<MatchSummary, ServeError> {
+        let request = Request::MatchPair { source: source.to_string(), target: target.to_string() };
+        match self.roundtrip(&request)? {
+            Response::Matched { summary, .. } => Ok(summary),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Index-pruned top-`k` discovery over the daemon's corpus.
+    pub fn top_k(&mut self, k: usize) -> Result<TopKListing, ServeError> {
+        match self.roundtrip(&Request::TopK { k: k as u32 })? {
+            Response::TopKList { names, summaries } => Ok(TopKListing { names, summaries }),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Daemon counters.
+    pub fn stats(&mut self) -> Result<StatsReport, ServeError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Persist the daemon's snapshot now; returns its size in bytes.
+    pub fn save(&mut self) -> Result<u64, ServeError> {
+        match self.roundtrip(&Request::Save)? {
+            Response::Saved { bytes } => Ok(bytes),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Ask the daemon to shut down (it saves a dirty repository on the
+    /// way out).
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! The match daemon (DESIGN.md §9.1, §9.3).
+//!
+//! A [`Server`] owns one [`Repository`]-backed match session for its
+//! whole lifetime — token table, similarity memo, prepared schemas and
+//! the pair-summary cache all stay hot in memory — and serves
+//! concurrent clients over plain `std::net` TCP. There is no async
+//! runtime in this offline workspace; concurrency is the same
+//! `std::thread::scope` shape the batch session uses for pair
+//! sharding: the accept loop spawns one scoped worker thread per
+//! connection (many requests per connection), bounded by
+//! [`ServeOptions::max_connections`]. A *fixed* pool would deadlock
+//! the moment idle keep-alive connections pin every worker — on a
+//! 1-core machine the default pool would be a single worker — so the
+//! bound is on concurrent connections, not on threads serving them.
+//! Every open connection is registered (a [`TcpStream`] clone), which
+//! is how shutdown unblocks workers parked in `read` on idle peers.
+//!
+//! **Read/write split.** The repository sits behind one [`RwLock`].
+//! Requests that only read — `Stats`, and any `MatchPair`/`TopK` whose
+//! pairs are already cached — run concurrently under the read lock.
+//! An uncached pair also executes under the *read* lock: pair
+//! execution is a pure function of frozen prepared state, so the
+//! worker runs the whole uncached worklist over **one** clone of the
+//! warm similarity memo ([`Repository::execute_pairs_shared`]) and
+//! only the cheap absorb — publishing the summaries into the cache and
+//! merging the warmed memo clone — takes the write lock. Mutations (`AddSchema`, `ReplaceSchema`,
+//! `RemoveSchema`, `Save`) serialize through the write lock, giving
+//! the single-writer discipline the repository's on-disk lock already
+//! enforces across processes.
+//!
+//! Responses are bit-identical to direct in-process calls on the same
+//! corpus — the integration suite drives N concurrent clients against
+//! a daemon and compares against [`cupid_core::MatchSession`] output
+//! byte for byte.
+
+use std::collections::BTreeMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use cupid_core::{CupidConfig, MatchSummary};
+use cupid_lexical::Thesaurus;
+use cupid_repo::{Repository, SharedBatch, SharedMatch};
+
+use crate::protocol::{Request, Response, StatsReport};
+use crate::ServeError;
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Maximum concurrent client connections (each gets a scoped
+    /// worker thread). A connection arriving over the cap is answered
+    /// with an error frame and closed instead of queuing behind a
+    /// worker that may be parked on an idle peer.
+    pub max_connections: usize,
+    /// Save the snapshot after every `n` schema mutations
+    /// (add/replace/remove), in addition to explicit `Save` requests
+    /// and the final save at shutdown. `None` disables periodic saves.
+    pub autosave_every: Option<u64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { max_connections: 64, autosave_every: None }
+    }
+}
+
+/// Open-connection registry: stream clones keyed by connection id, so
+/// shutdown can unblock workers parked in `read` on idle peers.
+#[derive(Default)]
+struct Connections {
+    next_id: u64,
+    open: BTreeMap<u64, TcpStream>,
+}
+
+/// Shared state of a running daemon: the lock-guarded repository plus
+/// the counters and flags every worker touches.
+struct Shared<'a> {
+    repo: RwLock<Repository<'a>>,
+    path: PathBuf,
+    addr: SocketAddr,
+    options: ServeOptions,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    mutations: AtomicU64,
+    connections: Mutex<Connections>,
+}
+
+/// A bound, not-yet-running match daemon. [`Server::bind`] opens the
+/// repository (taking its single-writer lock) and the TCP listener;
+/// [`Server::run`] serves until a `Shutdown` request, then saves.
+pub struct Server<'a> {
+    listener: TcpListener,
+    shared: Shared<'a>,
+}
+
+impl<'a> Server<'a> {
+    /// Bind a daemon: open (or create) the repository snapshot at
+    /// `repo_path` under `config`/`thesaurus`, and listen on `addr`
+    /// (use port 0 for an OS-assigned port, then [`Server::local_addr`]).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        repo_path: impl AsRef<Path>,
+        config: &'a CupidConfig,
+        thesaurus: &'a Thesaurus,
+        options: ServeOptions,
+    ) -> Result<Server<'a>, ServeError> {
+        let listener = TcpListener::bind(addr).map_err(|e| ServeError::Io {
+            context: "bind listener".into(),
+            message: e.to_string(),
+        })?;
+        let local = listener.local_addr().map_err(|e| ServeError::Io {
+            context: "listener address".into(),
+            message: e.to_string(),
+        })?;
+        let repo = Repository::open_or_create(repo_path.as_ref(), config, thesaurus)
+            .map_err(ServeError::Repo)?;
+        let path = repo.path().to_path_buf();
+        Ok(Server {
+            listener,
+            shared: Shared {
+                repo: RwLock::new(repo),
+                path,
+                addr: local,
+                options: ServeOptions {
+                    max_connections: options.max_connections.max(1),
+                    ..options
+                },
+                shutdown: AtomicBool::new(false),
+                requests: AtomicU64::new(0),
+                mutations: AtomicU64::new(0),
+                connections: Mutex::new(Connections::default()),
+            },
+        })
+    }
+
+    /// The address the daemon is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The snapshot file the daemon persists to.
+    pub fn repo_path(&self) -> &Path {
+        &self.shared.path
+    }
+
+    /// Serve until a `Shutdown` request arrives, then write a final
+    /// snapshot if the repository is dirty. Blocks the calling thread;
+    /// worker threads are scoped inside, so the borrowed
+    /// config/thesaurus only need to outlive this call.
+    pub fn run(self) -> Result<(), ServeError> {
+        let Server { listener, shared } = self;
+        let shared = &shared;
+        std::thread::scope(|scope| {
+            for conn in listener.incoming() {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // A failed accept is usually the peer's problem (reset
+                // before we got to it) — but it can also be *ours*
+                // (EMFILE under fd exhaustion), in which case the
+                // pending connection stays queued and an instant retry
+                // busy-spins at 100% CPU. Back off briefly either way;
+                // a healthy listener never pays this.
+                let Ok(mut stream) = conn else {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                };
+                stream.set_nodelay(true).ok();
+                // Refused connections (over the cap, or setup failure)
+                // get a loud error frame instead of queuing behind
+                // workers parked on idle peers.
+                let id = match register(shared, &stream) {
+                    Ok(id) => id,
+                    Err(message) => {
+                        Response::Error { message }.write_to(&mut stream).ok();
+                        continue;
+                    }
+                };
+                scope.spawn(move || {
+                    serve_connection(stream, shared);
+                    shared.connections.lock().unwrap_or_else(|e| e.into_inner()).open.remove(&id);
+                });
+            }
+            // Shutting down: close every open connection so workers
+            // parked in `read` on idle peers unblock and the scope can
+            // join them.
+            let conns = shared.connections.lock().unwrap_or_else(|e| e.into_inner());
+            for stream in conns.open.values() {
+                stream.shutdown(Shutdown::Both).ok();
+            }
+        });
+        let mut repo = shared.repo.write().unwrap_or_else(|e| e.into_inner());
+        if repo.is_dirty() {
+            repo.save().map_err(ServeError::Repo)?;
+        }
+        Ok(())
+    }
+}
+
+/// Where a worker connects to wake its own accept loop: the bound
+/// address, with an unspecified IP (a `0.0.0.0` / `[::]` bind)
+/// replaced by loopback — connecting *to* the unspecified address is
+/// not portable, and a failed wake would leave `run()` parked in
+/// `accept` forever with the final save never written.
+fn wake_addr(bound: SocketAddr) -> SocketAddr {
+    let mut addr = bound;
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr {
+            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    addr
+}
+
+/// Register a connection in the shutdown registry. The error is the
+/// message to refuse the peer with, and names the actual cause — "at
+/// capacity" and "clone failed under fd exhaustion" point an operator
+/// at different knobs.
+fn register(shared: &Shared<'_>, stream: &TcpStream) -> Result<u64, String> {
+    let mut conns = shared.connections.lock().unwrap_or_else(|e| e.into_inner());
+    if conns.open.len() >= shared.options.max_connections {
+        return Err(format!(
+            "server at its {}-connection capacity",
+            shared.options.max_connections
+        ));
+    }
+    let clone =
+        stream.try_clone().map_err(|e| format!("server failed to set up the connection: {e}"))?;
+    let id = conns.next_id;
+    conns.next_id += 1;
+    conns.open.insert(id, clone);
+    Ok(id)
+}
+
+/// Serve one connection: a loop of request frame → response frame.
+/// Ends when the peer closes, a frame is malformed, or the daemon is
+/// shutting down.
+fn serve_connection(mut stream: TcpStream, shared: &Shared<'_>) {
+    loop {
+        let request = match Request::read_from(&mut stream) {
+            Ok(Some(r)) => r,
+            Ok(None) => return,
+            Err(e) => {
+                // Tell the peer why before hanging up; after a framing
+                // error the stream cannot be resynchronized.
+                let resp = Response::Error { message: e.to_string() };
+                resp.write_to(&mut stream).ok();
+                return;
+            }
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let response = handle_request(&request, shared);
+        if matches!(response, Response::ShuttingDown) {
+            // Commit to the shutdown *before* the response write: a
+            // client that dies after sending Shutdown must still stop
+            // the daemon (and trigger its final save), not leave it
+            // running forever.
+            shared.shutdown.store(true, Ordering::SeqCst);
+            response.write_to(&mut stream).ok();
+            // Wake the accept loop so it observes the flag.
+            TcpStream::connect(wake_addr(shared.addr)).ok();
+            return;
+        }
+        if response.write_to(&mut stream).is_err() {
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Execute one request against the shared repository. Never panics on
+/// bad input: every failure becomes [`Response::Error`] and the
+/// connection stays usable.
+fn handle_request(request: &Request, shared: &Shared<'_>) -> Response {
+    match request {
+        Request::AddSchema { sdl } => mutate(shared, |repo| {
+            let name = repo.import_sdl(sdl)?;
+            Ok(Response::Added { name })
+        }),
+        Request::ReplaceSchema { sdl } => mutate(shared, |repo| {
+            let schema = cupid_io::parse_sdl(sdl).map_err(cupid_repo::RepoError::Import)?;
+            let name = schema.name().to_string();
+            repo.replace(&schema)?;
+            Ok(Response::Replaced { name })
+        }),
+        Request::RemoveSchema { name } => mutate(shared, |repo| {
+            repo.remove(name)?;
+            Ok(Response::Removed { name: name.clone() })
+        }),
+        Request::MatchPair { source, target } => {
+            let guard = shared.repo.read().unwrap_or_else(|e| e.into_inner());
+            let shared_match = match guard.match_pair_shared(source, target) {
+                Ok(m) => m,
+                Err(e) => return Response::Error { message: e.to_string() },
+            };
+            drop(guard);
+            let summary = match shared_match {
+                SharedMatch::Cached(s) => s,
+                SharedMatch::Executed(batch) => {
+                    let summary = batch.summaries().next().expect("one-entry batch").clone();
+                    absorb(shared, batch);
+                    summary
+                }
+            };
+            Response::Matched { source: source.clone(), target: target.clone(), summary }
+        }
+        Request::TopK { k } => {
+            let guard = shared.repo.read().unwrap_or_else(|e| e.into_inner());
+            let names = guard.names().to_vec();
+            let pairs = guard.discovery_index().top_k_pairs(*k as usize);
+            // Serve cached pairs directly; execute the rest as one
+            // batch over a single memo clone, then splice the results
+            // back into worklist order.
+            let mut summaries: Vec<Option<MatchSummary>> = Vec::with_capacity(pairs.len());
+            let mut missing = Vec::new();
+            let mut slots = Vec::new();
+            for &(i, j) in &pairs {
+                match guard.cached_pair_at(i, j) {
+                    Some(s) => summaries.push(Some(s)),
+                    None => {
+                        slots.push(summaries.len());
+                        summaries.push(None);
+                        missing.push((i, j));
+                    }
+                }
+            }
+            let batch = (!missing.is_empty()).then(|| guard.execute_pairs_shared(&missing));
+            drop(guard);
+            if let Some(batch) = batch {
+                for (&slot, summary) in slots.iter().zip(batch.summaries()) {
+                    summaries[slot] = Some(summary.clone());
+                }
+                absorb(shared, batch);
+            }
+            let summaries = summaries.into_iter().map(|s| s.expect("every slot filled")).collect();
+            Response::TopKList { names, summaries }
+        }
+        Request::Stats => {
+            let guard = shared.repo.read().unwrap_or_else(|e| e.into_inner());
+            let stats = guard.stats();
+            Response::Stats(StatsReport {
+                schemas: stats.schemas as u64,
+                cached_pairs: stats.cached_pairs as u64,
+                pairs_executed: stats.pairs_executed as u64,
+                vocab_size: stats.session.vocab_size as u64,
+                distinct_pairs_computed: stats.session.distinct_pairs_computed as u64,
+                sim_chunks: stats.session.sim_chunks as u64,
+                sim_bytes: stats.session.sim_bytes as u64,
+                requests_served: shared.requests.load(Ordering::Relaxed),
+            })
+        }
+        Request::Save => {
+            let mut guard = shared.repo.write().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = guard.save() {
+                return Response::Error { message: e.to_string() };
+            }
+            let bytes = std::fs::metadata(&shared.path).map(|m| m.len()).unwrap_or(0);
+            Response::Saved { bytes }
+        }
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}
+
+/// Run a schema mutation under the write lock, then apply the autosave
+/// policy while still holding it.
+fn mutate(
+    shared: &Shared<'_>,
+    op: impl FnOnce(&mut Repository<'_>) -> Result<Response, cupid_repo::RepoError>,
+) -> Response {
+    let mut guard = shared.repo.write().unwrap_or_else(|e| e.into_inner());
+    let response = match op(&mut guard) {
+        Ok(r) => r,
+        Err(e) => return Response::Error { message: e.to_string() },
+    };
+    let count = shared.mutations.fetch_add(1, Ordering::Relaxed) + 1;
+    if let Some(every) = shared.options.autosave_every {
+        if every > 0 && count % every == 0 {
+            // The mutation itself already committed, so the client must
+            // see success either way — reporting an error here would
+            // make a retried AddSchema fail with "already in
+            // repository" for an add that worked. A failed autosave
+            // only loses durability, which the next save (periodic,
+            // explicit, or at shutdown) retries; log it daemon-side.
+            if let Err(e) = guard.save() {
+                eprintln!("cupid-serve: autosave failed (state kept in memory): {e}");
+            }
+        }
+    }
+    response
+}
+
+/// Publish shared-path execution results under the write lock.
+fn absorb(shared: &Shared<'_>, batch: SharedBatch) {
+    let mut guard = shared.repo.write().unwrap_or_else(|e| e.into_inner());
+    guard.absorb(batch);
+}

@@ -1,0 +1,152 @@
+//! # cupid-serve — the long-running match daemon (DESIGN.md §9)
+//!
+//! The paper frames Cupid as a reusable component inside a larger
+//! data-integration system, and the interactive workloads that matter
+//! at corpus scale — dataset discovery (query schema in, top-k
+//! candidates out), rule-driven matching pipelines — assume a
+//! *resident* matcher: prepared schemas, the interned token table, the
+//! similarity memo and the pair-summary cache all hot in memory,
+//! invoked repeatedly at low latency. Until this crate, every workload
+//! was a one-shot process over [`cupid_repo::Repository`], paying
+//! snapshot load per invocation.
+//!
+//! `cupid-serve` is that resident half:
+//!
+//! * **[`Server`]** — a daemon owning one repository-backed session,
+//!   serving concurrent clients over std-only TCP (no async runtime in
+//!   this offline workspace): the accept loop spawns a scoped worker
+//!   thread per connection, capped by
+//!   [`ServeOptions::max_connections`]; reads run concurrently under
+//!   an `RwLock`, uncached matches execute under the *read* lock over
+//!   memo clones, and only cache publication and schema mutations
+//!   serialize through the writer.
+//! * **[`protocol`]** — a length-prefixed, checksummed binary protocol
+//!   over [`cupid_model::wire`] frames: `AddSchema`/`ReplaceSchema`/
+//!   `RemoveSchema` (SDL payloads, incremental re-match underneath),
+//!   `MatchPair`, `TopK` discovery, `Stats`, `Save`, `Shutdown`.
+//! * **[`ServeClient`]** — the blocking client library the CLI, the
+//!   tests, the bench and the example all drive the daemon with.
+//!
+//! Responses are bit-identical to direct in-process calls — the wire
+//! format ships `f64`s by bit pattern, and pair execution is a pure
+//! function of schema content — which `tests/serve_daemon.rs` proves
+//! with N concurrent clients against a [`cupid_core::MatchSession`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cupid_core::Cupid;
+//! use cupid_lexical::Thesaurus;
+//! use cupid_serve::{CupidServeExt, ServeClient};
+//!
+//! let dir = std::env::temp_dir().join(format!("cupid-serve-doc-{}", std::process::id()));
+//! let cupid = Cupid::new(Thesaurus::parse("abbrev Qty = quantity").unwrap());
+//! // Port 0: the OS assigns a free port; read it back before running.
+//! let server = cupid.serve("127.0.0.1:0", &dir).unwrap();
+//! let addr = server.local_addr();
+//! std::thread::scope(|scope| {
+//!     scope.spawn(move || server.run().unwrap());
+//!     let mut client = ServeClient::connect(addr).unwrap();
+//!     client.add_sdl("schema PO\n  element Item\n    attr Qty : int\n").unwrap();
+//!     client.add_sdl("schema Order\n  element Item\n    attr Quantity : int\n").unwrap();
+//!     let summary = client.match_pair("PO", "Order").unwrap();
+//!     assert!(summary.has_leaf_mapping("PO.Item.Qty", "Order.Item.Quantity"));
+//!     client.shutdown().unwrap();
+//! });
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::net::ToSocketAddrs;
+use std::path::Path;
+
+use cupid_core::Cupid;
+use cupid_model::FrameError;
+use cupid_repo::RepoError;
+
+mod client;
+mod daemon;
+pub mod protocol;
+
+pub use client::{ServeClient, TopKListing};
+pub use daemon::{ServeOptions, Server};
+pub use protocol::{Request, Response, StatsReport};
+
+/// Errors of the daemon subsystem (server, client, CLI).
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket operation failed.
+    Io {
+        /// What was being attempted.
+        context: String,
+        /// The underlying error.
+        message: String,
+    },
+    /// A frame could not be read or written (stream died, or the bytes
+    /// on it are corrupt — the connection cannot continue).
+    Frame(FrameError),
+    /// The repository layer failed (snapshot I/O, lock held, …).
+    Repo(RepoError),
+    /// The daemon answered with an error response; the connection
+    /// remains usable.
+    Remote(String),
+    /// The daemon answered with a well-formed response of the wrong
+    /// variant — a protocol bug, not a user error.
+    Unexpected(String),
+    /// The daemon closed the connection before answering.
+    Closed,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io { context, message } => write!(f, "{context}: {message}"),
+            ServeError::Frame(e) => write!(f, "{e}"),
+            ServeError::Repo(e) => write!(f, "{e}"),
+            ServeError::Remote(m) => write!(f, "daemon error: {m}"),
+            ServeError::Unexpected(m) => write!(f, "{m}"),
+            ServeError::Closed => write!(f, "daemon closed the connection mid-exchange"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<FrameError> for ServeError {
+    fn from(e: FrameError) -> Self {
+        ServeError::Frame(e)
+    }
+}
+
+impl From<RepoError> for ServeError {
+    fn from(e: RepoError) -> Self {
+        ServeError::Repo(e)
+    }
+}
+
+/// Extension trait putting `serve()` on the [`Cupid`] facade — the
+/// entry point of the daemon subsystem, mirroring how
+/// [`cupid_repo::CupidRepositoryExt`] exposes `repository()`.
+pub trait CupidServeExt {
+    /// Bind a match daemon on `addr` over the repository persisted at
+    /// `repo_path` (taking its single-writer lock), with default
+    /// options. Call [`Server::run`] on the result to serve.
+    fn serve<A: ToSocketAddrs, P: AsRef<Path>>(
+        &self,
+        addr: A,
+        repo_path: P,
+    ) -> Result<Server<'_>, ServeError>;
+}
+
+impl CupidServeExt for Cupid {
+    fn serve<A: ToSocketAddrs, P: AsRef<Path>>(
+        &self,
+        addr: A,
+        repo_path: P,
+    ) -> Result<Server<'_>, ServeError> {
+        Server::bind(addr, repo_path, self.config(), self.thesaurus(), ServeOptions::default())
+    }
+}

@@ -1,0 +1,170 @@
+//! `cupid-serve` — the match daemon's command line.
+//!
+//! Daemon mode (the default) runs a [`cupid_serve::Server`] over a
+//! repository snapshot with the default matcher configuration and the
+//! default-stopword thesaurus:
+//!
+//! ```text
+//! cupid-serve <addr> <repo-path> [--max-conns N] [--autosave N]
+//! ```
+//!
+//! Client mode sends one request to a running daemon and prints the
+//! reply:
+//!
+//! ```text
+//! cupid-serve --client <addr> stats
+//! cupid-serve --client <addr> add <schema.sdl>
+//! cupid-serve --client <addr> replace <schema.sdl>
+//! cupid-serve --client <addr> remove <name>
+//! cupid-serve --client <addr> match <source> <target>
+//! cupid-serve --client <addr> topk <k>
+//! cupid-serve --client <addr> save
+//! cupid-serve --client <addr> shutdown
+//! ```
+
+use cupid_core::CupidConfig;
+use cupid_lexical::Thesaurus;
+use cupid_serve::{ServeClient, ServeOptions, Server};
+
+const USAGE: &str = "usage:
+  cupid-serve <addr> <repo-path> [--max-conns N] [--autosave N]
+  cupid-serve --client <addr> <command> [args]
+
+client commands:
+  stats                      daemon counters
+  add <schema.sdl>           add a schema from an SDL file
+  replace <schema.sdl>       replace the schema with the same name
+  remove <name>              remove a schema
+  match <source> <target>    match one stored pair
+  topk <k>                   index-pruned top-k discovery
+  save                       persist the snapshot now
+  shutdown                   stop the daemon (it saves on the way out)";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = if args.first().map(String::as_str) == Some("--client") {
+        run_client(&args[1..])
+    } else {
+        run_daemon(&args)
+    };
+    if let Err(message) = result {
+        eprintln!("cupid-serve: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run_daemon(args: &[String]) -> Result<(), String> {
+    let mut positional = Vec::new();
+    let mut options = ServeOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-conns" => {
+                options.max_connections = flag_value(args, &mut i, "--max-conns")? as usize;
+            }
+            "--autosave" => {
+                options.autosave_every = Some(flag_value(args, &mut i, "--autosave")?);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{USAGE}"));
+            }
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [addr, repo_path] = positional.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+    let config = CupidConfig::default();
+    let thesaurus = Thesaurus::with_default_stopwords();
+    let server = Server::bind(addr.as_str(), repo_path, &config, &thesaurus, options)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "cupid-serve: listening on {} over {}",
+        server.local_addr(),
+        server.repo_path().display()
+    );
+    server.run().map_err(|e| e.to_string())?;
+    println!("cupid-serve: shut down, snapshot saved");
+    Ok(())
+}
+
+fn flag_value(args: &[String], i: &mut usize, flag: &str) -> Result<u64, String> {
+    *i += 1;
+    args.get(*i).and_then(|v| v.parse().ok()).ok_or_else(|| format!("{flag} needs a numeric value"))
+}
+
+fn run_client(args: &[String]) -> Result<(), String> {
+    let [addr, command, rest @ ..] = args else {
+        return Err(USAGE.to_string());
+    };
+    let mut client = ServeClient::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    let remote = |e: cupid_serve::ServeError| e.to_string();
+    match (command.as_str(), rest) {
+        ("stats", []) => {
+            let s = client.stats().map_err(remote)?;
+            println!(
+                "schemas {}  cached pairs {}  pairs executed {}\n\
+                 vocabulary {} tokens  memoized token pairs {}  memo {} KiB\n\
+                 requests served {}",
+                s.schemas,
+                s.cached_pairs,
+                s.pairs_executed,
+                s.vocab_size,
+                s.distinct_pairs_computed,
+                s.sim_bytes / 1024,
+                s.requests_served
+            );
+        }
+        ("add", [file]) => {
+            let sdl = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            println!("added `{}`", client.add_sdl(&sdl).map_err(remote)?);
+        }
+        ("replace", [file]) => {
+            let sdl = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            println!("replaced `{}`", client.replace_sdl(&sdl).map_err(remote)?);
+        }
+        ("remove", [name]) => {
+            client.remove(name).map_err(remote)?;
+            println!("removed `{name}`");
+        }
+        ("match", [source, target]) => {
+            let summary = client.match_pair(source, target).map_err(remote)?;
+            println!(
+                "{source} ~ {target}: best wsim {:.3}, {} leaf mappings",
+                summary.best_wsim(),
+                summary.leaf_mappings.len()
+            );
+            for m in summary.leaf_mappings.iter().take(10) {
+                println!("  {} -> {}  (wsim {:.3})", m.source_path, m.target_path, m.wsim);
+            }
+        }
+        ("topk", [k]) => {
+            let k: usize = k.parse().map_err(|_| "topk needs a number".to_string())?;
+            let listing = client.top_k(k).map_err(remote)?;
+            println!("{} candidate pairs executed:", listing.summaries.len());
+            let mut ranked: Vec<_> = listing.summaries.iter().collect();
+            ranked.sort_by(|a, b| {
+                b.best_wsim().partial_cmp(&a.best_wsim()).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for s in ranked.iter().take(10) {
+                println!(
+                    "  {} ~ {}  best wsim {:.3}",
+                    listing.names[s.source.index()],
+                    listing.names[s.target.index()],
+                    s.best_wsim()
+                );
+            }
+        }
+        ("save", []) => {
+            println!("snapshot saved ({} bytes)", client.save().map_err(remote)?);
+        }
+        ("shutdown", []) => {
+            client.shutdown().map_err(remote)?;
+            println!("daemon shutting down");
+        }
+        _ => return Err(format!("unknown client command `{command}`\n{USAGE}")),
+    }
+    Ok(())
+}

@@ -1,0 +1,411 @@
+//! The daemon's wire protocol (DESIGN.md §9.2).
+//!
+//! Every message is one checksummed frame
+//! ([`cupid_model::wire::write_frame`]): the frame kind byte is the
+//! message discriminator, the payload is the message body in the
+//! workspace's hand-rolled wire format ([`WireWriter`]/[`WireReader`]
+//! — little-endian integers, `f64` by bits, length-prefixed UTF-8).
+//! Requests use kinds `0x01..=0x08`; responses set the high bit
+//! (`0x81..=0x89`), so a stray response on a request stream (or vice
+//! versa) is rejected as an unknown kind rather than mis-decoded.
+//!
+//! Schema payloads travel as SDL text (`cupid-io`'s schema description
+//! language), the reproduction's native review/exchange format — the
+//! daemon parses, validates and prepares on its side, so a client
+//! never ships prepared state, only content. Match results travel as
+//! [`MatchSummary`] wire bytes, similarity bits included: a summary
+//! decoded from the daemon compares `==` to one computed in-process,
+//! which is what the bit-identity integration suite asserts.
+//!
+//! Decoding is strict both ways: unknown kinds, malformed payloads and
+//! trailing bytes are loud [`WireError`]s, and the frame layer already
+//! rejected any byte corruption via its FNV-1a checksum.
+
+use std::io::{Read, Write};
+
+use cupid_core::MatchSummary;
+use cupid_model::{read_frame, write_frame, FrameError, WireError, WireReader, WireWriter};
+
+/// A request a client sends to the daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Add a new schema, shipped as SDL text. Fails if the schema's
+    /// name is already present.
+    AddSchema {
+        /// The schema as an SDL document.
+        sdl: String,
+    },
+    /// Replace the stored schema with the same name (incremental
+    /// re-match: only the edited schema's pairs lose their cache).
+    ReplaceSchema {
+        /// The replacement schema as an SDL document.
+        sdl: String,
+    },
+    /// Remove the schema stored under this name.
+    RemoveSchema {
+        /// The repository key.
+        name: String,
+    },
+    /// Match one pair of stored schemas by name.
+    MatchPair {
+        /// Source schema name.
+        source: String,
+        /// Target schema name.
+        target: String,
+    },
+    /// Index-pruned top-`k` discovery over the whole corpus.
+    TopK {
+        /// Candidates kept per schema.
+        k: u32,
+    },
+    /// Repository and session counters.
+    Stats,
+    /// Persist the repository snapshot now.
+    Save,
+    /// Stop accepting connections and exit after a final save.
+    Shutdown,
+}
+
+/// Aggregate daemon counters, as served by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Schemas in the repository.
+    pub schemas: u64,
+    /// Pair summaries currently cached.
+    pub cached_pairs: u64,
+    /// Full pair executions since the daemon opened the repository.
+    pub pairs_executed: u64,
+    /// Distinct interned tokens across the corpus.
+    pub vocab_size: u64,
+    /// Distinct token pairs memoized in the session store.
+    pub distinct_pairs_computed: u64,
+    /// Chunks allocated by the similarity memo.
+    pub sim_chunks: u64,
+    /// Bytes committed by those chunks.
+    pub sim_bytes: u64,
+    /// Requests the daemon has served since it started.
+    pub requests_served: u64,
+}
+
+/// A response the daemon sends back. Every request gets exactly one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The schema was added under this name.
+    Added {
+        /// The repository key the schema is now stored under.
+        name: String,
+    },
+    /// The schema was replaced (or found content-identical).
+    Replaced {
+        /// The repository key that was replaced.
+        name: String,
+    },
+    /// The schema was removed.
+    Removed {
+        /// The repository key that was removed.
+        name: String,
+    },
+    /// The result of a [`Request::MatchPair`].
+    Matched {
+        /// Source schema name, echoed back.
+        source: String,
+        /// Target schema name, echoed back.
+        target: String,
+        /// The match result, bit-identical to an in-process run.
+        summary: MatchSummary,
+    },
+    /// The result of a [`Request::TopK`]: the executed candidate pairs
+    /// in `(i, j)` index order, plus the repository's name table so the
+    /// client can render `SchemaId` indices.
+    TopKList {
+        /// Schema names, in repository order (summary ids index this).
+        names: Vec<String>,
+        /// Executed candidate pairs' summaries.
+        summaries: Vec<MatchSummary>,
+    },
+    /// Counters ([`Request::Stats`]).
+    Stats(StatsReport),
+    /// The snapshot was persisted ([`Request::Save`]).
+    Saved {
+        /// Size of the written snapshot file, in bytes.
+        bytes: u64,
+    },
+    /// The daemon acknowledged [`Request::Shutdown`] and will exit.
+    ShuttingDown,
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+// Frame kind codes. Append-only, like every enum code in the wire
+// format: new messages get new numbers, existing numbers never change
+// meaning.
+const REQ_ADD: u8 = 0x01;
+const REQ_REPLACE: u8 = 0x02;
+const REQ_REMOVE: u8 = 0x03;
+const REQ_MATCH_PAIR: u8 = 0x04;
+const REQ_TOP_K: u8 = 0x05;
+const REQ_STATS: u8 = 0x06;
+const REQ_SAVE: u8 = 0x07;
+const REQ_SHUTDOWN: u8 = 0x08;
+const RESP_ADDED: u8 = 0x81;
+const RESP_REPLACED: u8 = 0x82;
+const RESP_REMOVED: u8 = 0x83;
+const RESP_MATCHED: u8 = 0x84;
+const RESP_TOP_K: u8 = 0x85;
+const RESP_STATS: u8 = 0x86;
+const RESP_SAVED: u8 = 0x87;
+const RESP_SHUTTING_DOWN: u8 = 0x88;
+const RESP_ERROR: u8 = 0x89;
+
+impl Request {
+    /// Encode into (frame kind, payload bytes).
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut w = WireWriter::new();
+        let kind = match self {
+            Request::AddSchema { sdl } => {
+                w.put_str(sdl);
+                REQ_ADD
+            }
+            Request::ReplaceSchema { sdl } => {
+                w.put_str(sdl);
+                REQ_REPLACE
+            }
+            Request::RemoveSchema { name } => {
+                w.put_str(name);
+                REQ_REMOVE
+            }
+            Request::MatchPair { source, target } => {
+                w.put_str(source);
+                w.put_str(target);
+                REQ_MATCH_PAIR
+            }
+            Request::TopK { k } => {
+                w.put_u32(*k);
+                REQ_TOP_K
+            }
+            Request::Stats => REQ_STATS,
+            Request::Save => REQ_SAVE,
+            Request::Shutdown => REQ_SHUTDOWN,
+        };
+        (kind, w.into_bytes())
+    }
+
+    /// Decode a frame's kind + payload. Strict: unknown kinds and
+    /// trailing bytes are errors.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = WireReader::new(payload);
+        let req = match kind {
+            REQ_ADD => Request::AddSchema { sdl: r.get_str()? },
+            REQ_REPLACE => Request::ReplaceSchema { sdl: r.get_str()? },
+            REQ_REMOVE => Request::RemoveSchema { name: r.get_str()? },
+            REQ_MATCH_PAIR => Request::MatchPair { source: r.get_str()?, target: r.get_str()? },
+            REQ_TOP_K => Request::TopK { k: r.get_u32()? },
+            REQ_STATS => Request::Stats,
+            REQ_SAVE => Request::Save,
+            REQ_SHUTDOWN => Request::Shutdown,
+            other => return Err(r.err(format!("unknown request kind {other:#04x}"))),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+
+    /// Write this request as one frame.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), FrameError> {
+        let (kind, payload) = self.encode();
+        write_frame(w, kind, &payload)
+    }
+
+    /// Read one request frame; `None` on clean end-of-stream.
+    pub fn read_from(r: &mut impl Read) -> Result<Option<Request>, FrameError> {
+        match read_frame(r)? {
+            None => Ok(None),
+            Some((kind, payload)) => Request::decode(kind, &payload)
+                .map(Some)
+                .map_err(|e| FrameError::Malformed(e.to_string())),
+        }
+    }
+}
+
+impl StatsReport {
+    fn write_wire(&self, w: &mut WireWriter) {
+        for v in [
+            self.schemas,
+            self.cached_pairs,
+            self.pairs_executed,
+            self.vocab_size,
+            self.distinct_pairs_computed,
+            self.sim_chunks,
+            self.sim_bytes,
+            self.requests_served,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    fn read_wire(r: &mut WireReader<'_>) -> Result<StatsReport, WireError> {
+        Ok(StatsReport {
+            schemas: r.get_u64()?,
+            cached_pairs: r.get_u64()?,
+            pairs_executed: r.get_u64()?,
+            vocab_size: r.get_u64()?,
+            distinct_pairs_computed: r.get_u64()?,
+            sim_chunks: r.get_u64()?,
+            sim_bytes: r.get_u64()?,
+            requests_served: r.get_u64()?,
+        })
+    }
+}
+
+impl Response {
+    /// Encode into (frame kind, payload bytes).
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut w = WireWriter::new();
+        let kind = match self {
+            Response::Added { name } => {
+                w.put_str(name);
+                RESP_ADDED
+            }
+            Response::Replaced { name } => {
+                w.put_str(name);
+                RESP_REPLACED
+            }
+            Response::Removed { name } => {
+                w.put_str(name);
+                RESP_REMOVED
+            }
+            Response::Matched { source, target, summary } => {
+                w.put_str(source);
+                w.put_str(target);
+                summary.write_wire(&mut w);
+                RESP_MATCHED
+            }
+            Response::TopKList { names, summaries } => {
+                w.put_len(names.len());
+                for n in names {
+                    w.put_str(n);
+                }
+                w.put_len(summaries.len());
+                for s in summaries {
+                    s.write_wire(&mut w);
+                }
+                RESP_TOP_K
+            }
+            Response::Stats(report) => {
+                report.write_wire(&mut w);
+                RESP_STATS
+            }
+            Response::Saved { bytes } => {
+                w.put_u64(*bytes);
+                RESP_SAVED
+            }
+            Response::ShuttingDown => RESP_SHUTTING_DOWN,
+            Response::Error { message } => {
+                w.put_str(message);
+                RESP_ERROR
+            }
+        };
+        (kind, w.into_bytes())
+    }
+
+    /// Decode a frame's kind + payload. Strict, like
+    /// [`Request::decode`].
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = WireReader::new(payload);
+        let resp = match kind {
+            RESP_ADDED => Response::Added { name: r.get_str()? },
+            RESP_REPLACED => Response::Replaced { name: r.get_str()? },
+            RESP_REMOVED => Response::Removed { name: r.get_str()? },
+            RESP_MATCHED => Response::Matched {
+                source: r.get_str()?,
+                target: r.get_str()?,
+                summary: MatchSummary::read_wire(&mut r)?,
+            },
+            RESP_TOP_K => {
+                let n = r.get_len()?;
+                let mut names = Vec::with_capacity(n);
+                for _ in 0..n {
+                    names.push(r.get_str()?);
+                }
+                let n = r.get_len()?;
+                let mut summaries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    summaries.push(MatchSummary::read_wire(&mut r)?);
+                }
+                Response::TopKList { names, summaries }
+            }
+            RESP_STATS => Response::Stats(StatsReport::read_wire(&mut r)?),
+            RESP_SAVED => Response::Saved { bytes: r.get_u64()? },
+            RESP_SHUTTING_DOWN => Response::ShuttingDown,
+            RESP_ERROR => Response::Error { message: r.get_str()? },
+            other => return Err(r.err(format!("unknown response kind {other:#04x}"))),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+
+    /// Write this response as one frame.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), FrameError> {
+        let (kind, payload) = self.encode();
+        write_frame(w, kind, &payload)
+    }
+
+    /// Read one response frame; `None` on clean end-of-stream.
+    pub fn read_from(r: &mut impl Read) -> Result<Option<Response>, FrameError> {
+        match read_frame(r)? {
+            None => Ok(None),
+            Some((kind, payload)) => Response::decode(kind, &payload)
+                .map(Some)
+                .map_err(|e| FrameError::Malformed(e.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_kinds_round_trip() {
+        let requests = [
+            Request::AddSchema { sdl: "schema S\n  attr A : int\n".into() },
+            Request::ReplaceSchema { sdl: String::new() },
+            Request::RemoveSchema { name: "Sales".into() },
+            Request::MatchPair { source: "PO".into(), target: "Order".into() },
+            Request::TopK { k: 3 },
+            Request::Stats,
+            Request::Save,
+            Request::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for req in &requests {
+            req.write_to(&mut buf).unwrap();
+        }
+        let mut r = &buf[..];
+        for req in &requests {
+            assert_eq!(Request::read_from(&mut r).unwrap().as_ref(), Some(req));
+        }
+        assert_eq!(Request::read_from(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn request_response_kind_spaces_are_disjoint() {
+        // A response frame on a request stream must not decode.
+        let (kind, payload) = Response::ShuttingDown.encode();
+        assert!(Request::decode(kind, &payload).is_err());
+        let (kind, payload) = Request::Stats.encode();
+        assert!(Response::decode(kind, &payload).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let (kind, mut payload) = Request::TopK { k: 9 }.encode();
+        payload.push(0);
+        assert!(Request::decode(kind, &payload).is_err());
+        let (kind, mut payload) = Response::Saved { bytes: 17 }.encode();
+        payload.push(0);
+        assert!(Response::decode(kind, &payload).is_err());
+    }
+}

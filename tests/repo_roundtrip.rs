@@ -215,7 +215,9 @@ fn save_prunes_unreachable_cache_entries() {
     assert_eq!(repo.stats().cached_pairs, 9, "3 stale + 6 live before pruning");
     repo.save().unwrap();
     assert_eq!(repo.stats().cached_pairs, 6, "save prunes entries keyed by dead hashes");
-    // and a reload agrees
+    // and a reload agrees (the handle must drop first: a snapshot has
+    // exactly one writer at a time)
+    drop(repo);
     let warm = Repository::open_or_create(&tmp.0, &config, &thesaurus).unwrap();
     assert_eq!(warm.stats().cached_pairs, 6);
     let _ = size_before;

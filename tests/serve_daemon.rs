@@ -1,0 +1,295 @@
+//! Integration suite for the match daemon (DESIGN.md §9).
+//!
+//! The daemon's contract is the repository's, one network hop out: a
+//! response must be **bit-identical** to the same operation run
+//! in-process. The main test drives N concurrent clients over every
+//! schema pair and compares each wire-decoded [`MatchSummary`] —
+//! similarity `f64`s included — against a direct
+//! [`cupid::core::MatchSession`] over the same corpus; top-k discovery
+//! is compared against a direct [`Repository`]. Lifecycle tests cover
+//! mutation-under-traffic, persistence across daemon restarts, error
+//! responses, and the on-disk single-writer lock held while the daemon
+//! runs.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use cupid::core::{CupidConfig, MatchSession, MatchSummary};
+use cupid::io::parse_sdl;
+use cupid::lexical::Thesaurus;
+use cupid::model::Schema;
+use cupid::prelude::{RepoError, Repository, ServeClient, ServeOptions, Server};
+
+/// A unique, self-cleaning snapshot location per test.
+struct TempSnap(PathBuf);
+
+impl TempSnap {
+    fn new() -> Self {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cupid-serve-test-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempSnap(dir.join("cupid.repo"))
+    }
+}
+
+impl Drop for TempSnap {
+    fn drop(&mut self) {
+        if let Some(dir) = self.0.parent() {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+}
+
+/// The corpus travels as SDL text — the same bytes the clients ship —
+/// so daemon and in-process sides prepare literally identical schemas.
+const CORPUS_SDL: &[&str] = &[
+    "schema PO\n  element Item\n    attr Qty : int\n    attr Invoice : string\n",
+    "schema Order\n  element Item\n    attr Quantity : int\n    attr Bill : string\n",
+    "schema Sales\n  element Order\n    attr Quantity : int\n    attr OrderDate : date\n",
+    "schema Customer\n  element Person\n    attr CustomerName : string\n    attr Phone : string\n",
+    "schema Client\n  element Person\n    attr ClientName : string\n    attr Telephone : string\n",
+    "schema Misc\n  element Thing\n    attr Unrelated : decimal\n",
+];
+
+fn thesaurus() -> Thesaurus {
+    Thesaurus::parse(
+        "abbrev Qty = quantity\n\
+         syn invoice bill 1.0\n\
+         syn phone telephone 1.0\n\
+         syn customer client 0.9\n",
+    )
+    .unwrap()
+}
+
+fn corpus() -> Vec<Schema> {
+    CORPUS_SDL.iter().map(|sdl| parse_sdl(sdl).unwrap()).collect()
+}
+
+/// Expected summaries from a direct in-process session: name pair →
+/// summary, both orientations executed exactly as the daemon would.
+fn expected_pairs(config: &CupidConfig, th: &Thesaurus) -> Vec<((String, String), MatchSummary)> {
+    let corpus = corpus();
+    let mut session = MatchSession::new(config, th);
+    let ids = session.add_corpus(&corpus).unwrap();
+    let mut out = Vec::new();
+    for i in 0..ids.len() {
+        for j in (i + 1)..ids.len() {
+            let summary = session.match_pair(ids[i], ids[j]);
+            out.push(((corpus[i].name().to_string(), corpus[j].name().to_string()), summary));
+        }
+    }
+    out
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_responses() {
+    let tmp = TempSnap::new();
+    let config = CupidConfig::default();
+    let th = thesaurus();
+
+    // In-process ground truth.
+    let want_pairs = expected_pairs(&config, &th);
+    let want_topk = {
+        let other = TempSnap::new();
+        let mut repo = Repository::open_or_create(&other.0, &config, &th).unwrap();
+        repo.add_corpus(&corpus()).unwrap();
+        repo.top_k_pairs(2)
+    };
+
+    let server =
+        Server::bind("127.0.0.1:0", &tmp.0, &config, &th, ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        scope.spawn(move || server.run().unwrap());
+
+        // One client populates the corpus.
+        let mut setup = ServeClient::connect(addr).unwrap();
+        for sdl in CORPUS_SDL {
+            setup.add_sdl(sdl).unwrap();
+        }
+
+        // Three concurrent clients each run the full pair worklist and
+        // a top-k, in different orders so cached and uncached serves
+        // interleave across the read/write split.
+        let handles: Vec<_> = (0..3)
+            .map(|c| {
+                let want_pairs = &want_pairs;
+                let want_topk = &want_topk;
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect(addr).unwrap();
+                    let mut order: Vec<usize> = (0..want_pairs.len()).collect();
+                    if c % 2 == 1 {
+                        order.reverse();
+                    }
+                    for idx in order {
+                        let ((source, target), want) = &want_pairs[idx];
+                        let got = client.match_pair(source, target).unwrap();
+                        assert_eq!(
+                            &got, want,
+                            "client {c}: daemon summary for {source}~{target} diverged"
+                        );
+                    }
+                    let listing = client.top_k(2).unwrap();
+                    assert_eq!(listing.summaries, *want_topk, "client {c}: top-k diverged");
+                    assert_eq!(
+                        listing.names,
+                        CORPUS_SDL
+                            .iter()
+                            .map(|s| parse_sdl(s).unwrap().name().to_string())
+                            .collect::<Vec<_>>()
+                    );
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+
+        // Counters: 45 match requests across the clients collapse to
+        // ~15 executions. Two clients racing on the same uncached pair
+        // may both execute it before either absorbs (benign: identical
+        // summaries), so the exact count is bounded, not fixed.
+        let stats = setup.stats().unwrap();
+        assert_eq!(stats.schemas, 6);
+        assert!(
+            (15..=45).contains(&stats.pairs_executed),
+            "expected ~15 executions, got {}",
+            stats.pairs_executed
+        );
+        let saved = setup.save().unwrap();
+        assert!(saved > 0);
+        setup.shutdown().unwrap();
+        drop(setup);
+        for r in results {
+            r.unwrap();
+        }
+    });
+
+    // The daemon released the repository lock and persisted its state:
+    // a direct reopen serves every pair from the snapshot cache.
+    let mut warm = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+    assert!(warm.was_loaded());
+    for ((source, target), want) in &want_pairs {
+        assert_eq!(&warm.match_pair(source, target).unwrap(), want);
+    }
+    assert_eq!(warm.pairs_executed(), 0, "daemon snapshot already covers all pairs");
+}
+
+#[test]
+fn daemon_holds_the_single_writer_lock() {
+    let tmp = TempSnap::new();
+    let config = CupidConfig::default();
+    let th = thesaurus();
+    let server =
+        Server::bind("127.0.0.1:0", &tmp.0, &config, &th, ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        scope.spawn(move || server.run().unwrap());
+        // While the daemon runs, a second writer is refused loudly.
+        match Repository::open_or_create(&tmp.0, &config, &th) {
+            Err(RepoError::Locked { pid, .. }) => assert_eq!(pid, std::process::id()),
+            other => panic!("expected Locked while the daemon runs, got {other:?}"),
+        }
+        ServeClient::connect(addr).unwrap().shutdown().unwrap();
+    });
+    // After shutdown the lock is released.
+    assert!(Repository::open_or_create(&tmp.0, &config, &th).is_ok());
+}
+
+#[test]
+fn mutations_errors_and_restart() {
+    let tmp = TempSnap::new();
+    let config = CupidConfig::default();
+    let th = thesaurus();
+
+    // Expected state after the replace: PO edited to carry a Total.
+    let edited_po = "schema PO\n  element Item\n    attr Qty : int\n    attr Total : decimal\n";
+    let want_after_replace = {
+        let mut fresh = corpus();
+        fresh[0] = parse_sdl(edited_po).unwrap();
+        let mut session = MatchSession::new(&config, &th);
+        let ids = session.add_corpus(&fresh).unwrap();
+        session.match_pair(ids[0], ids[1])
+    };
+
+    let server =
+        Server::bind("127.0.0.1:0", &tmp.0, &config, &th, ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        scope.spawn(move || server.run().unwrap());
+        let mut client = ServeClient::connect(addr).unwrap();
+        for sdl in CORPUS_SDL {
+            client.add_sdl(sdl).unwrap();
+        }
+
+        // Error responses keep the connection usable.
+        assert!(matches!(
+            client.match_pair("PO", "Nope"),
+            Err(cupid::serve::ServeError::Remote(m)) if m.contains("Nope")
+        ));
+        assert!(matches!(
+            client.add_sdl(CORPUS_SDL[0]),
+            Err(cupid::serve::ServeError::Remote(m)) if m.contains("already")
+        ));
+        assert!(matches!(
+            client.replace_sdl("schema Ghost\n  element X\n    attr Y : int\n"),
+            Err(cupid::serve::ServeError::Remote(_))
+        ));
+        assert!(client.match_pair("PO", "Order").is_ok(), "connection survives errors");
+
+        // Replace re-matches incrementally; the response equals a cold
+        // in-process rebuild with the edited corpus.
+        client.replace_sdl(edited_po).unwrap();
+        assert_eq!(client.match_pair("PO", "Order").unwrap(), want_after_replace);
+
+        // Remove shrinks the corpus.
+        client.remove("Misc").unwrap();
+        assert_eq!(client.stats().unwrap().schemas, 5);
+        assert!(matches!(
+            client.match_pair("PO", "Misc"),
+            Err(cupid::serve::ServeError::Remote(_))
+        ));
+
+        client.shutdown().unwrap();
+    });
+
+    // Restart the daemon over the saved snapshot: state survives.
+    let server =
+        Server::bind("127.0.0.1:0", &tmp.0, &config, &th, ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        scope.spawn(move || server.run().unwrap());
+        let mut client = ServeClient::connect(addr).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.schemas, 5, "restarted daemon loads the saved corpus");
+        assert_eq!(stats.pairs_executed, 0);
+        assert_eq!(
+            client.match_pair("PO", "Order").unwrap(),
+            want_after_replace,
+            "cached pair served across daemon restarts, bit-identical"
+        );
+        assert_eq!(client.stats().unwrap().pairs_executed, 0, "served from the snapshot cache");
+        client.shutdown().unwrap();
+    });
+}
+
+#[test]
+fn autosave_persists_without_explicit_save() {
+    let tmp = TempSnap::new();
+    let config = CupidConfig::default();
+    let th = thesaurus();
+    let options = ServeOptions { autosave_every: Some(2), ..ServeOptions::default() };
+    let server = Server::bind("127.0.0.1:0", &tmp.0, &config, &th, options).unwrap();
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        scope.spawn(move || server.run().unwrap());
+        let mut client = ServeClient::connect(addr).unwrap();
+        client.add_sdl(CORPUS_SDL[0]).unwrap();
+        assert!(!tmp.0.exists(), "below the autosave threshold: nothing on disk yet");
+        client.add_sdl(CORPUS_SDL[1]).unwrap();
+        assert!(tmp.0.exists(), "second mutation crossed autosave_every = 2");
+        client.shutdown().unwrap();
+    });
+}

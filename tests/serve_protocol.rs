@@ -1,0 +1,260 @@
+//! Property suite for the daemon's wire protocol (DESIGN.md §9.2).
+//!
+//! Two contracts:
+//!
+//! * **Round trip** — every request/response frame decodes back to a
+//!   value `==` the one encoded, over randomized payloads including
+//!   full [`MatchSummary`] values with arbitrary `f64` bit patterns
+//!   (similarity values travel by bits, so equality here means
+//!   *bit-identical*).
+//! * **Loud rejection** — flipping any byte of an encoded frame, or
+//!   truncating it anywhere, must fail to read: the frame checksum (or
+//!   the strict payload decoder behind it) catches every single-byte
+//!   corruption, so a daemon never serves a damaged summary.
+
+use cupid::core::session::SimilarityEntry;
+use cupid::core::{MappingElement, MatchSummary, SchemaId};
+use cupid::model::{read_frame, NodeId};
+use cupid::serve::{Request, Response, StatsReport};
+use proptest::prelude::*;
+
+/// splitmix64 — a tiny deterministic generator so summaries with
+/// arbitrary float bit patterns can be derived from one drawn seed
+/// (the proptest shim has no tuple/map strategies).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn word(&mut self) -> String {
+        let n = self.next();
+        format!("w{:x}", n & 0xffff_ffff)
+    }
+}
+
+/// A structurally arbitrary summary: ids, mappings and top pairs with
+/// raw `f64` bit patterns (NaNs and negative zero included roughly one
+/// draw in eight), plus large counters.
+fn summary_from(seed: u64) -> MatchSummary {
+    let mut mix = Mix(seed);
+    let f = |mix: &mut Mix| {
+        let bits = mix.next();
+        // Bias some draws to the interesting corners of f64 space.
+        match bits & 0b111 {
+            0 => f64::from_bits(bits | 0x7ff8_0000_0000_0000), // NaN payloads
+            1 => -0.0,
+            _ => f64::from_bits(bits),
+        }
+    };
+    let mappings = |mix: &mut Mix| {
+        (0..(mix.next() % 4) as usize)
+            .map(|i| MappingElement {
+                source: NodeId::from_index(i),
+                target: NodeId::from_index(i + 1),
+                source_path: mix.word(),
+                target_path: mix.word(),
+                wsim: f(mix),
+                ssim: f(mix),
+                lsim: f(mix),
+            })
+            .collect::<Vec<_>>()
+    };
+    MatchSummary {
+        source: SchemaId::from_index((seed % 64) as usize),
+        target: SchemaId::from_index((seed % 61) as usize),
+        leaf_mappings: mappings(&mut mix),
+        nonleaf_mappings: mappings(&mut mix),
+        top_pairs: (0..(mix.next() % 4) as usize)
+            .map(|_| SimilarityEntry {
+                source_path: mix.word(),
+                target_path: mix.word(),
+                wsim: f(&mut mix),
+            })
+            .collect(),
+        compared_pairs: (mix.next() % 1_000_000) as usize,
+        total_pairs: (mix.next() % 3_000_000) as usize,
+    }
+}
+
+/// Summaries compare equal iff their similarity *bits* agree — plain
+/// `==` on f64 fields would treat NaN ≠ NaN.
+fn summary_bits_eq(a: &MatchSummary, b: &MatchSummary) -> bool {
+    let m_eq = |x: &MappingElement, y: &MappingElement| {
+        x.source == y.source
+            && x.target == y.target
+            && x.source_path == y.source_path
+            && x.target_path == y.target_path
+            && x.wsim.to_bits() == y.wsim.to_bits()
+            && x.ssim.to_bits() == y.ssim.to_bits()
+            && x.lsim.to_bits() == y.lsim.to_bits()
+    };
+    a.source == b.source
+        && a.target == b.target
+        && a.leaf_mappings.len() == b.leaf_mappings.len()
+        && a.leaf_mappings.iter().zip(&b.leaf_mappings).all(|(x, y)| m_eq(x, y))
+        && a.nonleaf_mappings.len() == b.nonleaf_mappings.len()
+        && a.nonleaf_mappings.iter().zip(&b.nonleaf_mappings).all(|(x, y)| m_eq(x, y))
+        && a.top_pairs.len() == b.top_pairs.len()
+        && a.top_pairs.iter().zip(&b.top_pairs).all(|(x, y)| {
+            x.source_path == y.source_path
+                && x.target_path == y.target_path
+                && x.wsim.to_bits() == y.wsim.to_bits()
+        })
+        && a.compared_pairs == b.compared_pairs
+        && a.total_pairs == b.total_pairs
+}
+
+/// Every request variant, parameterized by the drawn values.
+fn requests(sdl: &str, a: &str, b: &str, k: u32) -> Vec<Request> {
+    vec![
+        Request::AddSchema { sdl: sdl.to_string() },
+        Request::ReplaceSchema { sdl: sdl.to_string() },
+        Request::RemoveSchema { name: a.to_string() },
+        Request::MatchPair { source: a.to_string(), target: b.to_string() },
+        Request::TopK { k },
+        Request::Stats,
+        Request::Save,
+        Request::Shutdown,
+    ]
+}
+
+/// Every response variant.
+fn responses(a: &str, b: &str, summary: &MatchSummary, n: u64) -> Vec<Response> {
+    vec![
+        Response::Added { name: a.to_string() },
+        Response::Replaced { name: b.to_string() },
+        Response::Removed { name: a.to_string() },
+        Response::Matched {
+            source: a.to_string(),
+            target: b.to_string(),
+            summary: summary.clone(),
+        },
+        Response::TopKList {
+            names: vec![a.to_string(), b.to_string()],
+            summaries: vec![summary.clone(), summary.clone()],
+        },
+        Response::Stats(StatsReport {
+            schemas: n,
+            cached_pairs: n.wrapping_mul(3),
+            pairs_executed: n / 2,
+            vocab_size: n.wrapping_add(17),
+            distinct_pairs_computed: n.rotate_left(5),
+            sim_chunks: n % 97,
+            sim_bytes: n.wrapping_mul(32),
+            requests_served: n,
+        }),
+        Response::Saved { bytes: n },
+        Response::ShuttingDown,
+        Response::Error { message: b.to_string() },
+    ]
+}
+
+fn request_frame(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    req.write_to(&mut buf).unwrap();
+    buf
+}
+
+fn response_frame(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::new();
+    resp.write_to(&mut buf).unwrap();
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// encode → decode is the identity on every request variant, and a
+    /// stream of many frames reads back in order.
+    #[test]
+    fn requests_round_trip(
+        sdl in "[ -~]{0,40}",
+        a in "[A-Za-z][A-Za-z0-9_.]{0,11}",
+        b in "[A-Za-z][A-Za-z0-9_.]{0,11}",
+        k in 0u32..1000,
+    ) {
+        let all = requests(&sdl, &a, &b, k);
+        let mut stream = Vec::new();
+        for req in &all {
+            req.write_to(&mut stream).unwrap();
+        }
+        let mut r = &stream[..];
+        for want in &all {
+            let got = Request::read_from(&mut r).unwrap().expect("frame present");
+            prop_assert_eq!(&got, want);
+        }
+        prop_assert_eq!(Request::read_from(&mut r).unwrap(), None);
+    }
+
+    /// encode → decode is the identity on every response variant,
+    /// similarity bits included.
+    #[test]
+    fn responses_round_trip(
+        a in "[A-Za-z][A-Za-z0-9_.]{0,11}",
+        b in "[A-Za-z][A-Za-z0-9_.]{0,11}",
+        seed in 0u64..u64::MAX,
+        n in 0u64..u64::MAX,
+    ) {
+        let summary = summary_from(seed);
+        for want in responses(&a, &b, &summary, n) {
+            let bytes = response_frame(&want);
+            let mut r = &bytes[..];
+            let got = Response::read_from(&mut r).unwrap().expect("frame present");
+            prop_assert_eq!(Response::read_from(&mut r).unwrap(), None);
+            match (&got, &want) {
+                (Response::Matched { summary: g, .. }, Response::Matched { summary: w, .. }) => {
+                    prop_assert!(summary_bits_eq(g, w), "summary bits diverged");
+                }
+                (
+                    Response::TopKList { summaries: g, names: gn },
+                    Response::TopKList { summaries: w, names: wn },
+                ) => {
+                    prop_assert_eq!(gn, wn);
+                    prop_assert_eq!(g.len(), w.len());
+                    for (x, y) in g.iter().zip(w) {
+                        prop_assert!(summary_bits_eq(x, y), "summary bits diverged");
+                    }
+                }
+                (got, want) => prop_assert_eq!(got, want),
+            }
+        }
+    }
+
+    /// Single-byte corruption anywhere in a frame is rejected loudly,
+    /// and so is truncation at any offset.
+    #[test]
+    fn corrupt_and_truncated_frames_rejected(
+        sdl in "[ -~]{0,40}",
+        a in "[A-Za-z][A-Za-z0-9_.]{0,11}",
+        b in "[A-Za-z][A-Za-z0-9_.]{0,11}",
+        seed in 0u64..u64::MAX,
+        byte in 0usize..10_000,
+    ) {
+        let summary = summary_from(seed);
+        let mut frames: Vec<Vec<u8>> =
+            requests(&sdl, &a, &b, 5).iter().map(request_frame).collect();
+        frames.extend(responses(&a, &b, &summary, 12_345).iter().map(response_frame));
+        for bytes in frames {
+            let flip = byte % bytes.len();
+            let mut broken = bytes.clone();
+            broken[flip] ^= 0x01;
+            prop_assert!(
+                read_frame(&mut &broken[..]).is_err(),
+                "flipped byte {} of {} slipped through", flip, bytes.len()
+            );
+            let cut = byte % bytes.len();
+            if cut > 0 {
+                prop_assert!(
+                    read_frame(&mut &bytes[..cut]).is_err(),
+                    "truncation at {} slipped through", cut
+                );
+            }
+        }
+    }
+}
