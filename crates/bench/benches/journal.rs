@@ -1,0 +1,129 @@
+//! Durability benchmarks (DESIGN.md §10): what one acknowledged
+//! mutation costs under each autosave strategy, on a warm 32-schema
+//! corpus with its full 496-pair match cache.
+//!
+//! * `autosave_journal` — the PR's daemon default: one mutation becomes
+//!   one appended journal record plus one `fsync` of the journal file.
+//! * `autosave_fullsave` — the strategy it replaces: the same mutation
+//!   re-encodes and rewrites the entire snapshot (temp + `fsync` +
+//!   rename + directory `fsync`) and resets the journal.
+//! * `compaction` — the deferred cost the journal strategy still pays:
+//!   folding a 16-record journal into a fresh snapshot with one save.
+//!
+//! The mutations-per-second ratio of the first two legs is the
+//! headline number in BENCHMARKS.md; the third shows compaction is a
+//! (tunable) batch cost, not a per-mutation one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cupid_corpus::synthetic::{generate, SyntheticConfig};
+use cupid_eval::configs;
+use cupid_model::Schema;
+use cupid_repo::Repository;
+use std::hint::black_box;
+
+const SCHEMAS: usize = 32;
+const LEAVES: usize = 24;
+const COMPACT_BATCH: usize = 16;
+
+/// The same 32-schema corpus as the `repo` bench.
+fn corpus() -> Vec<Schema> {
+    let mut out = Vec::with_capacity(SCHEMAS);
+    for seed in 0..(SCHEMAS as u64 / 2) {
+        let pair = generate(&SyntheticConfig::sized(LEAVES, 1000 + seed));
+        for (half, mut s) in [("a", pair.source), ("b", pair.target)] {
+            s.rename(format!("S{seed}{half}"));
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Two distinct bodies for schema 0; alternating between them makes
+/// every benched replace a real content change (identical replaces
+/// journal nothing).
+fn variants(corpus: &[Schema]) -> [Schema; 2] {
+    let mut a = generate(&SyntheticConfig::sized(LEAVES, 99_999)).source;
+    a.rename(corpus[0].name());
+    [corpus[0].clone(), a]
+}
+
+fn bench_journal(c: &mut Criterion) {
+    let cfg = configs::synthetic();
+    let th = generate(&SyntheticConfig::sized(LEAVES, 1000)).thesaurus;
+    let corpus = corpus();
+    let edits = variants(&corpus);
+    let dir = std::env::temp_dir().join(format!("cupid-bench-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // One warm snapshot per strategy, full match cache included, so
+    // the fullsave leg honestly re-encodes what a live daemon holds.
+    let mut snapshot_bytes = 0;
+    let mut open_warm = |tag: &str| {
+        let path = dir.join(format!("{tag}.repo"));
+        let mut repo = Repository::open_or_create(&path, &cfg, &th).expect("open");
+        repo.add_corpus(&corpus).expect("corpus prepares");
+        repo.match_all_pairs();
+        repo.save().expect("snapshot");
+        snapshot_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        repo
+    };
+
+    let mut g = c.benchmark_group("journal");
+    g.sample_size(10);
+
+    {
+        let mut repo = open_warm("journal");
+        repo.set_compact_after(None); // isolate the append path
+        let mut flip = 0usize;
+        g.bench_function(format!("autosave_journal/replace{SCHEMAS}"), |b| {
+            b.iter(|| {
+                flip ^= 1;
+                repo.replace(&edits[flip]).expect("replace");
+                repo.sync_journal().expect("journal fsync");
+                black_box(repo.durability().journal_records)
+            })
+        });
+    }
+
+    {
+        let mut repo = open_warm("fullsave");
+        let mut flip = 0usize;
+        g.bench_function(format!("autosave_fullsave/replace{SCHEMAS}"), |b| {
+            b.iter(|| {
+                flip ^= 1;
+                repo.replace(&edits[flip]).expect("replace");
+                repo.save().expect("full snapshot save");
+                black_box(repo.durability().compactions)
+            })
+        });
+    }
+
+    {
+        let mut repo = open_warm("compaction");
+        repo.set_compact_after(None); // the bench folds explicitly
+        let mut flip = 0usize;
+        g.bench_function(format!("compaction/fold{COMPACT_BATCH}"), |b| {
+            b.iter(|| {
+                for _ in 0..COMPACT_BATCH {
+                    flip ^= 1;
+                    repo.replace(&edits[flip]).expect("replace");
+                    repo.sync_journal().expect("journal fsync");
+                }
+                repo.save().expect("compaction");
+                black_box(repo.durability().compactions)
+            })
+        });
+    }
+
+    g.finish();
+
+    criterion::set_context("schemas", SCHEMAS);
+    criterion::set_context("leaves_per_schema", LEAVES);
+    criterion::set_context("snapshot_bytes", snapshot_bytes);
+    criterion::set_context("compact_batch", COMPACT_BATCH);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_journal);
+criterion_main!(benches);

@@ -49,6 +49,10 @@ fn edited_first(corpus: &[Schema]) -> Schema {
 }
 
 fn cold_build(cfg: &CupidConfig, th: &Thesaurus, corpus: &[Schema], path: &PathBuf) -> usize {
+    // The snapshot is never saved, but since DESIGN.md §10 every
+    // mutation lands in the write-ahead journal — scrub it so each
+    // iteration truly starts cold instead of replaying the last one.
+    std::fs::remove_file(cupid_repo::journal::journal_path(path)).ok();
     let mut repo = Repository::open_or_create(path, cfg, th).expect("open");
     repo.add_corpus(corpus).expect("corpus prepares");
     let n = repo.match_all_pairs().len();
@@ -91,6 +95,9 @@ fn bench_repo(c: &mut Criterion) {
     });
     g.bench_function(format!("incremental/synthetic{SCHEMAS}"), |b| {
         b.iter(|| {
+            // Scrub the journal so every iteration replays the pure
+            // snapshot, not the previous iteration's unsaved replace.
+            std::fs::remove_file(cupid_repo::journal::journal_path(&snap_path)).ok();
             let mut repo = Repository::open_or_create(&snap_path, &cfg, &th).expect("open");
             repo.replace(&edited).expect("replace");
             let summaries = repo.match_all_pairs();

@@ -59,12 +59,18 @@ pub fn run() -> Report {
     // The daemon, on a loopback port over a throwaway snapshot.
     let dir = std::env::temp_dir().join(format!("cupid-eval-daemon-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
-    let server = Server::bind("127.0.0.1:0", &dir, &config, &thesaurus, ServeOptions::default())
-        .expect("bind daemon");
+    // `autosave_every: 1` puts the daemon in its durable mode: every
+    // mutation is fsynced into the write-ahead journal before its
+    // response goes out (DESIGN.md §10.4), and the Stats frame carries
+    // the durability counters this experiment reports.
+    let options = ServeOptions { autosave_every: Some(1), ..ServeOptions::default() };
+    let server =
+        Server::bind("127.0.0.1:0", &dir, &config, &thesaurus, options).expect("bind daemon");
     let addr = server.local_addr();
 
     let mut rows: Vec<(String, bool)> = Vec::new();
     let mut requests_served = 0;
+    let mut durability = None;
     std::thread::scope(|scope| {
         scope.spawn(move || server.run().expect("daemon run"));
         let mut setup = ServeClient::connect(addr).expect("connect");
@@ -100,7 +106,12 @@ pub fn run() -> Report {
         for ((a, b, _), ok) in expected.iter().zip(&agree) {
             rows.push((format!("{a} ~ {b}"), *ok));
         }
-        requests_served = setup.stats().expect("stats").requests_served;
+        let stats = setup.stats().expect("stats");
+        requests_served = stats.requests_served;
+        // Fold the journal with an explicit save, then read the
+        // durability counters off the Stats frame.
+        setup.save().expect("save");
+        durability = Some(setup.stats().expect("stats after save"));
         setup.shutdown().expect("shutdown");
     });
     std::fs::remove_dir_all(&dir).ok();
@@ -123,6 +134,28 @@ pub fn run() -> Report {
     ));
     if agreed != rows.len() {
         report.notes.push("DIVERGENCE: the daemon is not serving the matcher's results".into());
+    }
+    if let Some(d) = durability {
+        let mut t = TextTable::new(
+            "Durability under journal autosave (--autosave 1, DESIGN.md §10)",
+            vec!["counter", "value"],
+        );
+        t.row(vec!["mutations journaled before their responses".into(), corpus.len().to_string()]);
+        t.row(vec!["journal records after compacting save".into(), d.journal_records.to_string()]);
+        t.row(vec!["journal bytes after compacting save".into(), d.journal_bytes.to_string()]);
+        t.row(vec!["records replayed at open".into(), d.replayed_records.to_string()]);
+        t.row(vec!["compactions".into(), d.compactions.to_string()]);
+        t.row(vec![
+            "last fsync error".into(),
+            if d.last_fsync_error.is_empty() { "none".into() } else { d.last_fsync_error.clone() },
+        ]);
+        report.tables.push(t);
+        if !d.last_fsync_error.is_empty() {
+            report.notes.push(format!("DEGRADED: daemon reported `{}`", d.last_fsync_error));
+        }
+        if d.journal_records != 0 || d.compactions == 0 {
+            report.notes.push("UNEXPECTED: the explicit save did not fold the journal".into());
+        }
     }
     report
 }

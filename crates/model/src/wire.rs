@@ -339,6 +339,28 @@ fn frame_checksum(kind: u8, payload: &[u8]) -> u64 {
     fnv1a_extend(fnv1a_extend(FNV_OFFSET_BASIS, &[kind]), payload)
 }
 
+// --- journal record kinds ---------------------------------------------
+//
+// The repository's write-ahead mutation journal (`cupid-repo`,
+// DESIGN.md §10) reuses the frame container above for its on-disk
+// records; these are the frame kind bytes it writes. They live here —
+// next to the daemon protocol's kind-space conventions — because kind
+// codes are append-only workspace-wide: new records get new numbers,
+// existing numbers never change meaning, and no two subsystems may
+// collide on a kind a stray file could be mistaken for. The `0x4_`
+// block is disjoint from the daemon protocol's `0x0_`/`0x8_` kinds.
+
+/// Journal header record: version, config/thesaurus fingerprints, and
+/// the id of the snapshot the journal extends.
+pub const JOURNAL_HEADER: u8 = 0x40;
+/// Journal record: a schema was added (payload: [`Schema`] wire bytes).
+pub const JOURNAL_ADD: u8 = 0x41;
+/// Journal record: a schema was replaced (payload: [`Schema`] wire
+/// bytes; the repository key is the schema's own name).
+pub const JOURNAL_REPLACE: u8 = 0x42;
+/// Journal record: a schema was removed (payload: its name).
+pub const JOURNAL_REMOVE: u8 = 0x43;
+
 const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 

@@ -1,0 +1,233 @@
+//! The injectable-failure I/O seam of the durability layer
+//! (DESIGN.md §10.5).
+//!
+//! Crash-safety claims are only as good as the failure modes they were
+//! tested against, and real filesystem failures — a full disk, a torn
+//! page, a write that persisted only a prefix before power loss — are
+//! not reproducible by killing processes alone. Every write, fsync and
+//! rename on the journal and snapshot paths therefore routes through
+//! this module, where a test can *arm* a deterministic fault:
+//!
+//! * [`FaultAction::Error`] — the operation fails without touching the
+//!   file (permission loss, full disk at `open`).
+//! * [`FaultAction::ShortWrite`] — only a prefix of the bytes is
+//!   written and the operation *reports failure* (classic `write(2)`
+//!   short write surfaced as an error).
+//! * [`FaultAction::TornWrite`] — only a prefix is written but the
+//!   operation *reports success*: the caller continues as if the bytes
+//!   were durable, exactly what a crash between page cache and platter
+//!   looks like after reboot.
+//!
+//! Faults are one-shot, keyed by a [`FaultPoint`] and a path substring
+//! (so parallel tests armed against different temp directories cannot
+//! interfere), with an optional skip count to hit the n-th matching
+//! operation. When nothing is armed — the production state — the seam
+//! is a relaxed atomic load and a direct syscall.
+//!
+//! This module is compiled unconditionally (not `#[cfg(test)]`): the
+//! workspace's integration suites and the fault-matrix unit tests both
+//! arm faults from outside this crate.
+
+use std::fs::File;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Where in the durability path a fault can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// Appending a record frame to the journal file.
+    JournalAppend,
+    /// Fsyncing the journal file.
+    JournalSync,
+    /// Truncating + re-heading the journal after a snapshot save.
+    JournalReset,
+    /// Writing the snapshot bytes to the temp file.
+    SnapshotWrite,
+    /// Fsyncing the snapshot temp file before the rename.
+    SnapshotSync,
+    /// Renaming the temp file over the snapshot.
+    SnapshotRename,
+    /// Fsyncing the parent directory after the rename.
+    DirSync,
+}
+
+/// What the armed fault does at its point (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail without writing anything.
+    Error,
+    /// Write only the first `n` bytes, then report failure.
+    ShortWrite(usize),
+    /// Write only the first `n` bytes, but report success — the
+    /// caller's next fsync or reopen discovers the damage, not this
+    /// call.
+    TornWrite(usize),
+}
+
+/// An armed, one-shot fault.
+#[derive(Debug, Clone)]
+pub struct Fault {
+    /// The operation it intercepts.
+    pub point: FaultPoint,
+    /// Only operations on paths containing this substring match —
+    /// tests arm against their own temp directory so parallel tests
+    /// never trip each other's faults.
+    pub path_contains: String,
+    /// Number of matching operations to let through before firing.
+    pub skip: u32,
+    /// What happens when it fires.
+    pub action: FaultAction,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Vec<Fault>> = Mutex::new(Vec::new());
+
+/// Arm a fault. It fires once on the first matching operation past its
+/// skip count, then disarms itself.
+pub fn arm(fault: Fault) {
+    let mut plan = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    plan.push(fault);
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarm every fault whose path filter contains `path_contains`
+/// (tests clear their own temp directory's faults on the way out
+/// without touching a parallel test's plan).
+pub fn disarm(path_contains: &str) {
+    let mut plan = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    plan.retain(|f| !f.path_contains.contains(path_contains));
+    ARMED.store(!plan.is_empty(), Ordering::Release);
+}
+
+/// Consume the first armed fault matching `(point, path)`, if any.
+fn take(point: FaultPoint, path: &Path) -> Option<FaultAction> {
+    if !ARMED.load(Ordering::Acquire) {
+        return None;
+    }
+    let text = path.to_string_lossy();
+    let mut plan = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    let hit = plan.iter().position(|f| f.point == point && text.contains(&f.path_contains))?;
+    if plan[hit].skip > 0 {
+        plan[hit].skip -= 1;
+        return None;
+    }
+    let fault = plan.remove(hit);
+    ARMED.store(!plan.is_empty(), Ordering::Release);
+    Some(fault.action)
+}
+
+fn injected(what: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected fault: {what}"))
+}
+
+/// `write_all` through the seam.
+pub(crate) fn write_all(
+    point: FaultPoint,
+    path: &Path,
+    file: &mut File,
+    bytes: &[u8],
+) -> std::io::Result<()> {
+    match take(point, path) {
+        None => file.write_all(bytes),
+        Some(FaultAction::Error) => Err(injected("write refused")),
+        Some(FaultAction::ShortWrite(n)) => {
+            file.write_all(&bytes[..n.min(bytes.len())])?;
+            Err(injected("short write"))
+        }
+        Some(FaultAction::TornWrite(n)) => file.write_all(&bytes[..n.min(bytes.len())]),
+    }
+}
+
+/// `sync_all` through the seam. A torn or short "sync" makes no sense
+/// byte-wise, so every armed action maps to a failed fsync.
+pub(crate) fn sync(point: FaultPoint, path: &Path, file: &File) -> std::io::Result<()> {
+    match take(point, path) {
+        None => file.sync_all(),
+        Some(_) => Err(injected("fsync refused")),
+    }
+}
+
+/// `rename` through the seam (armed against the *destination* path).
+pub(crate) fn rename(from: &Path, to: &Path) -> std::io::Result<()> {
+    match take(FaultPoint::SnapshotRename, to) {
+        None => std::fs::rename(from, to),
+        Some(_) => Err(injected("rename refused")),
+    }
+}
+
+/// Fsync the directory containing `path`, so a just-renamed file's
+/// directory entry is durable (DESIGN.md §10.2). A path with no named
+/// parent (cwd-relative file) syncs nothing — the workspace always
+/// persists under explicit directories.
+pub(crate) fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) else {
+        return Ok(());
+    };
+    if let Some(action) = take(FaultPoint::DirSync, path) {
+        let _ = action;
+        return Err(injected("directory fsync refused"));
+    }
+    // Opening a directory read-only for fsync is how durable renames
+    // work on Linux; platforms where directories cannot be opened
+    // (Windows) get rename durability from the OS instead, so a failed
+    // *open* is not an error — a failed *fsync* on an opened dir is.
+    match File::open(parent) {
+        Ok(dir) => dir.sync_all(),
+        Err(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+
+    #[test]
+    fn unarmed_seam_is_passthrough_and_faults_are_one_shot() {
+        let dir = std::env::temp_dir().join(format!("cupid-fault-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seam.bin");
+        let mut f = File::create(&path).unwrap();
+        write_all(FaultPoint::JournalAppend, &path, &mut f, b"abcdef").unwrap();
+        sync(FaultPoint::JournalSync, &path, &f).unwrap();
+
+        // Torn write: 2 bytes land, success reported.
+        arm(Fault {
+            point: FaultPoint::JournalAppend,
+            path_contains: "seam.bin".into(),
+            skip: 0,
+            action: FaultAction::TornWrite(2),
+        });
+        write_all(FaultPoint::JournalAppend, &path, &mut f, b"ghijkl").unwrap();
+        // One-shot: the next write goes through whole.
+        write_all(FaultPoint::JournalAppend, &path, &mut f, b"mn").unwrap();
+        drop(f);
+        let mut got = String::new();
+        File::open(&path).unwrap().read_to_string(&mut got).unwrap();
+        assert_eq!(got, "abcdefghmn");
+
+        // Short write: 1 byte lands, failure reported. Skip counts let
+        // a later operation be targeted.
+        let mut f = File::options().append(true).open(&path).unwrap();
+        arm(Fault {
+            point: FaultPoint::JournalAppend,
+            path_contains: "seam.bin".into(),
+            skip: 1,
+            action: FaultAction::ShortWrite(1),
+        });
+        write_all(FaultPoint::JournalAppend, &path, &mut f, b"..").unwrap();
+        assert!(write_all(FaultPoint::JournalAppend, &path, &mut f, b"XY").is_err());
+        // A different path does not trip a path-filtered fault.
+        arm(Fault {
+            point: FaultPoint::JournalSync,
+            path_contains: "some-other-dir".into(),
+            skip: 0,
+            action: FaultAction::Error,
+        });
+        sync(FaultPoint::JournalSync, &path, &f).unwrap();
+        disarm("some-other-dir");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

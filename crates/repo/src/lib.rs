@@ -26,6 +26,16 @@
 //!   handle ([`RepoLock`]), so two processes can no longer clobber
 //!   each other's saves last-rename-wins; the loser gets a loud
 //!   [`RepoError::Locked`] naming the holder's pid.
+//! * **Write-ahead journal** — every mutation appends one checksummed
+//!   record to a sibling `<snapshot>.journal` file
+//!   ([`journal::Journal`], DESIGN.md §10); an fsynced append
+//!   ([`Repository::sync_journal`]) is a durability point orders of
+//!   magnitude cheaper than a snapshot rewrite. Opening replays the
+//!   journal tail on top of the snapshot, and saves (explicit or
+//!   threshold-triggered compaction) fold it back into a fresh
+//!   snapshot. A crash loses at most the un-synced suffix — never an
+//!   fsync-acknowledged mutation — which the fault-injection suite in
+//!   `tests/crash_recovery.rs` proves by killing live daemons.
 //!
 //! ```
 //! use cupid_core::{Cupid, CupidConfig};
@@ -76,13 +86,16 @@ use cupid_core::{
     Cupid, CupidConfig, LsimTable, MatchSession, MatchSummary, SchemaId, SessionStats,
 };
 use cupid_lexical::{SimStore, Thesaurus};
-use cupid_model::{ModelError, Schema};
+use cupid_model::{fnv1a, ModelError, Schema};
 
+pub mod fault;
 mod index;
+pub mod journal;
 mod lock;
 mod snapshot;
 
 pub use index::{Candidate, DiscoveryIndex};
+pub use journal::{Journal, JournalHeader, JournalRecord, JOURNAL_VERSION};
 pub use lock::RepoLock;
 
 /// Default file name used when a repository path points at a directory.
@@ -186,6 +199,33 @@ pub struct RepositoryStats {
     pub session: SessionStats,
 }
 
+/// Counters of the durability layer (DESIGN.md §10.6): how much of the
+/// repository's state currently rides on the write-ahead journal, what
+/// recovery did at open, and whether persistence has degraded. Served
+/// through the daemon's `Stats` frame and the eval `daemon` experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DurabilityStats {
+    /// Mutation records currently in the journal (folded to 0 by every
+    /// save/compaction).
+    pub journal_records: u64,
+    /// Bytes in the journal file, header frame included.
+    pub journal_bytes: u64,
+    /// Records replayed on top of the snapshot when this handle opened.
+    pub replayed_records: u64,
+    /// Times this handle folded a non-empty journal into a snapshot
+    /// (explicit saves and threshold-triggered compactions alike).
+    pub compactions: u64,
+    /// The most recent journal/snapshot persistence failure, if any —
+    /// mutations keep succeeding in memory when the disk degrades, but
+    /// the degradation is surfaced here instead of being swallowed.
+    pub last_fsync_error: Option<String>,
+    /// Why recovery discarded journal bytes at open (damaged tail past
+    /// the last valid record, or a journal left behind by a crash
+    /// between snapshot publish and journal reset). `None` for a clean
+    /// open.
+    pub replay_discarded: Option<String>,
+}
+
 /// The result of [`Repository::match_pair_shared`]: either served from
 /// the persisted cache, or executed over a memo clone and awaiting
 /// publication via [`Repository::absorb`].
@@ -260,6 +300,14 @@ pub struct Repository<'a> {
     dirty: bool,
     loaded: bool,
     recovered_stale: Option<String>,
+    journal: Journal,
+    /// Fold the journal into a fresh snapshot once it holds this many
+    /// records (`None`: only explicit saves compact).
+    compact_after: Option<u64>,
+    replayed_records: u64,
+    compactions: u64,
+    last_fsync_error: Option<String>,
+    replay_discarded: Option<String>,
     /// Held for the whole handle lifetime; released on drop.
     #[allow(dead_code)]
     lock: RepoLock,
@@ -284,6 +332,15 @@ impl<'a> Repository<'a> {
     /// two `save`s clobber each other last-rename-wins. The lock is
     /// released on drop, and a lock left by a crashed process is
     /// reclaimed.
+    ///
+    /// After the snapshot loads, the write-ahead journal tail is
+    /// replayed on top of it (DESIGN.md §10.3): a journal whose header
+    /// names this snapshot generation contributes every record up to
+    /// the first damage (the damaged suffix is truncated off the file);
+    /// a journal from another generation — the trace of a crash between
+    /// snapshot publish and journal reset — is discarded, because its
+    /// records are already folded into the snapshot that was published.
+    /// What recovery did is reported by [`Repository::durability`].
     pub fn open_or_create(
         path: impl AsRef<Path>,
         config: &'a CupidConfig,
@@ -299,8 +356,34 @@ impl<'a> Repository<'a> {
             }
         }
         let lock = RepoLock::acquire(&path)?;
+        let bytes = if path.exists() {
+            Some(
+                std::fs::read(&path)
+                    .map_err(|e| RepoError::Io { path: path.clone(), message: e.to_string() })?,
+            )
+        } else {
+            None
+        };
+        let mut state = None;
+        let mut recovered_stale = None;
+        if let Some(b) = &bytes {
+            match snapshot::decode(b, config.fingerprint(), thesaurus.fingerprint()) {
+                Ok(s) => state = Some(s),
+                Err(RepoError::Stale { reason }) => recovered_stale = Some(reason),
+                Err(e) => return Err(e),
+            }
+        }
+        let header = JournalHeader {
+            version: JOURNAL_VERSION,
+            config_fp: config.fingerprint(),
+            thesaurus_fp: thesaurus.fingerprint(),
+            snapshot_id: bytes.as_deref().map(fnv1a).unwrap_or(0),
+        };
+        let journal_file = journal::journal_path(&path);
+        let (journal, recovery) = Journal::open(&journal_file, header)
+            .map_err(|e| RepoError::Io { path: journal_file, message: e.to_string() })?;
         let mut repo = Repository {
-            path: path.clone(),
+            path,
             config,
             thesaurus,
             session: MatchSession::new(config, thesaurus),
@@ -310,37 +393,54 @@ impl<'a> Repository<'a> {
             pair_cache: BTreeMap::new(),
             pairs_executed: 0,
             dirty: false,
-            loaded: false,
-            recovered_stale: None,
+            loaded: state.is_some(),
+            recovered_stale,
+            journal,
+            compact_after: None,
+            replayed_records: 0,
+            compactions: 0,
+            last_fsync_error: None,
+            replay_discarded: recovery.discarded,
             lock,
         };
-        if !path.exists() {
-            return Ok(repo);
+        if let Some(state) = state {
+            repo.session = MatchSession::from_parts(
+                config,
+                thesaurus,
+                state.table,
+                state.store,
+                state.prepared,
+            );
+            repo.names = state.names;
+            repo.sources = state.sources;
+            repo.hashes = state.hashes;
+            repo.pair_cache = state.cache;
         }
-        let bytes = std::fs::read(&path)
-            .map_err(|e| RepoError::Io { path: path.clone(), message: e.to_string() })?;
-        match snapshot::decode(&bytes, config.fingerprint(), thesaurus.fingerprint()) {
-            Ok(state) => {
-                repo.session = MatchSession::from_parts(
-                    config,
-                    thesaurus,
-                    state.table,
-                    state.store,
-                    state.prepared,
-                );
-                repo.names = state.names;
-                repo.sources = state.sources;
-                repo.hashes = state.hashes;
-                repo.pair_cache = state.cache;
-                repo.loaded = true;
-                Ok(repo)
+        for record in &recovery.records {
+            match repo.apply_record(record) {
+                Ok(()) => repo.replayed_records += 1,
+                Err(e) => {
+                    // A record that passed its frame checksum but does
+                    // not apply (e.g. adding a name the state already
+                    // holds) means the journal does not actually extend
+                    // this state; keep the valid prefix, report the
+                    // rest.
+                    let note =
+                        format!("replay stopped after {} records: {e}", repo.replayed_records);
+                    repo.replay_discarded = Some(match repo.replay_discarded.take() {
+                        Some(prev) => format!("{prev}; {note}"),
+                        None => note,
+                    });
+                    break;
+                }
             }
-            Err(RepoError::Stale { reason }) => {
-                repo.recovered_stale = Some(reason);
-                Ok(repo)
-            }
-            Err(e) => Err(e),
         }
+        if repo.replayed_records > 0 {
+            // Replayed mutations are durable in the journal but not yet
+            // in the snapshot; a save folds them in.
+            repo.dirty = true;
+        }
+        Ok(repo)
     }
 
     /// Set the worker-thread count used for pair execution.
@@ -409,6 +509,41 @@ impl<'a> Repository<'a> {
         }
     }
 
+    /// Durability-layer counters: journal size, what recovery replayed
+    /// or discarded at open, compactions, and the last persistence
+    /// failure (DESIGN.md §10.6).
+    pub fn durability(&self) -> DurabilityStats {
+        DurabilityStats {
+            journal_records: self.journal.records(),
+            journal_bytes: self.journal.bytes_len(),
+            replayed_records: self.replayed_records,
+            compactions: self.compactions,
+            last_fsync_error: self.last_fsync_error.clone(),
+            replay_discarded: self.replay_discarded.clone(),
+        }
+    }
+
+    /// Set the compaction threshold: once the journal holds this many
+    /// records, the next mutation folds it into a fresh snapshot via
+    /// [`Repository::save`]. `None` (the default) compacts only on
+    /// explicit saves.
+    pub fn set_compact_after(&mut self, limit: Option<u64>) {
+        self.compact_after = limit;
+    }
+
+    /// Fsync the write-ahead journal: every mutation made through this
+    /// handle is durable once this returns — the cheap per-mutation
+    /// durability point the daemon's autosave uses in place of a full
+    /// snapshot rewrite. On failure the error is also recorded in
+    /// [`Repository::durability`]'s `last_fsync_error`.
+    pub fn sync_journal(&mut self) -> Result<(), RepoError> {
+        self.journal.sync().map_err(|e| {
+            let message = e.to_string();
+            self.last_fsync_error = Some(format!("journal fsync: {message}"));
+            RepoError::Io { path: self.journal.path().to_path_buf(), message }
+        })
+    }
+
     fn index_of(&self, name: &str) -> Result<usize, RepoError> {
         self.names
             .iter()
@@ -416,8 +551,36 @@ impl<'a> Repository<'a> {
             .ok_or_else(|| RepoError::UnknownName(name.to_string()))
     }
 
-    /// Add a schema, keyed by its schema name.
-    pub fn add(&mut self, schema: &Schema) -> Result<(), RepoError> {
+    /// Apply one mutation without journaling it — the replay path of
+    /// [`Repository::open_or_create`], and the shared core of the
+    /// public mutators.
+    fn apply_record(&mut self, record: &JournalRecord) -> Result<(), RepoError> {
+        match record {
+            JournalRecord::Add(s) => self.apply_add(s),
+            JournalRecord::Replace(s) => self.apply_replace(s).map(|_| ()),
+            JournalRecord::Remove(name) => self.apply_remove(name).map(|_| ()),
+        }
+    }
+
+    /// Append a record for a mutation that just succeeded in memory,
+    /// then compact if the journal crossed its threshold. Journal I/O
+    /// failure does not roll the mutation back — the in-memory state is
+    /// already committed and still saveable — but the degradation is
+    /// recorded for [`Repository::durability`].
+    fn journal_append(&mut self, record: JournalRecord) {
+        if let Err(e) = self.journal.append(&record) {
+            self.last_fsync_error = Some(format!("journal append: {e}"));
+        }
+        if let Some(limit) = self.compact_after {
+            if self.journal.records() >= limit {
+                if let Err(e) = self.save() {
+                    self.last_fsync_error = Some(format!("compaction save: {e}"));
+                }
+            }
+        }
+    }
+
+    fn apply_add(&mut self, schema: &Schema) -> Result<(), RepoError> {
         if self.contains(schema.name()) {
             return Err(RepoError::DuplicateName(schema.name().to_string()));
         }
@@ -429,10 +592,18 @@ impl<'a> Repository<'a> {
         Ok(())
     }
 
+    /// Add a schema, keyed by its schema name.
+    pub fn add(&mut self, schema: &Schema) -> Result<(), RepoError> {
+        self.apply_add(schema)?;
+        self.journal_append(JournalRecord::Add(schema.clone()));
+        Ok(())
+    }
+
     /// Add a whole corpus. All-or-nothing like
     /// [`MatchSession::add_corpus`]: name collisions (against the
     /// repository or within the batch) and preparation errors are
-    /// reported before anything is added.
+    /// reported before anything is added. Journals one record per
+    /// schema.
     pub fn add_corpus(&mut self, schemas: &[Schema]) -> Result<(), RepoError> {
         let mut batch: BTreeSet<&str> = BTreeSet::new();
         for s in schemas {
@@ -447,35 +618,52 @@ impl<'a> Repository<'a> {
             self.hashes.push(s.content_hash());
         }
         self.dirty = true;
+        for s in schemas {
+            self.journal_append(JournalRecord::Add(s.clone()));
+        }
         Ok(())
     }
 
-    /// Replace the stored schema with the same name. A no-op when the
-    /// content hash is unchanged (the pair cache stays fully valid);
-    /// otherwise the schema is re-prepared and its cached pairs become
-    /// unreachable, so the next match re-executes exactly this
-    /// schema's pairs.
-    pub fn replace(&mut self, schema: &Schema) -> Result<(), RepoError> {
+    /// Replace, returning whether the content actually changed.
+    fn apply_replace(&mut self, schema: &Schema) -> Result<bool, RepoError> {
         let i = self.index_of(schema.name())?;
         let hash = schema.content_hash();
         if hash == self.hashes[i] {
-            return Ok(());
+            return Ok(false);
         }
         self.session.replace(SchemaId::from_index(i), schema)?;
         self.sources[i] = schema.clone();
         self.hashes[i] = hash;
         self.dirty = true;
+        Ok(true)
+    }
+
+    /// Replace the stored schema with the same name. A no-op when the
+    /// content hash is unchanged (the pair cache stays fully valid, and
+    /// nothing is journaled); otherwise the schema is re-prepared and
+    /// its cached pairs become unreachable, so the next match
+    /// re-executes exactly this schema's pairs.
+    pub fn replace(&mut self, schema: &Schema) -> Result<(), RepoError> {
+        if self.apply_replace(schema)? {
+            self.journal_append(JournalRecord::Replace(schema.clone()));
+        }
         Ok(())
     }
 
-    /// Remove (and return) the schema stored under `name`.
-    pub fn remove(&mut self, name: &str) -> Result<Schema, RepoError> {
+    fn apply_remove(&mut self, name: &str) -> Result<Schema, RepoError> {
         let i = self.index_of(name)?;
         self.session.remove(SchemaId::from_index(i));
         self.names.remove(i);
         self.hashes.remove(i);
         self.dirty = true;
         Ok(self.sources.remove(i))
+    }
+
+    /// Remove (and return) the schema stored under `name`.
+    pub fn remove(&mut self, name: &str) -> Result<Schema, RepoError> {
+        let schema = self.apply_remove(name)?;
+        self.journal_append(JournalRecord::Remove(name.to_string()));
+        Ok(schema)
     }
 
     /// Execute the uncached subset of a worklist and fill the cache.
@@ -652,10 +840,22 @@ impl<'a> Repository<'a> {
         Ok(self.session.lsim_of(SchemaId::from_index(i), SchemaId::from_index(j)))
     }
 
-    /// Persist the repository to its snapshot file (write-temp +
-    /// atomic rename). Cache entries keyed by hashes no longer in the
-    /// corpus (from [`Repository::replace`]/[`Repository::remove`]) are
-    /// pruned first, so snapshots do not grow monotonically.
+    /// Persist the repository to its snapshot file and fold the journal
+    /// into the new snapshot generation. Cache entries keyed by hashes
+    /// no longer in the corpus (from
+    /// [`Repository::replace`]/[`Repository::remove`]) are pruned
+    /// first, so snapshots do not grow monotonically.
+    ///
+    /// The crash-safe sequence (DESIGN.md §10.2): write the snapshot to
+    /// a temp file, `fsync` it, rename it over the snapshot, `fsync`
+    /// the parent directory — only then truncate the journal and write
+    /// a fresh fsynced header naming the new snapshot's content id. A
+    /// crash before the rename leaves the old snapshot + journal pair
+    /// intact; a crash after the rename but before the journal reset
+    /// leaves a journal whose header names the *old* generation, which
+    /// the next open detects and discards (its records are in the
+    /// snapshot that was published). At no point can a record be lost
+    /// or replayed twice.
     pub fn save(&mut self) -> Result<(), RepoError> {
         let live: BTreeSet<u64> = self.hashes.iter().copied().collect();
         self.pair_cache.retain(|(a, b), _| live.contains(a) && live.contains(b));
@@ -680,8 +880,47 @@ impl<'a> Repository<'a> {
                 std::fs::create_dir_all(parent).map_err(|e| io_err(parent, e))?;
             }
         }
-        std::fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, e))?;
-        std::fs::rename(&tmp, &self.path).map_err(|e| io_err(&self.path, e))?;
+        {
+            let mut file = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+            fault::write_all(fault::FaultPoint::SnapshotWrite, &tmp, &mut file, &bytes)
+                .map_err(|e| io_err(&tmp, e))?;
+            // fsync before the rename: without it, the rename can
+            // become durable ahead of the data it points at, and a
+            // crash surfaces an empty or torn "successfully saved"
+            // snapshot.
+            fault::sync(fault::FaultPoint::SnapshotSync, &tmp, &file)
+                .map_err(|e| io_err(&tmp, e))?;
+        }
+        fault::rename(&tmp, &self.path).map_err(|e| io_err(&self.path, e))?;
+        fault::sync_parent_dir(&self.path).map_err(|e| io_err(&self.path, e))?;
+        let had_records = self.journal.records() > 0;
+        let header = JournalHeader {
+            version: JOURNAL_VERSION,
+            config_fp: self.config.fingerprint(),
+            thesaurus_fp: self.thesaurus.fingerprint(),
+            snapshot_id: fnv1a(&bytes),
+        };
+        match self.journal.reset(header) {
+            Ok(()) => {
+                if had_records {
+                    self.compactions += 1;
+                }
+            }
+            Err(e) => {
+                // The snapshot is already durable and the un-reset
+                // journal names the old generation, so a reopen
+                // discards it rather than double-replaying; record the
+                // degradation and try once to restart the file cleanly.
+                self.last_fsync_error = Some(format!("journal reset: {e}"));
+                let journal_file = self.journal.path().to_path_buf();
+                if let Ok(j) = Journal::create(&journal_file, header) {
+                    self.journal = j;
+                    if had_records {
+                        self.compactions += 1;
+                    }
+                }
+            }
+        }
         self.dirty = false;
         Ok(())
     }
@@ -1005,5 +1244,232 @@ mod tests {
             .collect();
         assert!(best.contains(&(0, 1)), "C1~C2 retrieved");
         assert!(best.contains(&(2, 3)), "O1~O2 retrieved");
+    }
+
+    #[test]
+    fn journal_replays_unsaved_mutations_bit_identically() {
+        let tmp = TempRepo::new();
+        let config = CupidConfig::default();
+        let th = Thesaurus::with_default_stopwords();
+        let edited =
+            schema("S1", "Item", &[("Quantity", DataType::Int), ("Total", DataType::Money)]);
+        let extra = schema("S4", "Extra", &[("Qty", DataType::Int)]);
+        {
+            let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+            repo.add_corpus(&corpus()).unwrap();
+            repo.save().unwrap();
+            // Mutations after the save are durable through the journal
+            // alone — no second save.
+            repo.add(&extra).unwrap();
+            repo.replace(&edited).unwrap();
+            repo.remove("S3").unwrap();
+            repo.sync_journal().unwrap();
+            let d = repo.durability();
+            assert_eq!(d.journal_records, 3);
+            assert!(d.journal_bytes > 0);
+            assert!(d.last_fsync_error.is_none());
+        }
+        let mut warm = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        assert!(warm.was_loaded());
+        assert_eq!(warm.names(), ["S0", "S1", "S2", "S4"]);
+        let d = warm.durability();
+        assert_eq!(d.replayed_records, 3);
+        assert!(d.replay_discarded.is_none(), "clean replay: {:?}", d.replay_discarded);
+        assert!(warm.is_dirty(), "replayed records await folding into the snapshot");
+        // The replayed repository matches bit-identically to a cold
+        // rebuild of the same corpus in the same order.
+        let got = warm.match_all_pairs();
+        let tmp2 = TempRepo::new();
+        let mut cold = Repository::open_or_create(&tmp2.0, &config, &th).unwrap();
+        let c = corpus();
+        cold.add_corpus(&[c[0].clone(), edited, c[2].clone(), extra]).unwrap();
+        assert_eq!(cold.match_all_pairs(), got);
+    }
+
+    #[test]
+    fn save_folds_journal_and_counts_compactions() {
+        let tmp = TempRepo::new();
+        let config = CupidConfig::default();
+        let th = Thesaurus::with_default_stopwords();
+        let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        repo.add(&corpus()[0]).unwrap();
+        assert_eq!(repo.durability().journal_records, 1);
+        repo.save().unwrap();
+        let d = repo.durability();
+        assert_eq!(d.journal_records, 0, "save folds the journal into the snapshot");
+        assert_eq!(d.compactions, 1);
+        // An empty-journal save is not a compaction.
+        repo.save().unwrap();
+        assert_eq!(repo.durability().compactions, 1);
+        assert!(journal::journal_path(&tmp.0).exists());
+    }
+
+    #[test]
+    fn threshold_compaction_triggers_mid_mutation_stream() {
+        let tmp = TempRepo::new();
+        let config = CupidConfig::default();
+        let th = Thesaurus::with_default_stopwords();
+        let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        repo.set_compact_after(Some(3));
+        for s in &corpus() {
+            repo.add(s).unwrap();
+        }
+        let d = repo.durability();
+        assert_eq!(d.compactions, 1, "the third record crossed the threshold");
+        assert_eq!(d.journal_records, 1, "the fourth add landed in the fresh journal");
+        assert!(tmp.0.exists(), "compaction produced a snapshot");
+        drop(repo);
+        let warm = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        assert_eq!(warm.len(), 4);
+        assert_eq!(warm.durability().replayed_records, 1);
+    }
+
+    #[test]
+    fn journal_from_previous_generation_is_discarded_not_replayed_twice() {
+        let tmp = TempRepo::new();
+        let config = CupidConfig::default();
+        let th = Thesaurus::with_default_stopwords();
+        let journal_file = journal::journal_path(&tmp.0);
+        {
+            let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+            repo.add(&corpus()[0]).unwrap();
+            repo.sync_journal().unwrap();
+            // Crash between snapshot publish and journal reset,
+            // simulated by restoring the pre-save journal afterwards.
+            let pre_save = std::fs::read(&journal_file).unwrap();
+            repo.save().unwrap();
+            std::fs::write(&journal_file, &pre_save).unwrap();
+        }
+        let warm = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        assert_eq!(warm.len(), 1, "the record is in the snapshot exactly once");
+        let d = warm.durability();
+        assert_eq!(d.replayed_records, 0);
+        assert!(
+            d.replay_discarded.unwrap().contains("extends snapshot"),
+            "the stale journal is discarded with its reason surfaced"
+        );
+    }
+
+    #[test]
+    fn injected_snapshot_faults_never_lose_synced_mutations() {
+        let config = CupidConfig::default();
+        let th = Thesaurus::with_default_stopwords();
+        // Each scenario arms one fault on the save path; a synced
+        // journal record must survive every one of them.
+        for (point, action) in [
+            (fault::FaultPoint::SnapshotWrite, fault::FaultAction::Error),
+            (fault::FaultPoint::SnapshotWrite, fault::FaultAction::ShortWrite(5)),
+            (fault::FaultPoint::SnapshotSync, fault::FaultAction::Error),
+            (fault::FaultPoint::SnapshotRename, fault::FaultAction::Error),
+        ] {
+            let tmp = TempRepo::new();
+            let marker = tmp.0.parent().unwrap().file_name().unwrap().to_str().unwrap();
+            {
+                let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+                repo.add(&corpus()[0]).unwrap();
+                repo.save().unwrap();
+                repo.add(&corpus()[1]).unwrap();
+                repo.sync_journal().unwrap();
+                fault::arm(fault::Fault {
+                    point,
+                    path_contains: marker.to_string(),
+                    skip: 0,
+                    action,
+                });
+                let err = repo.save();
+                assert!(err.is_err(), "{point:?}/{action:?} must fail the save");
+                assert!(repo.is_dirty(), "a failed save leaves the handle dirty");
+            }
+            fault::disarm(marker);
+            let warm = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+            assert_eq!(
+                warm.names(),
+                ["S0", "S1"],
+                "{point:?}/{action:?}: snapshot + journal replay must recover both schemas"
+            );
+            assert_eq!(warm.durability().replayed_records, 1);
+        }
+    }
+
+    #[test]
+    fn failed_dir_sync_after_rename_still_recovers_completely() {
+        // DirSync fails *after* the rename: save reports an error, but
+        // the published snapshot already contains every record, and the
+        // old-generation journal is discarded — nothing lost and
+        // nothing doubled.
+        let config = CupidConfig::default();
+        let th = Thesaurus::with_default_stopwords();
+        let tmp = TempRepo::new();
+        let marker = tmp.0.parent().unwrap().file_name().unwrap().to_str().unwrap();
+        {
+            let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+            repo.add(&corpus()[0]).unwrap();
+            repo.add(&corpus()[1]).unwrap();
+            repo.sync_journal().unwrap();
+            fault::arm(fault::Fault {
+                point: fault::FaultPoint::DirSync,
+                path_contains: marker.to_string(),
+                skip: 0,
+                action: fault::FaultAction::Error,
+            });
+            assert!(repo.save().is_err());
+        }
+        fault::disarm(marker);
+        let warm = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        assert_eq!(warm.names(), ["S0", "S1"]);
+        assert_eq!(warm.durability().replayed_records, 0, "records came from the snapshot");
+    }
+
+    #[test]
+    fn journal_append_failure_degrades_loudly_without_losing_memory_state() {
+        let config = CupidConfig::default();
+        let th = Thesaurus::with_default_stopwords();
+        let tmp = TempRepo::new();
+        let marker = tmp.0.parent().unwrap().file_name().unwrap().to_str().unwrap();
+        let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        fault::arm(fault::Fault {
+            point: fault::FaultPoint::JournalAppend,
+            path_contains: marker.to_string(),
+            skip: 0,
+            action: fault::FaultAction::Error,
+        });
+        repo.add(&corpus()[0]).unwrap();
+        assert!(repo.contains("S0"), "the in-memory mutation still commits");
+        let d = repo.durability();
+        assert!(d.last_fsync_error.unwrap().contains("journal append"));
+        // A save re-establishes full durability.
+        repo.save().unwrap();
+        drop(repo);
+        fault::disarm(marker);
+        let warm = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        assert_eq!(warm.names(), ["S0"]);
+    }
+
+    #[test]
+    fn torn_journal_append_is_truncated_at_reopen() {
+        let config = CupidConfig::default();
+        let th = Thesaurus::with_default_stopwords();
+        let tmp = TempRepo::new();
+        let marker = tmp.0.parent().unwrap().file_name().unwrap().to_str().unwrap();
+        {
+            let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+            repo.add(&corpus()[0]).unwrap();
+            // The second record tears mid-frame — the classic crash
+            // between write and fsync.
+            fault::arm(fault::Fault {
+                point: fault::FaultPoint::JournalAppend,
+                path_contains: marker.to_string(),
+                skip: 0,
+                action: fault::FaultAction::TornWrite(7),
+            });
+            repo.add(&corpus()[1]).unwrap();
+            assert!(repo.durability().last_fsync_error.is_none(), "a torn write reports success");
+        }
+        fault::disarm(marker);
+        let warm = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        assert_eq!(warm.names(), ["S0"], "replay stops at the last whole record");
+        let d = warm.durability();
+        assert_eq!(d.replayed_records, 1);
+        assert!(d.replay_discarded.unwrap().contains("truncated after 1 records"));
     }
 }

@@ -54,15 +54,25 @@ pub struct ServeOptions {
     /// with an error frame and closed instead of queuing behind a
     /// worker that may be parked on an idle peer.
     pub max_connections: usize,
-    /// Save the snapshot after every `n` schema mutations
-    /// (add/replace/remove), in addition to explicit `Save` requests
-    /// and the final save at shutdown. `None` disables periodic saves.
+    /// Fsync the write-ahead journal after every `n` schema mutations
+    /// (add/replace/remove) — the cheap durability point that replaced
+    /// full-snapshot autosave (DESIGN.md §10.4): mutations already
+    /// append journal records as they commit, so the periodic work is
+    /// one `fsync`, not a corpus rewrite. `Some(1)` makes every
+    /// acknowledged mutation durable before the response is written —
+    /// the setting the crash-recovery suite runs under. `None`
+    /// disables periodic syncs; explicit `Save` requests and the final
+    /// save at shutdown still persist everything.
     pub autosave_every: Option<u64>,
+    /// Fold the journal into a fresh snapshot once it holds this many
+    /// records ([`Repository::set_compact_after`]); `None` compacts
+    /// only on explicit saves and shutdown.
+    pub compact_after: Option<u64>,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        ServeOptions { max_connections: 64, autosave_every: None }
+        ServeOptions { max_connections: 64, autosave_every: None, compact_after: Some(1024) }
     }
 }
 
@@ -114,8 +124,9 @@ impl<'a> Server<'a> {
             context: "listener address".into(),
             message: e.to_string(),
         })?;
-        let repo = Repository::open_or_create(repo_path.as_ref(), config, thesaurus)
+        let mut repo = Repository::open_or_create(repo_path.as_ref(), config, thesaurus)
             .map_err(ServeError::Repo)?;
+        repo.set_compact_after(options.compact_after);
         let path = repo.path().to_path_buf();
         Ok(Server {
             listener,
@@ -343,6 +354,7 @@ fn handle_request(request: &Request, shared: &Shared<'_>) -> Response {
         Request::Stats => {
             let guard = shared.repo.read().unwrap_or_else(|e| e.into_inner());
             let stats = guard.stats();
+            let durability = guard.durability();
             Response::Stats(StatsReport {
                 schemas: stats.schemas as u64,
                 cached_pairs: stats.cached_pairs as u64,
@@ -352,6 +364,11 @@ fn handle_request(request: &Request, shared: &Shared<'_>) -> Response {
                 sim_chunks: stats.session.sim_chunks as u64,
                 sim_bytes: stats.session.sim_bytes as u64,
                 requests_served: shared.requests.load(Ordering::Relaxed),
+                journal_records: durability.journal_records,
+                journal_bytes: durability.journal_bytes,
+                replayed_records: durability.replayed_records,
+                compactions: durability.compactions,
+                last_fsync_error: durability.last_fsync_error.unwrap_or_default(),
             })
         }
         Request::Save => {
@@ -367,7 +384,11 @@ fn handle_request(request: &Request, shared: &Shared<'_>) -> Response {
 }
 
 /// Run a schema mutation under the write lock, then apply the autosave
-/// policy while still holding it.
+/// policy while still holding it: the mutation's journal record is
+/// already appended, so autosave is one journal `fsync`
+/// ([`Repository::sync_journal`]) — the response is not written until
+/// the record is durable, which is the guarantee the crash-recovery
+/// suite SIGKILLs daemons to verify.
 fn mutate(
     shared: &Shared<'_>,
     op: impl FnOnce(&mut Repository<'_>) -> Result<Response, cupid_repo::RepoError>,
@@ -383,11 +404,12 @@ fn mutate(
             // The mutation itself already committed, so the client must
             // see success either way — reporting an error here would
             // make a retried AddSchema fail with "already in
-            // repository" for an add that worked. A failed autosave
-            // only loses durability, which the next save (periodic,
-            // explicit, or at shutdown) retries; log it daemon-side.
-            if let Err(e) = guard.save() {
-                eprintln!("cupid-serve: autosave failed (state kept in memory): {e}");
+            // repository" for an add that worked. A failed sync only
+            // loses durability, which the next sync or save retries;
+            // log it daemon-side *and* surface it through the `Stats`
+            // frame's `last_fsync_error` (the repository records it).
+            if let Err(e) = guard.sync_journal() {
+                eprintln!("cupid-serve: journal fsync failed (state kept in memory): {e}");
             }
         }
     }

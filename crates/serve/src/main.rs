@@ -5,7 +5,7 @@
 //! default-stopword thesaurus:
 //!
 //! ```text
-//! cupid-serve <addr> <repo-path> [--max-conns N] [--autosave N]
+//! cupid-serve <addr> <repo-path> [--max-conns N] [--autosave N] [--compact-after N]
 //! ```
 //!
 //! Client mode sends one request to a running daemon and prints the
@@ -27,7 +27,7 @@ use cupid_lexical::Thesaurus;
 use cupid_serve::{ServeClient, ServeOptions, Server};
 
 const USAGE: &str = "usage:
-  cupid-serve <addr> <repo-path> [--max-conns N] [--autosave N]
+  cupid-serve <addr> <repo-path> [--max-conns N] [--autosave N] [--compact-after N]
   cupid-serve --client <addr> <command> [args]
 
 client commands:
@@ -64,6 +64,9 @@ fn run_daemon(args: &[String]) -> Result<(), String> {
             }
             "--autosave" => {
                 options.autosave_every = Some(flag_value(args, &mut i, "--autosave")?);
+            }
+            "--compact-after" => {
+                options.compact_after = Some(flag_value(args, &mut i, "--compact-after")?);
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with('-') => {
@@ -107,6 +110,7 @@ fn run_client(args: &[String]) -> Result<(), String> {
             println!(
                 "schemas {}  cached pairs {}  pairs executed {}\n\
                  vocabulary {} tokens  memoized token pairs {}  memo {} KiB\n\
+                 journal {} records ({} bytes)  replayed {}  compactions {}\n\
                  requests served {}",
                 s.schemas,
                 s.cached_pairs,
@@ -114,8 +118,15 @@ fn run_client(args: &[String]) -> Result<(), String> {
                 s.vocab_size,
                 s.distinct_pairs_computed,
                 s.sim_bytes / 1024,
+                s.journal_records,
+                s.journal_bytes,
+                s.replayed_records,
+                s.compactions,
                 s.requests_served
             );
+            if !s.last_fsync_error.is_empty() {
+                println!("DEGRADED: last fsync error: {}", s.last_fsync_error);
+            }
         }
         ("add", [file]) => {
             let sdl = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;

@@ -67,7 +67,7 @@ pub enum Request {
 }
 
 /// Aggregate daemon counters, as served by [`Request::Stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsReport {
     /// Schemas in the repository.
     pub schemas: u64,
@@ -85,6 +85,19 @@ pub struct StatsReport {
     pub sim_bytes: u64,
     /// Requests the daemon has served since it started.
     pub requests_served: u64,
+    /// Mutation records in the write-ahead journal (fold to 0 at every
+    /// save/compaction; DESIGN.md §10.6).
+    pub journal_records: u64,
+    /// Bytes in the journal file, header included.
+    pub journal_bytes: u64,
+    /// Journal records replayed when the daemon opened the repository.
+    pub replayed_records: u64,
+    /// Times the journal was folded into a snapshot since open.
+    pub compactions: u64,
+    /// The repository's most recent persistence failure, or empty when
+    /// durability is healthy — how autosave degradation reaches
+    /// operators instead of dying in the daemon's stderr.
+    pub last_fsync_error: String,
 }
 
 /// A response the daemon sends back. Every request gets exactly one.
@@ -240,9 +253,14 @@ impl StatsReport {
             self.sim_chunks,
             self.sim_bytes,
             self.requests_served,
+            self.journal_records,
+            self.journal_bytes,
+            self.replayed_records,
+            self.compactions,
         ] {
             w.put_u64(v);
         }
+        w.put_str(&self.last_fsync_error);
     }
 
     fn read_wire(r: &mut WireReader<'_>) -> Result<StatsReport, WireError> {
@@ -255,6 +273,11 @@ impl StatsReport {
             sim_chunks: r.get_u64()?,
             sim_bytes: r.get_u64()?,
             requests_served: r.get_u64()?,
+            journal_records: r.get_u64()?,
+            journal_bytes: r.get_u64()?,
+            replayed_records: r.get_u64()?,
+            compactions: r.get_u64()?,
+            last_fsync_error: r.get_str()?,
         })
     }
 }

@@ -1,0 +1,216 @@
+//! Property suite for the write-ahead journal's on-disk form
+//! (DESIGN.md §10.3), mirroring `serve_protocol.rs` one layer down.
+//!
+//! Three contracts:
+//!
+//! * **Round trip** — every journal record kind (`Add`, `Replace`,
+//!   `Remove`) and the generation header encode → decode to an equal
+//!   value, and a whole journal byte stream scans back in order.
+//! * **Loud rejection, quiet prefix** — flipping any single byte of a
+//!   journal stream, or truncating it anywhere, never produces a wrong
+//!   record: [`scan`] returns exactly the records wholly before the
+//!   damage, reports the stop reason, and `valid_len` points at the end
+//!   of the last intact frame (the truncation point recovery uses).
+//! * **Replay stops at the last valid record** — [`Journal::open`] on a
+//!   damaged file recovers that same prefix, truncates the tail, and a
+//!   second open replays the identical records with no further loss.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use cupid::io::parse_sdl;
+use cupid::model::wire::{JOURNAL_ADD, JOURNAL_HEADER, JOURNAL_REMOVE, JOURNAL_REPLACE};
+use cupid::model::write_frame;
+use cupid::repo::journal::{scan, Journal, JournalHeader, JournalRecord, JOURNAL_VERSION};
+use proptest::prelude::*;
+
+/// A unique, self-cleaning journal location per test case.
+struct TempJournal(PathBuf);
+
+impl TempJournal {
+    fn new() -> Self {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cupid-journal-wire-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempJournal(dir.join("cupid.repo.journal"))
+    }
+}
+
+impl Drop for TempJournal {
+    fn drop(&mut self) {
+        if let Some(dir) = self.0.parent() {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+}
+
+/// A schema derived from drawn identifiers — structure varies with `n`
+/// so content hashes differ across draws.
+fn schema_from(name: &str, attr: &str, n: u64) -> cupid::model::Schema {
+    let mut sdl = format!("schema {name}\n  element E{}\n", n % 5);
+    for i in 0..=(n % 3) {
+        sdl.push_str(&format!("    attr {attr}{i} : int\n"));
+    }
+    parse_sdl(&sdl).unwrap()
+}
+
+/// Every record kind, parameterized by the drawn values.
+fn records(name: &str, attr: &str, n: u64) -> Vec<JournalRecord> {
+    vec![
+        JournalRecord::Add(schema_from(name, attr, n)),
+        JournalRecord::Replace(schema_from(name, attr, n.wrapping_add(1))),
+        JournalRecord::Remove(name.to_string()),
+        JournalRecord::Add(schema_from(attr, name, n.wrapping_add(2))),
+    ]
+}
+
+fn header_from(n: u64) -> JournalHeader {
+    JournalHeader {
+        version: JOURNAL_VERSION,
+        config_fp: n.wrapping_mul(31),
+        thesaurus_fp: n.rotate_left(17),
+        snapshot_id: n ^ 0xD1CE,
+    }
+}
+
+/// Encode a full journal stream; returns the bytes and the end offset
+/// of every frame (header first) — the boundaries recovery may
+/// truncate to.
+fn stream(header: &JournalHeader, records: &[JournalRecord]) -> (Vec<u8>, Vec<usize>) {
+    let mut bytes = Vec::new();
+    let mut ends = Vec::new();
+    write_frame(&mut bytes, JOURNAL_HEADER, &header.encode()).unwrap();
+    ends.push(bytes.len());
+    for record in records {
+        let (kind, payload) = record.encode();
+        write_frame(&mut bytes, kind, &payload).unwrap();
+        ends.push(bytes.len());
+    }
+    (bytes, ends)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// encode → decode is the identity on the header and on every
+    /// record kind, and a whole stream scans back in order.
+    #[test]
+    fn records_round_trip(
+        name in "[A-Za-z][A-Za-z0-9_]{0,8}",
+        attr in "[A-Za-z][A-Za-z0-9_]{0,6}",
+        n in 0u64..u64::MAX,
+    ) {
+        let header = header_from(n);
+        prop_assert_eq!(JournalHeader::decode(&header.encode()).unwrap(), header);
+
+        let all = records(&name, &attr, n);
+        for want in &all {
+            let (kind, payload) = want.encode();
+            prop_assert!(
+                [JOURNAL_ADD, JOURNAL_REPLACE, JOURNAL_REMOVE].contains(&kind),
+                "record kinds stay in the journal range"
+            );
+            let got = JournalRecord::decode(kind, &payload).unwrap();
+            prop_assert_eq!(&got, want);
+        }
+
+        let (bytes, ends) = stream(&header, &all);
+        let s = scan(&bytes);
+        prop_assert_eq!(s.header, Some(header));
+        prop_assert_eq!(&s.records, &all);
+        prop_assert_eq!(s.valid_len as usize, *ends.last().unwrap());
+        prop_assert!(s.stopped.is_none(), "clean stream: {:?}", s.stopped);
+    }
+
+    /// A single flipped byte anywhere in the stream yields exactly the
+    /// records wholly before the damaged frame — never a wrong record —
+    /// and truncation at any offset yields the complete-frame prefix.
+    #[test]
+    fn corruption_recovers_exactly_the_valid_prefix(
+        name in "[A-Za-z][A-Za-z0-9_]{0,8}",
+        attr in "[A-Za-z][A-Za-z0-9_]{0,6}",
+        n in 0u64..u64::MAX,
+        at in 0usize..10_000,
+    ) {
+        let header = header_from(n);
+        let all = records(&name, &attr, n);
+        let (bytes, ends) = stream(&header, &all);
+
+        // Flip one byte: the frame containing it dies, everything
+        // before it survives.
+        let flip = at % bytes.len();
+        let mut broken = bytes.clone();
+        broken[flip] ^= 0x01;
+        let damaged_frame = ends.iter().position(|&end| flip < end).unwrap();
+        let s = scan(&broken);
+        prop_assert!(s.stopped.is_some(), "flip at {} of {} slipped through", flip, bytes.len());
+        if damaged_frame == 0 {
+            prop_assert_eq!(s.header, None, "damaged header is not trusted");
+            prop_assert_eq!(s.records.len(), 0);
+            prop_assert_eq!(s.valid_len, 0);
+        } else {
+            prop_assert_eq!(s.header, Some(header));
+            prop_assert_eq!(&s.records, &all[..damaged_frame - 1]);
+            prop_assert_eq!(s.valid_len as usize, ends[damaged_frame - 1]);
+        }
+
+        // Truncate: complete frames before the cut survive; a cut on a
+        // frame boundary is a clean EOF, anywhere else stops loudly.
+        let cut = at % bytes.len();
+        let s = scan(&bytes[..cut]);
+        let whole = ends.iter().filter(|&&end| end <= cut).count();
+        prop_assert_eq!(s.valid_len as usize, if whole == 0 { 0 } else { ends[whole - 1] });
+        if whole == 0 {
+            prop_assert_eq!(s.header, None);
+            prop_assert_eq!(s.records.len(), 0);
+        } else {
+            prop_assert_eq!(s.header, Some(header));
+            prop_assert_eq!(&s.records, &all[..whole - 1]);
+        }
+        prop_assert_eq!(s.stopped.is_some(), cut != 0 && ends.iter().all(|&end| end != cut));
+    }
+
+    /// File-level replay: `Journal::open` on a damaged journal recovers
+    /// the valid prefix, truncates the tail, and a reopen replays the
+    /// identical records — recovery is idempotent.
+    #[test]
+    fn replay_stops_at_the_last_valid_record(
+        name in "[A-Za-z][A-Za-z0-9_]{0,8}",
+        attr in "[A-Za-z][A-Za-z0-9_]{0,6}",
+        n in 0u64..u64::MAX,
+        at in 0usize..10_000,
+    ) {
+        let header = header_from(n);
+        let all = records(&name, &attr, n);
+        let (bytes, ends) = stream(&header, &all);
+        // Damage a byte past the header so the generation stays
+        // recognizable (a damaged header is the discard path, covered
+        // above and by the unit suite).
+        let flip = ends[0] + at % (bytes.len() - ends[0]);
+        let mut broken = bytes.clone();
+        broken[flip] ^= 0x01;
+        let damaged_frame = ends.iter().position(|&end| flip < end).unwrap();
+
+        let tmp = TempJournal::new();
+        std::fs::write(&tmp.0, &broken).unwrap();
+        let (journal, recovery) = Journal::open(&tmp.0, header).unwrap();
+        prop_assert_eq!(&recovery.records, &all[..damaged_frame - 1]);
+        prop_assert!(recovery.discarded.is_some(), "damage must be reported");
+        prop_assert_eq!(journal.bytes_len() as usize, ends[damaged_frame - 1]);
+        drop(journal);
+        prop_assert_eq!(
+            std::fs::metadata(&tmp.0).unwrap().len() as usize,
+            ends[damaged_frame - 1],
+            "the damaged tail is truncated away"
+        );
+
+        // Idempotent: a second open replays the same prefix cleanly.
+        let (_, again) = Journal::open(&tmp.0, header).unwrap();
+        prop_assert_eq!(&again.records, &all[..damaged_frame - 1]);
+        prop_assert!(again.discarded.is_none(), "second open is clean: {:?}", again.discarded);
+    }
+}

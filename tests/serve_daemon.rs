@@ -11,14 +11,16 @@
 //! responses, and the on-disk single-writer lock held while the daemon
 //! runs.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
 
 use cupid::core::{CupidConfig, MatchSession, MatchSummary};
 use cupid::io::parse_sdl;
 use cupid::lexical::Thesaurus;
 use cupid::model::Schema;
 use cupid::prelude::{RepoError, Repository, ServeClient, ServeOptions, Server};
+use cupid::repo::RepoLock;
 
 /// A unique, self-cleaning snapshot location per test.
 struct TempSnap(PathBuf);
@@ -275,21 +277,193 @@ fn mutations_errors_and_restart() {
     });
 }
 
+/// Process-mode daemon used by [`restart_under_load_loses_no_acked_mutation`]:
+/// a no-op under the normal test run, a real `--autosave 1` daemon when
+/// re-executed with the child environment set. The bound address is
+/// published through an atomically renamed file.
 #[test]
-fn autosave_persists_without_explicit_save() {
+fn daemon_child_entry() {
+    let Ok(snap) = std::env::var("CUPID_DAEMON_CHILD_SNAP") else { return };
+    let addr_file = std::env::var("CUPID_DAEMON_CHILD_ADDR").unwrap();
+    let config = CupidConfig::default();
+    let th = thesaurus();
+    let options = ServeOptions { autosave_every: Some(1), ..ServeOptions::default() };
+    let server = Server::bind("127.0.0.1:0", Path::new(&snap), &config, &th, options).unwrap();
+    let tmp = format!("{addr_file}.tmp");
+    std::fs::write(&tmp, server.local_addr().to_string()).unwrap();
+    std::fs::rename(&tmp, &addr_file).unwrap();
+    server.run().unwrap();
+}
+
+/// Re-execute this test binary as a daemon child and wait for its
+/// address.
+fn spawn_daemon_child(snap: &Path, addr_file: &Path) -> (std::process::Child, String) {
+    std::fs::remove_file(addr_file).ok();
+    let mut child = std::process::Command::new(std::env::current_exe().unwrap())
+        .args(["daemon_child_entry", "--exact", "--nocapture"])
+        .env("CUPID_DAEMON_CHILD_SNAP", snap)
+        .env("CUPID_DAEMON_CHILD_ADDR", addr_file)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .unwrap();
+    let start = std::time::Instant::now();
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(addr_file) {
+            if !addr.is_empty() {
+                return (child, addr);
+            }
+        }
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("daemon child exited before binding: {status}");
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "daemon child never published its address"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// SIGKILL under concurrent load, relaunch on the same path: the new
+/// daemon reclaims the dead process's lock, and every *acknowledged*
+/// mutation survives — with `--autosave 1`, a response is not written
+/// until its journal record is fsynced, so at most each writer's one
+/// unacknowledged request may be lost.
+#[test]
+fn restart_under_load_loses_no_acked_mutation() {
+    let tmp = TempSnap::new();
+    let addr_file = tmp.0.parent().unwrap().join("addr");
+    let (child, addr) = spawn_daemon_child(&tmp.0, &addr_file);
+    let child = std::sync::Mutex::new(child);
+
+    // Three writers on disjoint name spaces plus one reader, while a
+    // killer thread SIGKILLs the daemon mid-stream.
+    let sdl_for = |c: usize, i: usize| {
+        format!("schema W{c}N{i}\n  element Item\n    attr V{i} : int\n    attr Qty : int\n")
+    };
+    let mut acked: Vec<Vec<(String, String)>> = Vec::new(); // (name, sdl) per writer
+    std::thread::scope(|scope| {
+        let killer = scope.spawn(|| {
+            std::thread::sleep(Duration::from_millis(25));
+            child.lock().unwrap().kill().ok();
+        });
+        let reader = {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let Ok(mut client) = ServeClient::connect(addr.as_str()) else { return };
+                // Read load racing the writers; remote errors (unknown
+                // names, severed connection) are part of the weather.
+                loop {
+                    if client.stats().is_err() {
+                        return;
+                    }
+                    if client.match_pair("W0N0", "W1N0").is_err() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            })
+        };
+        let writers: Vec<_> = (0..3)
+            .map(|c| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect(addr.as_str()).unwrap();
+                    let mut acked = Vec::new();
+                    for i in 0..40 {
+                        let sdl = sdl_for(c, i);
+                        match client.add_sdl(&sdl) {
+                            Ok(name) => acked.push((name, sdl)),
+                            Err(_) => break, // the kill severed us
+                        }
+                    }
+                    acked
+                })
+            })
+            .collect();
+        acked = writers.into_iter().map(|w| w.join().unwrap()).collect();
+        killer.join().unwrap();
+        child.lock().unwrap().wait().unwrap();
+        reader.join().unwrap();
+    });
+    let acked_total: usize = acked.iter().map(Vec::len).sum();
+    assert!(acked_total > 0, "some mutations must land before the kill");
+    assert!(
+        RepoLock::lock_path(&tmp.0).exists(),
+        "the killed daemon leaves its advisory lock behind"
+    );
+
+    // Relaunch on the same path: the fresh daemon process reclaims the
+    // dead pid's lock and replays the journal.
+    let (mut child, addr) = spawn_daemon_child(&tmp.0, &addr_file);
+    let mut client = ServeClient::connect(addr.as_str()).unwrap();
+    let stats = client.stats().unwrap();
+    // Each writer may have one unacknowledged add in flight at the kill.
+    let plausible = acked_total as u64..=acked_total as u64 + 3;
+    assert!(
+        plausible.contains(&stats.schemas),
+        "expected {acked_total}..={} schemas after recovery, got {}",
+        acked_total + 3,
+        stats.schemas
+    );
+    assert!(
+        plausible.contains(&stats.replayed_records),
+        "every acked mutation replays from the journal (acked {acked_total}, replayed {})",
+        stats.replayed_records
+    );
+    client.shutdown().unwrap();
+    child.wait().unwrap();
+
+    // Offline content check: every acknowledged add survives with
+    // byte-identical schema content.
+    let config = CupidConfig::default();
+    let th = thesaurus();
+    let repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+    assert_eq!(repo.durability().replayed_records, 0, "shutdown folded the journal");
+    for (name, sdl) in acked.iter().flatten() {
+        let got = repo.schema(name).unwrap_or_else(|| panic!("acked schema `{name}` lost"));
+        assert_eq!(
+            got.content_hash(),
+            parse_sdl(sdl).unwrap().content_hash(),
+            "acked schema `{name}` changed across the crash"
+        );
+    }
+}
+
+#[test]
+fn autosave_journals_mutations_and_snapshots_at_shutdown() {
     let tmp = TempSnap::new();
     let config = CupidConfig::default();
     let th = thesaurus();
-    let options = ServeOptions { autosave_every: Some(2), ..ServeOptions::default() };
+    let options = ServeOptions { autosave_every: Some(1), ..ServeOptions::default() };
     let server = Server::bind("127.0.0.1:0", &tmp.0, &config, &th, options).unwrap();
     let addr = server.local_addr();
+    let journal = cupid::repo::journal::journal_path(&tmp.0);
     std::thread::scope(|scope| {
         scope.spawn(move || server.run().unwrap());
         let mut client = ServeClient::connect(addr).unwrap();
+        let header_only = std::fs::metadata(&journal).unwrap().len();
+
         client.add_sdl(CORPUS_SDL[0]).unwrap();
-        assert!(!tmp.0.exists(), "below the autosave threshold: nothing on disk yet");
+        let after_one = std::fs::metadata(&journal).unwrap().len();
+        assert!(after_one > header_only, "the acked mutation is on disk in the journal");
+        assert!(!tmp.0.exists(), "autosave appends a journal record, not a snapshot rewrite");
+
         client.add_sdl(CORPUS_SDL[1]).unwrap();
-        assert!(tmp.0.exists(), "second mutation crossed autosave_every = 2");
+        assert!(std::fs::metadata(&journal).unwrap().len() > after_one);
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.journal_records, 2);
+        assert!(stats.journal_bytes > 0);
+        assert_eq!(stats.last_fsync_error, "", "healthy daemon reports no fsync error");
+
         client.shutdown().unwrap();
     });
+
+    // Shutdown folded the journal into a snapshot; a direct reopen
+    // loads it without replaying anything.
+    assert!(tmp.0.exists(), "the shutdown save writes the snapshot");
+    let warm = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+    assert!(warm.was_loaded());
+    assert_eq!(warm.len(), 2);
+    assert_eq!(warm.durability().replayed_records, 0, "journal was folded at shutdown");
 }

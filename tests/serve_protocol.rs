@@ -148,6 +148,15 @@ fn responses(a: &str, b: &str, summary: &MatchSummary, n: u64) -> Vec<Response> 
             sim_chunks: n % 97,
             sim_bytes: n.wrapping_mul(32),
             requests_served: n,
+            journal_records: n.rotate_left(9),
+            journal_bytes: n.wrapping_mul(41),
+            replayed_records: n % 13,
+            compactions: n % 7,
+            last_fsync_error: if n % 2 == 0 {
+                String::new()
+            } else {
+                format!("{a}: injected fault {n:#x}")
+            },
         }),
         Response::Saved { bytes: n },
         Response::ShuttingDown,
