@@ -34,9 +34,12 @@
 //! a record tail that fails its frame checksum, truncates mid-frame,
 //! or decodes to garbage ends replay *at the last valid record*, and
 //! the file is truncated back to that point ([`Journal::open`]). A
-//! header that fails to validate discards the whole journal. Either
-//! way the reason is surfaced through `DurabilityStats`, never
-//! silently swallowed.
+//! header that fails to validate — or that names a different matcher
+//! configuration or container version — replays nothing, but the file
+//! is preserved on disk until this handle's first write: only records
+//! provably folded into a published snapshot (the generation-mismatch
+//! case above) are destroyed at open. Either way the reason is
+//! surfaced through `DurabilityStats`, never silently swallowed.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom};
@@ -184,6 +187,12 @@ pub struct Scan {
     pub header: Option<JournalHeader>,
     /// Every record up to the first damage (or the end).
     pub records: Vec<JournalRecord>,
+    /// Byte offset of the end of the header frame (0 when there is no
+    /// valid header).
+    pub header_len: u64,
+    /// Byte offset of the end of each valid record frame, in order —
+    /// `offsets[i]` is the file length that keeps records `0..=i`.
+    pub offsets: Vec<u64>,
     /// Byte offset of the end of the last valid frame — the truncation
     /// point for a damaged tail.
     pub valid_len: u64,
@@ -195,39 +204,32 @@ pub struct Scan {
 /// Scan journal bytes without touching any file — the pure core of
 /// [`Journal::open`], exposed for the corruption property suite.
 pub fn scan(bytes: &[u8]) -> Scan {
+    let headerless = |stopped: Option<String>| Scan {
+        header: None,
+        records: Vec::new(),
+        header_len: 0,
+        offsets: Vec::new(),
+        valid_len: 0,
+        stopped,
+    };
     let mut cur = std::io::Cursor::new(bytes);
     let header = match read_frame(&mut cur) {
-        Ok(None) => return Scan { header: None, records: Vec::new(), valid_len: 0, stopped: None },
+        Ok(None) => return headerless(None),
         Ok(Some((JOURNAL_HEADER, payload))) => match JournalHeader::decode(&payload) {
             Ok(h) => h,
-            Err(e) => {
-                return Scan {
-                    header: None,
-                    records: Vec::new(),
-                    valid_len: 0,
-                    stopped: Some(format!("malformed journal header: {e}")),
-                }
-            }
+            Err(e) => return headerless(Some(format!("malformed journal header: {e}"))),
         },
         Ok(Some((kind, _))) => {
-            return Scan {
-                header: None,
-                records: Vec::new(),
-                valid_len: 0,
-                stopped: Some(format!("first frame has kind {kind:#04x}, not a journal header")),
-            }
+            return headerless(Some(format!(
+                "first frame has kind {kind:#04x}, not a journal header"
+            )))
         }
-        Err(e) => {
-            return Scan {
-                header: None,
-                records: Vec::new(),
-                valid_len: 0,
-                stopped: Some(format!("unreadable journal header: {e}")),
-            }
-        }
+        Err(e) => return headerless(Some(format!("unreadable journal header: {e}"))),
     };
-    let mut valid_len = cur.position();
+    let header_len = cur.position();
+    let mut valid_len = header_len;
     let mut records = Vec::new();
+    let mut offsets = Vec::new();
     let stopped = loop {
         match read_frame(&mut cur) {
             Ok(None) => break None,
@@ -235,13 +237,14 @@ pub fn scan(bytes: &[u8]) -> Scan {
                 Ok(r) => {
                     records.push(r);
                     valid_len = cur.position();
+                    offsets.push(valid_len);
                 }
                 Err(e) => break Some(e),
             },
             Err(e) => break Some(e.to_string()),
         }
     };
-    Scan { header: Some(header), records, valid_len, stopped }
+    Scan { header: Some(header), records, header_len, offsets, valid_len, stopped }
 }
 
 /// What [`Journal::open`] recovered (and gave up on).
@@ -249,11 +252,30 @@ pub fn scan(bytes: &[u8]) -> Scan {
 pub struct Recovery {
     /// Records to replay on top of the snapshot, in append order.
     pub records: Vec<JournalRecord>,
-    /// Why records (or the whole journal) were discarded, if anything
-    /// was: a damaged tail past the last valid record, or a header
-    /// naming a different snapshot generation. `None` on a fully clean
-    /// open.
+    /// Why records (or the whole journal) were not replayed, if
+    /// anything was skipped: a damaged tail past the last valid record,
+    /// a header naming a different snapshot generation, or a header
+    /// from a different configuration/version (preserved on disk, not
+    /// replayed). `None` on a fully clean open.
     pub discarded: Option<String>,
+    /// Byte offset of the end of the header frame in the opened file.
+    header_len: u64,
+    /// End offset of each replayed record frame, in order.
+    offsets: Vec<u64>,
+}
+
+impl Recovery {
+    /// The file length that keeps exactly the first `applied` records
+    /// (`0` keeps just the header) — the truncation point when a
+    /// frame-valid record turns out not to *apply* to the snapshot
+    /// state at replay.
+    pub fn keep_len(&self, applied: usize) -> u64 {
+        if applied == 0 {
+            self.header_len
+        } else {
+            self.offsets[applied - 1]
+        }
+    }
 }
 
 /// An open journal file, positioned for appends.
@@ -263,19 +285,32 @@ pub struct Journal {
     file: File,
     records: u64,
     bytes: u64,
+    /// A reset-to-this-header deferred until the first write: the file
+    /// still holds another generation's (or configuration's) bytes,
+    /// which a handle that never mutates must not destroy.
+    pending: Option<JournalHeader>,
 }
 
 impl Journal {
     /// Open the journal at `path` against the snapshot generation
-    /// described by `header`, replaying what matches and discarding
-    /// what does not:
+    /// described by `header`, replaying what matches and skipping what
+    /// does not:
     ///
     /// * no file / empty file → start a fresh journal (not noteworthy);
     /// * valid header equal to `header` → replay every valid record; a
     ///   damaged tail is truncated off the file and reported;
-    /// * anything else (damaged header, different snapshot id, other
-    ///   fingerprints or version) → the whole journal is discarded and
-    ///   restarted, with the reason reported.
+    /// * same version and fingerprints but a different snapshot id —
+    ///   the trace of a crash between snapshot publish and journal
+    ///   reset → the journal is discarded and restarted eagerly (its
+    ///   records are provably folded into the snapshot that was
+    ///   published), with the reason reported;
+    /// * anything else (damaged header, other fingerprints or version)
+    ///   → nothing is replayed, but the file is **preserved on disk**
+    ///   and the truncating reset is deferred to the first append or
+    ///   [`Journal::reset`]: an accidental open with the wrong
+    ///   configuration must not destroy another configuration's
+    ///   durable tail (mirroring how a stale snapshot survives until
+    ///   the first save).
     pub fn open(path: &Path, header: JournalHeader) -> std::io::Result<(Journal, Recovery)> {
         let bytes = match std::fs::read(path) {
             Ok(b) => b,
@@ -284,25 +319,57 @@ impl Journal {
         };
         let scan = scan(&bytes);
         if scan.header != Some(header) {
+            // Records folded into a published snapshot are the only
+            // thing that is provably safe to destroy at open.
+            let generation_only = scan.header.is_some_and(|h| {
+                h.version == header.version
+                    && h.config_fp == header.config_fp
+                    && h.thesaurus_fp == header.thesaurus_fp
+            });
             let discarded = match scan.header {
                 None if bytes.is_empty() => None,
                 None => Some(
                     scan.stopped
-                        .map(|s| format!("journal discarded: {s}"))
-                        .unwrap_or_else(|| "journal discarded: no header".to_string()),
+                        .map(|s| format!("journal not replayed: {s} (file preserved)"))
+                        .unwrap_or_else(|| "journal not replayed: no header".to_string()),
                 ),
-                Some(h) if h.snapshot_id != header.snapshot_id => Some(format!(
+                Some(h) if generation_only => Some(format!(
                     "journal discarded: extends snapshot {:#x}, current is {:#x} \
                      (crash between snapshot publish and journal reset; records \
                      already folded in)",
                     h.snapshot_id, header.snapshot_id
                 )),
-                Some(_) => {
-                    Some("journal discarded: header version or fingerprints differ".to_string())
-                }
+                Some(_) => Some(
+                    "journal not replayed: header version or fingerprints differ \
+                     (file preserved; reset deferred to the first write)"
+                        .to_string(),
+                ),
             };
-            let journal = Journal::create(path, header)?;
-            return Ok((journal, Recovery { records: Vec::new(), discarded }));
+            if generation_only || bytes.is_empty() {
+                let journal = Journal::create(path, header)?;
+                let header_len = journal.bytes;
+                return Ok((
+                    journal,
+                    Recovery { records: Vec::new(), discarded, header_len, offsets: Vec::new() },
+                ));
+            }
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(path)?;
+            let journal = Journal {
+                path: path.to_path_buf(),
+                file,
+                records: 0,
+                bytes: 0,
+                pending: Some(header),
+            };
+            return Ok((
+                journal,
+                Recovery { records: Vec::new(), discarded, header_len: 0, offsets: Vec::new() },
+            ));
         }
         let discarded = scan
             .stopped
@@ -319,8 +386,15 @@ impl Journal {
             file,
             records: scan.records.len() as u64,
             bytes: scan.valid_len,
+            pending: None,
         };
-        Ok((journal, Recovery { records: scan.records, discarded }))
+        let recovery = Recovery {
+            records: scan.records,
+            discarded,
+            header_len: scan.header_len,
+            offsets: scan.offsets,
+        };
+        Ok((journal, recovery))
     }
 
     /// Start a fresh journal at `path` (truncating anything there) with
@@ -328,7 +402,8 @@ impl Journal {
     pub fn create(path: &Path, header: JournalHeader) -> std::io::Result<Journal> {
         let file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
-        let mut journal = Journal { path: path.to_path_buf(), file, records: 0, bytes: 0 };
+        let mut journal =
+            Journal { path: path.to_path_buf(), file, records: 0, bytes: 0, pending: None };
         journal.restart(header)?;
         Ok(journal)
     }
@@ -336,7 +411,9 @@ impl Journal {
     /// Truncate the file and write a fresh fsynced header — the
     /// "journal folded into snapshot" step of save/compaction.
     pub fn reset(&mut self, header: JournalHeader) -> std::io::Result<()> {
-        self.restart(header)
+        self.restart(header)?;
+        self.pending = None;
+        Ok(())
     }
 
     fn restart(&mut self, header: JournalHeader) -> std::io::Result<()> {
@@ -355,10 +432,30 @@ impl Journal {
         Ok(())
     }
 
+    /// Truncate the journal back to `len` bytes / `records` records —
+    /// the recovery step when a frame-valid suffix fails to *apply* at
+    /// replay. Leaving such a suffix in place would strand every later
+    /// append behind a record that can never replay.
+    pub fn truncate_to(&mut self, len: u64, records: u64) -> std::io::Result<()> {
+        self.file.set_len(len)?;
+        self.file.seek(SeekFrom::Start(len))?;
+        self.file.sync_all()?;
+        self.records = records;
+        self.bytes = len;
+        Ok(())
+    }
+
     /// Append one record frame. **Not** a durability point by itself —
     /// call [`Journal::sync`] to make everything appended so far
-    /// survive a crash.
+    /// survive a crash. A deferred reset from [`Journal::open`] (the
+    /// file held another configuration's bytes) is performed first, so
+    /// the preserved foreign tail survives exactly until this handle
+    /// commits its first record.
     pub fn append(&mut self, record: &JournalRecord) -> std::io::Result<()> {
+        if let Some(h) = self.pending {
+            self.restart(h)?;
+            self.pending = None;
+        }
         let (kind, payload) = record.encode();
         let mut buf = Vec::new();
         write_frame(&mut buf, kind, &payload).map_err(|e| std::io::Error::other(e.to_string()))?;
@@ -512,18 +609,86 @@ mod tests {
     }
 
     #[test]
-    fn garbage_and_foreign_files_are_discarded_loudly() {
+    fn garbage_and_foreign_files_are_skipped_loudly_but_preserved() {
         let path = temp_journal();
         std::fs::write(&path, b"not a journal at all").unwrap();
-        let (_, recovery) = Journal::open(&path, header(3)).unwrap();
+        let (j, recovery) = Journal::open(&path, header(3)).unwrap();
         assert!(recovery.records.is_empty());
-        assert!(recovery.discarded.unwrap().contains("journal discarded"));
+        assert!(recovery.discarded.unwrap().contains("journal not replayed"));
+        // Unrecognizable bytes are not replayed, but they are not
+        // destroyed either while this handle never writes.
+        drop(j);
+        assert_eq!(std::fs::read(&path).unwrap(), b"not a journal at all");
         // A lone valid non-header frame is not a journal either.
         let mut buf = Vec::new();
         write_frame(&mut buf, JOURNAL_ADD, b"xx").unwrap();
         std::fs::write(&path, &buf).unwrap();
         let scanned = scan(&std::fs::read(&path).unwrap());
         assert!(scanned.stopped.unwrap().contains("not a journal header"));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn mismatched_fingerprints_defer_reset_until_first_write() {
+        let path = temp_journal();
+        {
+            let mut j = Journal::create(&path, header(1)).unwrap();
+            j.append(&JournalRecord::Add(schema("A", "Qty"))).unwrap();
+            j.sync().unwrap();
+        }
+        let before = std::fs::read(&path).unwrap();
+        // An accidental open under a different matcher configuration:
+        // nothing replays, and — crucially — nothing is destroyed.
+        let foreign = JournalHeader {
+            version: JOURNAL_VERSION,
+            config_fp: 99,
+            thesaurus_fp: 22,
+            snapshot_id: 1,
+        };
+        {
+            let (j, recovery) = Journal::open(&path, foreign).unwrap();
+            assert!(recovery.records.is_empty());
+            assert!(recovery.discarded.unwrap().contains("fingerprints differ"));
+            assert_eq!(j.records(), 0);
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), before, "foreign open must not write");
+        // The rightful configuration still replays the preserved tail.
+        let (_, recovery) = Journal::open(&path, header(1)).unwrap();
+        assert_eq!(recovery.records.len(), 1);
+        assert!(recovery.discarded.is_none());
+        // The first append under the foreign header performs the
+        // deferred reset: the file now belongs to the new generation.
+        let (mut j, _) = Journal::open(&path, foreign).unwrap();
+        j.append(&JournalRecord::Add(schema("B", "Qty"))).unwrap();
+        j.sync().unwrap();
+        assert_eq!(j.records(), 1);
+        drop(j);
+        let (_, recovery) = Journal::open(&path, foreign).unwrap();
+        assert_eq!(recovery.records.len(), 1);
+        assert!(recovery.discarded.is_none());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn truncate_to_drops_a_non_applying_suffix() {
+        let path = temp_journal();
+        let mut j = Journal::create(&path, header(1)).unwrap();
+        j.append(&JournalRecord::Add(schema("A", "Qty"))).unwrap();
+        j.append(&JournalRecord::Add(schema("B", "Qty"))).unwrap();
+        j.sync().unwrap();
+        drop(j);
+        let (mut j, recovery) = Journal::open(&path, header(1)).unwrap();
+        assert_eq!(recovery.records.len(), 2);
+        // Keep only the first record, as replay does when the second
+        // fails to apply; appends after the cut stay replayable.
+        j.truncate_to(recovery.keep_len(1), 1).unwrap();
+        assert_eq!(j.records(), 1);
+        j.append(&JournalRecord::Add(schema("C", "Qty"))).unwrap();
+        j.sync().unwrap();
+        drop(j);
+        let (_, again) = Journal::open(&path, header(1)).unwrap();
+        assert_eq!(again.records.len(), 2);
+        assert!(again.discarded.is_none());
         cleanup(&path);
     }
 }

@@ -308,6 +308,13 @@ pub struct Repository<'a> {
     compactions: u64,
     last_fsync_error: Option<String>,
     replay_discarded: Option<String>,
+    /// Set when a snapshot published but both the journal reset *and*
+    /// the from-scratch recreate failed: the journal header still names
+    /// the old generation, so anything appended would be discarded
+    /// wholesale at the next open. While set, appends are held in
+    /// memory only and [`Repository::sync_journal`] fails loudly; a
+    /// later successful [`Repository::save`] clears it.
+    journal_broken: bool,
     /// Held for the whole handle lifetime; released on drop.
     #[allow(dead_code)]
     lock: RepoLock,
@@ -380,7 +387,7 @@ impl<'a> Repository<'a> {
             snapshot_id: bytes.as_deref().map(fnv1a).unwrap_or(0),
         };
         let journal_file = journal::journal_path(&path);
-        let (journal, recovery) = Journal::open(&journal_file, header)
+        let (journal, mut recovery) = Journal::open(&journal_file, header)
             .map_err(|e| RepoError::Io { path: journal_file, message: e.to_string() })?;
         let mut repo = Repository {
             path,
@@ -400,7 +407,8 @@ impl<'a> Repository<'a> {
             replayed_records: 0,
             compactions: 0,
             last_fsync_error: None,
-            replay_discarded: recovery.discarded,
+            replay_discarded: recovery.discarded.take(),
+            journal_broken: false,
             lock,
         };
         if let Some(state) = state {
@@ -424,13 +432,20 @@ impl<'a> Repository<'a> {
                     // not apply (e.g. adding a name the state already
                     // holds) means the journal does not actually extend
                     // this state; keep the valid prefix, report the
-                    // rest.
+                    // rest — and cut the file back to that prefix, or
+                    // every later append would sit behind a record that
+                    // can never replay and be unreachable at every
+                    // subsequent open.
                     let note =
                         format!("replay stopped after {} records: {e}", repo.replayed_records);
                     repo.replay_discarded = Some(match repo.replay_discarded.take() {
                         Some(prev) => format!("{prev}; {note}"),
                         None => note,
                     });
+                    let keep = recovery.keep_len(repo.replayed_records as usize);
+                    if let Err(te) = repo.journal.truncate_to(keep, repo.replayed_records) {
+                        repo.last_fsync_error = Some(format!("journal truncate: {te}"));
+                    }
                     break;
                 }
             }
@@ -535,8 +550,20 @@ impl<'a> Repository<'a> {
     /// handle is durable once this returns — the cheap per-mutation
     /// durability point the daemon's autosave uses in place of a full
     /// snapshot rewrite. On failure the error is also recorded in
-    /// [`Repository::durability`]'s `last_fsync_error`.
+    /// [`Repository::durability`]'s `last_fsync_error`. Fails without
+    /// syncing while the journal generation is broken (a snapshot
+    /// published but the journal could not be re-headed): an fsync of a
+    /// file the next open will discard wholesale must not be
+    /// acknowledged as durability.
     pub fn sync_journal(&mut self) -> Result<(), RepoError> {
+        if self.journal_broken {
+            return Err(RepoError::Io {
+                path: self.journal.path().to_path_buf(),
+                message: "journal generation broken (reset failed after snapshot publish); \
+                          mutations are not journal-durable until a save succeeds"
+                    .to_string(),
+            });
+        }
         self.journal.sync().map_err(|e| {
             let message = e.to_string();
             self.last_fsync_error = Some(format!("journal fsync: {message}"));
@@ -568,9 +595,35 @@ impl<'a> Repository<'a> {
     /// already committed and still saveable — but the degradation is
     /// recorded for [`Repository::durability`].
     fn journal_append(&mut self, record: JournalRecord) {
+        self.journal_append_raw(record);
+        self.maybe_compact();
+    }
+
+    /// The append half of [`Repository::journal_append`], without the
+    /// compaction check. Batch mutators journal **all** their records
+    /// first and run the threshold check once: a compaction firing
+    /// mid-batch would fold the whole batch (already in memory) into
+    /// the snapshot and then append the remaining records to the new
+    /// journal generation, where they describe mutations the snapshot
+    /// already holds — at replay the first of them fails to apply and
+    /// everything after it is unreachable.
+    fn journal_append_raw(&mut self, record: JournalRecord) {
+        if self.journal_broken {
+            self.last_fsync_error = Some(
+                "journal generation broken (reset failed); mutation held in memory \
+                 only until the next save"
+                    .to_string(),
+            );
+            return;
+        }
         if let Err(e) = self.journal.append(&record) {
             self.last_fsync_error = Some(format!("journal append: {e}"));
         }
+    }
+
+    /// Fold the journal into a fresh snapshot if it crossed the
+    /// compaction threshold.
+    fn maybe_compact(&mut self) {
         if let Some(limit) = self.compact_after {
             if self.journal.records() >= limit {
                 if let Err(e) = self.save() {
@@ -619,8 +672,9 @@ impl<'a> Repository<'a> {
         }
         self.dirty = true;
         for s in schemas {
-            self.journal_append(JournalRecord::Add(s.clone()));
+            self.journal_append_raw(JournalRecord::Add(s.clone()));
         }
+        self.maybe_compact();
         Ok(())
     }
 
@@ -902,6 +956,7 @@ impl<'a> Repository<'a> {
         };
         match self.journal.reset(header) {
             Ok(()) => {
+                self.journal_broken = false;
                 if had_records {
                     self.compactions += 1;
                 }
@@ -913,10 +968,25 @@ impl<'a> Repository<'a> {
                 // degradation and try once to restart the file cleanly.
                 self.last_fsync_error = Some(format!("journal reset: {e}"));
                 let journal_file = self.journal.path().to_path_buf();
-                if let Ok(j) = Journal::create(&journal_file, header) {
-                    self.journal = j;
-                    if had_records {
-                        self.compactions += 1;
+                match Journal::create(&journal_file, header) {
+                    Ok(j) => {
+                        self.journal = j;
+                        self.journal_broken = false;
+                        if had_records {
+                            self.compactions += 1;
+                        }
+                    }
+                    Err(e2) => {
+                        // Both the reset and the recreate failed: the
+                        // file's header still names the old generation,
+                        // so every record appended now would be
+                        // discarded wholesale at the next open. Stop
+                        // appending and fail sync_journal until a later
+                        // save restores a valid header — acknowledging
+                        // doomed appends as durable would be silent
+                        // data loss.
+                        self.journal_broken = true;
+                        self.last_fsync_error = Some(format!("journal reset: {e}; recreate: {e2}"));
                     }
                 }
             }
@@ -1471,5 +1541,148 @@ mod tests {
         let d = warm.durability();
         assert_eq!(d.replayed_records, 1);
         assert!(d.replay_discarded.unwrap().contains("truncated after 1 records"));
+    }
+
+    #[test]
+    fn add_corpus_with_threshold_compaction_survives_reopen() {
+        // A compaction threshold small enough to fire mid-batch: the
+        // batch must journal all its records before the threshold check
+        // runs, or the records after the compaction point would
+        // describe mutations already folded into the snapshot and turn
+        // every later reopen into silent data loss.
+        let tmp = TempRepo::new();
+        let config = CupidConfig::default();
+        let th = Thesaurus::with_default_stopwords();
+        let extra = schema("S4", "Extra", &[("Qty", DataType::Int)]);
+        {
+            let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+            repo.set_compact_after(Some(2));
+            repo.add_corpus(&corpus()).unwrap();
+            let d = repo.durability();
+            assert_eq!(d.compactions, 1, "the batch compacts once, after all appends");
+            assert_eq!(d.journal_records, 0, "every batch record folded into the snapshot");
+            // Mutations after the batch land in the fresh journal and
+            // must stay replayable.
+            repo.add(&extra).unwrap();
+            repo.sync_journal().unwrap();
+        }
+        let warm = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        assert_eq!(warm.names(), ["S0", "S1", "S2", "S3", "S4"]);
+        let d = warm.durability();
+        assert!(d.replay_discarded.is_none(), "clean replay: {:?}", d.replay_discarded);
+        assert_eq!(d.replayed_records, 1);
+    }
+
+    #[test]
+    fn wrong_config_open_preserves_journal_tail() {
+        let tmp = TempRepo::new();
+        let config = CupidConfig::default();
+        let th = Thesaurus::with_default_stopwords();
+        {
+            let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+            repo.add(&corpus()[0]).unwrap();
+            repo.save().unwrap();
+            repo.add(&corpus()[1]).unwrap();
+            repo.sync_journal().unwrap();
+        }
+        // An accidental open with a different matcher configuration
+        // reports the snapshot stale and replays nothing — and, as long
+        // as it never mutates, destroys nothing either.
+        let mut other = CupidConfig::default();
+        other.th_accept = 0.45;
+        {
+            let repo = Repository::open_or_create(&tmp.0, &other, &th).unwrap();
+            assert!(repo.recovered_stale().is_some());
+            assert!(repo.is_empty());
+            assert!(repo.durability().replay_discarded.unwrap().contains("fingerprints differ"));
+        }
+        // The rightful configuration recovers the fsynced tail intact.
+        let warm = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        assert_eq!(warm.names(), ["S0", "S1"]);
+        assert_eq!(warm.durability().replayed_records, 1);
+    }
+
+    #[test]
+    fn non_applying_replay_suffix_is_cut_so_later_appends_replay() {
+        let tmp = TempRepo::new();
+        let config = CupidConfig::default();
+        let th = Thesaurus::with_default_stopwords();
+        {
+            let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+            repo.add(&corpus()[0]).unwrap();
+            repo.save().unwrap();
+        }
+        // Forge a journal whose first record cannot apply (S0 is
+        // already in the snapshot) followed by one that could have: the
+        // double-journal shape a buggy writer or a partial restore
+        // leaves behind.
+        let journal_file = journal::journal_path(&tmp.0);
+        let header = JournalHeader {
+            version: JOURNAL_VERSION,
+            config_fp: config.fingerprint(),
+            thesaurus_fp: th.fingerprint(),
+            snapshot_id: fnv1a(&std::fs::read(&tmp.0).unwrap()),
+        };
+        {
+            let (mut j, _) = Journal::open(&journal_file, header).unwrap();
+            j.append(&JournalRecord::Add(corpus()[0].clone())).unwrap();
+            j.append(&JournalRecord::Add(corpus()[1].clone())).unwrap();
+            j.sync().unwrap();
+        }
+        let extra = schema("S4", "Extra", &[("Qty", DataType::Int)]);
+        {
+            let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+            assert_eq!(repo.names(), ["S0"], "replay stops at the non-applying record");
+            let d = repo.durability();
+            assert!(d.replay_discarded.unwrap().contains("replay stopped after 0 records"));
+            assert_eq!(d.journal_records, 0, "the dead suffix is cut from the file");
+            // Appends after the cut form a replayable sequence instead
+            // of sitting forever behind the non-applying record.
+            repo.add(&extra).unwrap();
+            repo.sync_journal().unwrap();
+        }
+        let warm = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        assert_eq!(warm.names(), ["S0", "S4"]);
+        let d = warm.durability();
+        assert_eq!(d.replayed_records, 1);
+        assert!(d.replay_discarded.is_none(), "clean replay: {:?}", d.replay_discarded);
+    }
+
+    #[test]
+    fn broken_journal_generation_fails_sync_until_save_heals_it() {
+        let config = CupidConfig::default();
+        let th = Thesaurus::with_default_stopwords();
+        let tmp = TempRepo::new();
+        let marker = tmp.0.parent().unwrap().file_name().unwrap().to_str().unwrap();
+        let mut repo = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        repo.add(&corpus()[0]).unwrap();
+        // Fail both the in-place reset and the from-scratch recreate
+        // that save() attempts after publishing the snapshot.
+        for _ in 0..2 {
+            fault::arm(fault::Fault {
+                point: fault::FaultPoint::JournalReset,
+                path_contains: marker.to_string(),
+                skip: 0,
+                action: fault::FaultAction::Error,
+            });
+        }
+        repo.save().unwrap();
+        assert!(repo.durability().last_fsync_error.unwrap().contains("recreate"));
+        // The journal header still names the old generation: a sync
+        // acknowledgment now would be a durability lie, because the
+        // next open discards the whole file as a generation mismatch.
+        repo.add(&corpus()[1]).unwrap();
+        assert!(repo.sync_journal().is_err(), "broken generation must fail sync loudly");
+        assert!(repo.durability().last_fsync_error.unwrap().contains("journal generation broken"));
+        // A later successful save restores a valid header and full
+        // journal durability.
+        repo.save().unwrap();
+        repo.add(&corpus()[2]).unwrap();
+        repo.sync_journal().unwrap();
+        drop(repo);
+        fault::disarm(marker);
+        let warm = Repository::open_or_create(&tmp.0, &config, &th).unwrap();
+        assert_eq!(warm.names(), ["S0", "S1", "S2"]);
+        assert_eq!(warm.durability().replayed_records, 1, "S2 replays from the healed journal");
     }
 }
