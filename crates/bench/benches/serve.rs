@@ -1,5 +1,6 @@
-//! Daemon throughput (DESIGN.md §9.5): requests/sec against a warm
-//! 32-schema corpus, at 1, 2 and 4 concurrent client threads.
+//! Daemon throughput (DESIGN.md §9.5, §11): requests/sec against a
+//! warm 32-schema corpus, at 1, 2 and 4 concurrent client threads,
+//! unary and batched.
 //!
 //! One daemon serves the whole benchmark from a snapshot in which
 //! every pair summary is already cached — the interactive steady state
@@ -100,6 +101,46 @@ fn bench_serve(c: &mut Criterion) {
                     black_box(served)
                 })
             });
+            // Same worklist as the unary leg, shipped as ONE batch
+            // frame per client per iteration: the round-trip and the
+            // read-lock/memo-clone amortization the batch path buys.
+            let worklists: Vec<Vec<(String, String)>> = (0..clients)
+                .map(|w| {
+                    (0..REQUESTS / clients)
+                        .map(|r| {
+                            let i = (w * 7 + r * 3) % names.len();
+                            let j = (i + 1 + (r % (names.len() - 1))) % names.len();
+                            let (i, j) = if i < j { (i, j) } else { (j, i) };
+                            (names[i].clone(), names[j].clone())
+                        })
+                        .collect()
+                })
+                .collect();
+            g.bench_function(format!("match_pair_batched/clients{clients}"), |b| {
+                b.iter(|| {
+                    let served = std::thread::scope(|s| {
+                        let handles: Vec<_> = pool
+                            .iter()
+                            .zip(&worklists)
+                            .map(|(slot, pairs)| {
+                                s.spawn(move || {
+                                    let mut client = slot.lock().unwrap_or_else(|e| e.into_inner());
+                                    let entries = client.match_pairs(pairs).expect("batch");
+                                    let mut served = 0usize;
+                                    for entry in entries {
+                                        let summary = entry.expect("entry ok");
+                                        served += 1;
+                                        black_box(summary.best_wsim());
+                                    }
+                                    served
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().expect("client")).sum::<usize>()
+                    });
+                    black_box(served)
+                })
+            });
             g.bench_function(format!("top_k/clients{clients}"), |b| {
                 b.iter(|| {
                     let served = std::thread::scope(|s| {
@@ -132,6 +173,7 @@ fn bench_serve(c: &mut Criterion) {
     criterion::set_context("schemas", SCHEMAS);
     criterion::set_context("leaves_per_schema", LEAVES);
     criterion::set_context("match_pair_requests_per_iter", REQUESTS);
+    criterion::set_context("match_pair_batched_requests_per_iter", REQUESTS);
     criterion::set_context("top_k_requests_per_iter", REQUESTS / 8);
     criterion::set_context("top_k_k", 3);
 

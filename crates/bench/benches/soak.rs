@@ -1,0 +1,191 @@
+//! Soak harness (DESIGN.md §11.4): replay hundreds of thousands of
+//! batched requests from dozens of simulated clients against one
+//! resident daemon, and report tail latency, not just the mean.
+//!
+//! The replay runs once, outside the criterion timing loop — a soak is
+//! a *population* measurement, so its output is the latency histogram
+//! (p50/p99/p999 per batch frame, client-side) and sustained req/s,
+//! recorded into `BENCH_soak.json` through the shim's `context` block.
+//! Every client thread records each frame round-trip into its own
+//! [`cupid_serve::LatencyHistogram`] and the per-client snapshots fold
+//! together with [`cupid_serve::KindLatency::merge`] — the same
+//! fixed-bucket log2 histograms the daemon keeps per request kind, so
+//! the client-observed tail can be compared directly against the
+//! daemon-side `batch` histogram fetched through the `Stats` frame
+//! (both are reported). A small `soak/batched_frame` benchmark then
+//! times a single 64-entry batch round-trip so the JSON also carries a
+//! conventional mean for trend lines.
+//!
+//! Under `--smoke` (CI) the replay shrinks to a few hundred requests;
+//! smoke runs record nothing, exactly like every other bench.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cupid_corpus::synthetic::{generate, SyntheticConfig};
+use cupid_eval::configs;
+use cupid_model::Schema;
+use cupid_repo::Repository;
+use cupid_serve::{KindLatency, LatencyHistogram, ServeOptions, ServePool, Server};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SCHEMAS: usize = 32;
+const LEAVES: usize = 24;
+/// Entries per batch frame.
+const BATCH: usize = 64;
+
+/// Smoke mode: bench binary run directly, or `--smoke` passed (the CI
+/// flag) — mirrors the criterion shim's own detection so the replay
+/// sizes itself before the harness takes over.
+fn smoke() -> bool {
+    !std::env::args().any(|a| a == "--bench") || std::env::args().any(|a| a == "--smoke")
+}
+
+/// (clients, frames per client): ~300k requests measured, a few
+/// hundred in smoke mode.
+fn soak_shape() -> (usize, usize) {
+    if smoke() {
+        (4, 2)
+    } else {
+        (24, 200)
+    }
+}
+
+fn corpus() -> Vec<Schema> {
+    let mut out = Vec::with_capacity(SCHEMAS);
+    for seed in 0..(SCHEMAS as u64 / 2) {
+        let pair = generate(&SyntheticConfig::sized(LEAVES, 1000 + seed));
+        for (half, mut s) in [("a", pair.source), ("b", pair.target)] {
+            s.rename(format!("S{seed}{half}"));
+            out.push(s);
+        }
+    }
+    out
+}
+
+fn bench_soak(c: &mut Criterion) {
+    let cfg = configs::synthetic();
+    let th = generate(&SyntheticConfig::sized(LEAVES, 1000)).thesaurus;
+    let corpus = corpus();
+    let names: Vec<String> = corpus.iter().map(|s| s.name().to_string()).collect();
+    let dir = std::env::temp_dir().join(format!("cupid-bench-soak-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snap = dir.join("warm.repo");
+    {
+        let mut repo = Repository::open_or_create(&snap, &cfg, &th).expect("open");
+        repo.add_corpus(&corpus).expect("corpus prepares");
+        repo.match_all_pairs();
+        repo.save().expect("snapshot");
+    }
+
+    let (clients, frames_per_client) = soak_shape();
+    let total_requests = clients * frames_per_client * BATCH;
+    // Per-client worklists over the cached pair space, offset per
+    // client so the daemon sees interleaved, not identical, streams.
+    let worklist_for = |w: usize| -> Vec<(String, String)> {
+        (0..BATCH)
+            .map(|r| {
+                let i = (w * 7 + r * 3) % names.len();
+                let j = (i + 1 + (r % (names.len() - 1))) % names.len();
+                let (i, j) = if i < j { (i, j) } else { (j, i) };
+                (names[i].clone(), names[j].clone())
+            })
+            .collect()
+    };
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &snap,
+        &cfg,
+        &th,
+        ServeOptions { max_connections: clients + 8, ..ServeOptions::default() },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        scope.spawn(move || server.run().expect("daemon run"));
+        let pool = ServePool::new(addr.to_string(), clients);
+
+        // The replay: every client hammers batch frames, recording each
+        // round-trip into its own histogram (no shared state on the hot
+        // path).
+        let started = Instant::now();
+        let merged = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|w| {
+                    let pool = &pool;
+                    let pairs = worklist_for(w);
+                    s.spawn(move || {
+                        let mut client = pool.checkout().expect("checkout");
+                        let frame_latency = LatencyHistogram::new();
+                        for _ in 0..frames_per_client {
+                            let frame_start = Instant::now();
+                            let entries = client.match_pairs(&pairs).expect("batch");
+                            frame_latency.record(frame_start.elapsed());
+                            black_box(entries.len());
+                        }
+                        frame_latency.snapshot("client_batch_frame")
+                    })
+                })
+                .collect();
+            let mut merged = KindLatency::empty("client_batch_frame");
+            for h in handles {
+                merged.merge(&h.join().expect("soak client"));
+            }
+            merged
+        });
+        let elapsed = started.elapsed();
+
+        // Daemon-side view of the same load, through the Stats frame.
+        let daemon_batch = {
+            let mut client = pool.checkout().expect("checkout");
+            let stats = client.stats().expect("stats");
+            stats
+                .latencies
+                .iter()
+                .find(|l| l.kind == "batch")
+                .cloned()
+                .unwrap_or_else(|| KindLatency::empty("batch"))
+        };
+
+        if !smoke() {
+            let req_per_s = total_requests as f64 / elapsed.as_secs_f64();
+            criterion::set_context("soak_clients", clients);
+            criterion::set_context("soak_batch_entries", BATCH);
+            criterion::set_context("soak_total_requests", total_requests);
+            criterion::set_context("soak_elapsed_s", format!("{:.3}", elapsed.as_secs_f64()));
+            criterion::set_context("soak_req_per_s", format!("{req_per_s:.0}"));
+            criterion::set_context("soak_frame_p50_ns", merged.quantile_ns(0.50));
+            criterion::set_context("soak_frame_p99_ns", merged.quantile_ns(0.99));
+            criterion::set_context("soak_frame_p999_ns", merged.quantile_ns(0.999));
+            criterion::set_context("soak_frame_mean_ns", merged.mean_ns());
+            criterion::set_context("daemon_batch_p50_ns", daemon_batch.quantile_ns(0.50));
+            criterion::set_context("daemon_batch_p99_ns", daemon_batch.quantile_ns(0.99));
+            criterion::set_context("daemon_batch_p999_ns", daemon_batch.quantile_ns(0.999));
+            criterion::set_context("daemon_batch_count", daemon_batch.count);
+        }
+
+        // A conventional timed leg so the JSON carries a mean to trend:
+        // one 64-entry batch frame, single client.
+        let mut g = c.benchmark_group("soak");
+        g.sample_size(10);
+        let pairs = worklist_for(0);
+        let mut client = pool.checkout().expect("checkout");
+        g.bench_function("batched_frame", |b| {
+            b.iter(|| {
+                let entries = client.match_pairs(&pairs).expect("batch");
+                black_box(entries.len())
+            })
+        });
+        g.finish();
+        drop(client);
+
+        pool.checkout().expect("connect").shutdown().expect("shutdown");
+    });
+
+    criterion::set_context("schemas", SCHEMAS);
+    criterion::set_context("leaves_per_schema", LEAVES);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_soak);
+criterion_main!(benches);

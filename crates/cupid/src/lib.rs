@@ -81,5 +81,8 @@ pub mod prelude {
         expand, DataType, ElementId, ElementKind, ExpandOptions, Schema, SchemaBuilder, SchemaTree,
     };
     pub use cupid_repo::{CupidRepositoryExt, DiscoveryIndex, RepoError, Repository};
-    pub use cupid_serve::{CupidServeExt, ServeClient, ServeError, ServeOptions, Server};
+    pub use cupid_serve::{
+        ClientBuilder, CupidServeExt, PooledClient, ServeClient, ServeError, ServeOptions,
+        ServePool, Server,
+    };
 }

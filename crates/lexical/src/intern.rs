@@ -326,12 +326,19 @@ impl SimStore {
                     *slot = Some(theirs);
                 }
                 Some(ours) => {
+                    // Flat branchless select over the chunk: each slot
+                    // takes the other store's value iff ours is a NaN
+                    // hole and theirs is not, counting fills as flag
+                    // arithmetic — no data-dependent branch per slot,
+                    // so the pass vectorizes over the 4 KiB chunks that
+                    // dominate shard merges.
+                    let mut filled = 0usize;
                     for (o, t) in ours.iter_mut().zip(theirs.iter()) {
-                        if o.is_nan() && !t.is_nan() {
-                            *o = *t;
-                            self.computed += 1;
-                        }
+                        let take = o.is_nan() && !t.is_nan();
+                        *o = if take { *t } else { *o };
+                        filled += usize::from(take);
                     }
+                    self.computed += filled;
                 }
             }
         }

@@ -270,6 +270,12 @@ impl From<std::io::Error> for FrameError {
 ///
 /// The checksum makes corruption on the stream loud: a reader never
 /// hands a damaged payload to a decoder.
+///
+/// The whole frame — header, payload, checksum — is serialized into
+/// one buffer and written with a single `write_all`. On a nodelay
+/// socket, three separate writes are three syscalls and up to three
+/// packets per frame; one write is one of each, and the daemon's wire
+/// path sends a frame per request.
 pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), FrameError> {
     if payload.len() > MAX_FRAME_PAYLOAD {
         return Err(FrameError::Malformed(format!(
@@ -277,13 +283,13 @@ pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), F
             payload.len()
         )));
     }
-    let mut header = [0u8; 9];
-    header[..4].copy_from_slice(&FRAME_MAGIC);
-    header[4] = kind;
-    header[5..9].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-    w.write_all(&header)?;
-    w.write_all(payload)?;
-    w.write_all(&frame_checksum(kind, payload).to_le_bytes())?;
+    let mut frame = Vec::with_capacity(9 + payload.len() + 8);
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.push(kind);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame.extend_from_slice(&frame_checksum(kind, payload).to_le_bytes());
+    w.write_all(&frame)?;
     w.flush()?;
     Ok(())
 }
@@ -294,43 +300,44 @@ pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), F
 /// connection *between* frames); end-of-stream anywhere inside a frame
 /// is an [`FrameError::Io`].
 pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
-    let mut magic = [0u8; 4];
+    let mut header = [0u8; 9];
     // Hand-read the first byte so "peer hung up before the next frame"
     // (normal) is distinguishable from "stream died mid-frame" (error).
     loop {
-        match r.read(&mut magic[..1]) {
+        match r.read(&mut header[..1]) {
             Ok(0) => return Ok(None),
             Ok(_) => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
-    r.read_exact(&mut magic[1..])?;
-    if magic != FRAME_MAGIC {
-        return Err(FrameError::Malformed(format!("bad magic {magic:02x?}")));
+    // The remaining 8 header bytes (magic tail, kind, length) come in
+    // one read_exact instead of three — the read-side mirror of
+    // write_frame's single buffered write.
+    r.read_exact(&mut header[1..])?;
+    if header[..4] != FRAME_MAGIC {
+        return Err(FrameError::Malformed(format!("bad magic {:02x?}", &header[..4])));
     }
-    let mut kind = [0u8; 1];
-    r.read_exact(&mut kind)?;
-    let mut len = [0u8; 4];
-    r.read_exact(&mut len)?;
-    let len = u32::from_le_bytes(len) as usize;
+    let kind = header[4];
+    let len = u32::from_le_bytes(header[5..9].try_into().expect("4 header bytes")) as usize;
     if len > MAX_FRAME_PAYLOAD {
         return Err(FrameError::Malformed(format!(
             "payload length {len} exceeds the {MAX_FRAME_PAYLOAD}-byte frame cap"
         )));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    let mut checksum = [0u8; 8];
-    r.read_exact(&mut checksum)?;
-    let stored = u64::from_le_bytes(checksum);
-    let actual = frame_checksum(kind[0], &payload);
+    // Payload and trailing checksum in one read as well, then split.
+    let mut body = vec![0u8; len + 8];
+    r.read_exact(&mut body)?;
+    let stored = u64::from_le_bytes(body[len..].try_into().expect("8 checksum bytes"));
+    body.truncate(len);
+    let payload = body;
+    let actual = frame_checksum(kind, &payload);
     if stored != actual {
         return Err(FrameError::Malformed(format!(
             "checksum mismatch: stored {stored:#x}, actual {actual:#x}"
         )));
     }
-    Ok(Some((kind[0], payload)))
+    Ok(Some((kind, payload)))
 }
 
 /// The checksum a frame carries: FNV-1a over the kind byte followed by
@@ -360,6 +367,21 @@ pub const JOURNAL_ADD: u8 = 0x41;
 pub const JOURNAL_REPLACE: u8 = 0x42;
 /// Journal record: a schema was removed (payload: its name).
 pub const JOURNAL_REMOVE: u8 = 0x43;
+
+// --- daemon batch frame kinds -----------------------------------------
+//
+// The daemon's batched wire path (`cupid-serve`, DESIGN.md §11) ships a
+// whole worklist of read-side requests in one checksummed frame and
+// answers with per-entry statuses in one frame back. The kind codes
+// live here with the rest of the workspace kind-space bookkeeping:
+// 0x09 extends the request block (0x01..=0x08), 0x8A extends the
+// response block (0x81..=0x89), and both stay disjoint from the
+// journal's 0x4_ block.
+
+/// Batched request frame: a worklist of MatchPair/TopK/Stats entries.
+pub const BATCH_REQUEST: u8 = 0x09;
+/// Batched response frame: one status (result or error) per entry.
+pub const BATCH_RESPONSE: u8 = 0x8A;
 
 const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;

@@ -104,20 +104,7 @@ impl DiscoveryIndex {
         if denom == 0 {
             return 0.0;
         }
-        // both sorted: linear merge intersection
-        let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
-        while i < ta.len() && j < tb.len() {
-            match ta[i].cmp(&tb[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    inter += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        2.0 * inter as f64 / denom as f64
+        2.0 * intersection(ta, tb) as f64 / denom as f64
     }
 
     /// The top-k candidate schemas for a query schema, scored by
@@ -125,23 +112,32 @@ impl DiscoveryIndex {
     /// retrieval is deterministic). The query itself is excluded.
     /// One sweep over the query's posting lists — `O(Σ posting length)`,
     /// independent of the number of non-overlapping schemas.
+    ///
+    /// Overlap counts accumulate into a dense `Vec<u32>` indexed by
+    /// schema: the posting sweep becomes a plain increment (no tree
+    /// walk, no per-hit query check — the query's own slot is zeroed
+    /// once afterwards), and scanning the dense array in ascending
+    /// index order visits candidates exactly as the old
+    /// `BTreeMap<u32, usize>` iteration did, so scores and tie order
+    /// are unchanged.
     pub fn candidates(&self, query: usize, k: usize) -> Vec<Candidate> {
-        let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut counts: Vec<u32> = vec![0; self.len()];
         for t in &self.tokens[query] {
             if let Some(list) = self.postings.get(t) {
                 for &s in list {
-                    if s as usize != query {
-                        *counts.entry(s).or_default() += 1;
-                    }
+                    counts[s as usize] += 1;
                 }
             }
         }
+        counts[query] = 0;
         let qlen = self.tokens[query].len();
         let mut out: Vec<Candidate> = counts
-            .into_iter()
-            .map(|(s, inter)| {
-                let denom = qlen + self.tokens[s as usize].len();
-                Candidate { schema: s as usize, score: 2.0 * inter as f64 / denom as f64 }
+            .iter()
+            .enumerate()
+            .filter(|(_, &inter)| inter > 0)
+            .map(|(s, &inter)| {
+                let denom = qlen + self.tokens[s].len();
+                Candidate { schema: s, score: 2.0 * inter as f64 / denom as f64 }
             })
             .collect();
         out.sort_by(|x, y| {
@@ -170,6 +166,25 @@ impl DiscoveryIndex {
         pairs.dedup();
         pairs
     }
+}
+
+/// `|A ∩ B|` of two sorted, deduplicated id slices. The classic
+/// three-way-`match` merge is a pipeline of unpredictable branches; on
+/// sets with interleaved ids every step mispredicts. This form advances
+/// each cursor by a comparison *flag* and counts equality the same way
+/// — three flag computations per step, no branch on the comparison
+/// outcome (the loop bound is the only branch), which the optimizer
+/// lowers to straight-line flag arithmetic. Equivalence to the scalar
+/// merge is proven in the test module.
+fn intersection(a: &[TokenId], b: &[TokenId]) -> usize {
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        inter += usize::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+    }
+    inter
 }
 
 #[cfg(test)]
@@ -232,6 +247,49 @@ mod tests {
         for w in pairs.windows(2) {
             assert!(w[0] < w[1]);
         }
+    }
+
+    #[test]
+    fn branchless_intersection_matches_scalar_merge() {
+        use cupid_lexical::{SimClass, TokenTable};
+        // The pre-restructuring three-way-`match` merge.
+        fn reference(a: &[TokenId], b: &[TokenId]) -> usize {
+            let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        inter += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            inter
+        }
+        let mut table = TokenTable::new();
+        let ids: Vec<TokenId> =
+            (0..64).map(|n| table.intern(SimClass::Word, &format!("tok{n}"))).collect();
+        let mut state = 0x243f6a8885a308d3u64;
+        let subset = |state: &mut u64| -> Vec<TokenId> {
+            ids.iter()
+                .copied()
+                .filter(|_| {
+                    *state ^= *state << 13;
+                    *state ^= *state >> 7;
+                    *state ^= *state << 17;
+                    *state % 3 == 0
+                })
+                .collect() // interned in ascending order, so already sorted
+        };
+        for _ in 0..50 {
+            let a = subset(&mut state);
+            let b = subset(&mut state);
+            assert_eq!(intersection(&a, &b), reference(&a, &b), "{a:?} ∩ {b:?}");
+        }
+        assert_eq!(intersection(&[], &ids), 0);
+        assert_eq!(intersection(&ids, &ids), ids.len());
     }
 
     #[test]

@@ -41,10 +41,34 @@ use std::sync::{Mutex, RwLock};
 
 use cupid_core::{CupidConfig, MatchSummary};
 use cupid_lexical::Thesaurus;
-use cupid_repo::{Repository, SharedBatch, SharedMatch};
+use cupid_repo::{RepoError, Repository, SharedBatch, SharedMatch};
 
-use crate::protocol::{Request, Response, StatsReport};
+use crate::histogram::LatencyHistogram;
+use crate::protocol::{BatchItem, BatchOutcome, Request, Response, StatsReport};
 use crate::ServeError;
+
+/// Request-kind labels of the per-kind latency histograms, in recorder
+/// order (`Shared::latencies` is indexed by [`latency_kind`]). The
+/// three schema mutations share one "mutate" histogram — they share the
+/// same write-lock + journal path, so their latency profile is one
+/// conversation.
+const LATENCY_KINDS: [&str; 7] =
+    ["mutate", "match_pair", "top_k", "stats", "save", "batch", "shutdown"];
+
+/// Which histogram a request records into.
+fn latency_kind(request: &Request) -> usize {
+    match request {
+        Request::AddSchema { .. }
+        | Request::ReplaceSchema { .. }
+        | Request::RemoveSchema { .. } => 0,
+        Request::MatchPair { .. } => 1,
+        Request::TopK { .. } => 2,
+        Request::Stats => 3,
+        Request::Save => 4,
+        Request::Batch { .. } => 5,
+        Request::Shutdown => 6,
+    }
+}
 
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone)]
@@ -95,6 +119,8 @@ struct Shared<'a> {
     requests: AtomicU64,
     mutations: AtomicU64,
     connections: Mutex<Connections>,
+    /// Per-request-kind latency recorders, indexed by [`latency_kind`].
+    latencies: [LatencyHistogram; LATENCY_KINDS.len()],
 }
 
 /// A bound, not-yet-running match daemon. [`Server::bind`] opens the
@@ -142,6 +168,7 @@ impl<'a> Server<'a> {
                 requests: AtomicU64::new(0),
                 mutations: AtomicU64::new(0),
                 connections: Mutex::new(Connections::default()),
+                latencies: std::array::from_fn(|_| LatencyHistogram::new()),
             },
         })
     }
@@ -263,7 +290,9 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared<'_>) {
             }
         };
         shared.requests.fetch_add(1, Ordering::Relaxed);
+        let started = std::time::Instant::now();
         let response = handle_request(&request, shared);
+        shared.latencies[latency_kind(&request)].record(started.elapsed());
         if matches!(response, Response::ShuttingDown) {
             // Commit to the shutdown *before* the response write: a
             // client that dies after sending Shutdown must still stop
@@ -353,24 +382,9 @@ fn handle_request(request: &Request, shared: &Shared<'_>) -> Response {
         }
         Request::Stats => {
             let guard = shared.repo.read().unwrap_or_else(|e| e.into_inner());
-            let stats = guard.stats();
-            let durability = guard.durability();
-            Response::Stats(StatsReport {
-                schemas: stats.schemas as u64,
-                cached_pairs: stats.cached_pairs as u64,
-                pairs_executed: stats.pairs_executed as u64,
-                vocab_size: stats.session.vocab_size as u64,
-                distinct_pairs_computed: stats.session.distinct_pairs_computed as u64,
-                sim_chunks: stats.session.sim_chunks as u64,
-                sim_bytes: stats.session.sim_bytes as u64,
-                requests_served: shared.requests.load(Ordering::Relaxed),
-                journal_records: durability.journal_records,
-                journal_bytes: durability.journal_bytes,
-                replayed_records: durability.replayed_records,
-                compactions: durability.compactions,
-                last_fsync_error: durability.last_fsync_error.unwrap_or_default(),
-            })
+            Response::Stats(stats_report(&guard, shared))
         }
+        Request::Batch { items } => batch_dispatch(items, shared),
         Request::Save => {
             let mut guard = shared.repo.write().unwrap_or_else(|e| e.into_inner());
             if let Err(e) = guard.save() {
@@ -381,6 +395,164 @@ fn handle_request(request: &Request, shared: &Shared<'_>) -> Response {
         }
         Request::Shutdown => Response::ShuttingDown,
     }
+}
+
+/// Build the `Stats` payload from a repository read guard plus the
+/// daemon counters (shared by the unary `Stats` arm and batch `Stats`
+/// entries).
+fn stats_report(guard: &Repository<'_>, shared: &Shared<'_>) -> StatsReport {
+    let stats = guard.stats();
+    let durability = guard.durability();
+    StatsReport {
+        schemas: stats.schemas as u64,
+        cached_pairs: stats.cached_pairs as u64,
+        pairs_executed: stats.pairs_executed as u64,
+        vocab_size: stats.session.vocab_size as u64,
+        distinct_pairs_computed: stats.session.distinct_pairs_computed as u64,
+        sim_chunks: stats.session.sim_chunks as u64,
+        sim_bytes: stats.session.sim_bytes as u64,
+        requests_served: shared.requests.load(Ordering::Relaxed),
+        journal_records: durability.journal_records,
+        journal_bytes: durability.journal_bytes,
+        replayed_records: durability.replayed_records,
+        compactions: durability.compactions,
+        last_fsync_error: durability.last_fsync_error.unwrap_or_default(),
+        latencies: LATENCY_KINDS
+            .iter()
+            .zip(&shared.latencies)
+            .map(|(k, h)| h.snapshot(k))
+            .collect(),
+    }
+}
+
+/// A batch entry after the resolve pass: either already answerable, or
+/// waiting on a slot in the batch's shared pair worklist.
+enum Pending {
+    /// Resolved without pair execution (cached pair, stats, or a
+    /// per-entry error).
+    Ready(Result<BatchOutcome, String>),
+    /// An uncached `MatchPair` whose summary is `worklist[work]`.
+    Pair { source: String, target: String, work: usize },
+    /// A `TopK` listing with `None` holes to be filled from the
+    /// worklist (`slots` maps hole position → worklist index).
+    TopK { names: Vec<String>, summaries: Vec<Option<MatchSummary>>, slots: Vec<(usize, usize)> },
+}
+
+/// Add a pair to the batch worklist once, returning its index — entries
+/// repeating a pair (or a `TopK` overlapping a `MatchPair`) share one
+/// execution.
+fn enqueue(
+    worklist: &mut Vec<(usize, usize)>,
+    dedup: &mut BTreeMap<(usize, usize), usize>,
+    pair: (usize, usize),
+) -> usize {
+    *dedup.entry(pair).or_insert_with(|| {
+        worklist.push(pair);
+        worklist.len() - 1
+    })
+}
+
+/// Execute a whole batch under **one** read-lock acquisition: resolve
+/// every entry against the same corpus snapshot, run the deduplicated
+/// uncached pairs over one warm memo clone
+/// ([`Repository::execute_pairs_shared`]), publish with one `absorb`,
+/// then splice the summaries back into per-entry outcomes. A bad entry
+/// (unknown schema name) fails alone — its slot carries the same error
+/// string the unary path would return, and every other entry completes.
+fn batch_dispatch(items: &[BatchItem], shared: &Shared<'_>) -> Response {
+    let guard = shared.repo.read().unwrap_or_else(|e| e.into_inner());
+    let position: BTreeMap<&str, usize> =
+        guard.names().iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let mut worklist: Vec<(usize, usize)> = Vec::new();
+    let mut dedup: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut pending: Vec<Pending> = Vec::with_capacity(items.len());
+    for item in items {
+        let entry = match item {
+            BatchItem::MatchPair { source, target } => {
+                // Same resolution order as the unary path, so the error
+                // for an unknown source (even with the target also
+                // unknown) is byte-identical to `match_pair_shared`'s.
+                match (
+                    position.get(source.as_str()).copied(),
+                    position.get(target.as_str()).copied(),
+                ) {
+                    (None, _) => {
+                        Pending::Ready(Err(RepoError::UnknownName(source.clone()).to_string()))
+                    }
+                    (_, None) => {
+                        Pending::Ready(Err(RepoError::UnknownName(target.clone()).to_string()))
+                    }
+                    (Some(i), Some(j)) => match guard.cached_pair_at(i, j) {
+                        Some(summary) => Pending::Ready(Ok(BatchOutcome::Matched {
+                            source: source.clone(),
+                            target: target.clone(),
+                            summary,
+                        })),
+                        None => Pending::Pair {
+                            source: source.clone(),
+                            target: target.clone(),
+                            work: enqueue(&mut worklist, &mut dedup, (i, j)),
+                        },
+                    },
+                }
+            }
+            BatchItem::TopK { k } => {
+                let names = guard.names().to_vec();
+                let pairs = guard.discovery_index().top_k_pairs(*k as usize);
+                let mut summaries: Vec<Option<MatchSummary>> = Vec::with_capacity(pairs.len());
+                let mut slots = Vec::new();
+                for &(i, j) in &pairs {
+                    match guard.cached_pair_at(i, j) {
+                        Some(s) => summaries.push(Some(s)),
+                        None => {
+                            slots.push((
+                                summaries.len(),
+                                enqueue(&mut worklist, &mut dedup, (i, j)),
+                            ));
+                            summaries.push(None);
+                        }
+                    }
+                }
+                Pending::TopK { names, summaries, slots }
+            }
+            BatchItem::Stats => {
+                Pending::Ready(Ok(BatchOutcome::Stats(stats_report(&guard, shared))))
+            }
+        };
+        pending.push(entry);
+    }
+    let batch = (!worklist.is_empty()).then(|| guard.execute_pairs_shared(&worklist));
+    drop(guard);
+    let executed: Vec<MatchSummary> = match batch {
+        Some(batch) => {
+            let summaries = batch.summaries().cloned().collect();
+            absorb(shared, batch);
+            summaries
+        }
+        None => Vec::new(),
+    };
+    let entries = pending
+        .into_iter()
+        .map(|p| match p {
+            Pending::Ready(entry) => entry,
+            Pending::Pair { source, target, work } => {
+                Ok(BatchOutcome::Matched { source, target, summary: executed[work].clone() })
+            }
+            Pending::TopK { names, mut summaries, slots } => {
+                for (slot, work) in slots {
+                    summaries[slot] = Some(executed[work].clone());
+                }
+                Ok(BatchOutcome::TopKList {
+                    names,
+                    summaries: summaries
+                        .into_iter()
+                        .map(|s| s.expect("every slot filled"))
+                        .collect(),
+                })
+            }
+        })
+        .collect();
+    Response::Batch { entries }
 }
 
 /// Run a schema mutation under the write lock, then apply the autosave

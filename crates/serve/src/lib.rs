@@ -25,19 +25,32 @@
 //!   `RemoveSchema` (SDL payloads, incremental re-match underneath),
 //!   `MatchPair`, `TopK` discovery, `Stats`, `Save`, `Shutdown`.
 //! * **[`ServeClient`]** — the blocking client library the CLI, the
-//!   tests, the bench and the example all drive the daemon with.
+//!   tests, the bench and the example all drive the daemon with, with
+//!   connect/read timeouts via [`ClientBuilder`] and transport-error
+//!   poisoning (a desynchronized stream refuses reuse).
+//! * **Batch frames** (DESIGN.md §11) — one checksummed frame carries
+//!   a worklist of [`BatchItem`]s, answered under a single read lock
+//!   with one warm memo clone; each entry succeeds or fails alone.
+//!   [`ServePool`] adds a capped, lazily dialed connection pool whose
+//!   checkin evicts poisoned connections, and
+//!   [`ServeClient::match_pairs`] / [`ServeClient::top_k_many`] wrap
+//!   the common worklists.
+//! * **Latency histograms** ([`histogram`]) — fixed-bucket log2
+//!   histograms per request kind, snapshotted into the `Stats` frame
+//!   as [`KindLatency`] with p50/p99/p999 on the reading side.
 //!
 //! Responses are bit-identical to direct in-process calls — the wire
 //! format ships `f64`s by bit pattern, and pair execution is a pure
 //! function of schema content — which `tests/serve_daemon.rs` proves
-//! with N concurrent clients against a [`cupid_core::MatchSession`].
+//! with N concurrent clients against a [`cupid_core::MatchSession`],
+//! batched against unary included.
 //!
 //! ## Quick start
 //!
 //! ```
 //! use cupid_core::Cupid;
 //! use cupid_lexical::Thesaurus;
-//! use cupid_serve::{CupidServeExt, ServeClient};
+//! use cupid_serve::{CupidServeExt, ServeClient, ServePool};
 //!
 //! let dir = std::env::temp_dir().join(format!("cupid-serve-doc-{}", std::process::id()));
 //! let cupid = Cupid::new(Thesaurus::parse("abbrev Qty = quantity").unwrap());
@@ -51,6 +64,11 @@
 //!     client.add_sdl("schema Order\n  element Item\n    attr Quantity : int\n").unwrap();
 //!     let summary = client.match_pair("PO", "Order").unwrap();
 //!     assert!(summary.has_leaf_mapping("PO.Item.Qty", "Order.Item.Quantity"));
+//!     // Worklists go out as ONE batch frame, through a pooled client.
+//!     let pool = ServePool::new(addr.to_string(), 2);
+//!     let entries = pool.checkout().unwrap()
+//!         .match_pairs(&[("PO", "Order"), ("Order", "PO")]).unwrap();
+//!     assert!(entries.iter().all(|e| e.is_ok()));
 //!     client.shutdown().unwrap();
 //! });
 //! # std::fs::remove_dir_all(&dir).ok();
@@ -69,11 +87,13 @@ use cupid_repo::RepoError;
 
 mod client;
 mod daemon;
+pub mod histogram;
 pub mod protocol;
 
-pub use client::{ServeClient, TopKListing};
+pub use client::{ClientBuilder, PooledClient, ServeClient, ServePool, TopKListing};
 pub use daemon::{ServeOptions, Server};
-pub use protocol::{Request, Response, StatsReport};
+pub use histogram::{KindLatency, LatencyHistogram, LATENCY_BUCKETS};
+pub use protocol::{BatchItem, BatchOutcome, Request, Response, StatsReport};
 
 /// Errors of the daemon subsystem (server, client, CLI).
 #[derive(Debug)]

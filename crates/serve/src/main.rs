@@ -93,6 +93,18 @@ fn run_daemon(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Render nanoseconds with a unit the eye can scan in a table:
+/// sub-microsecond stays in ns, sub-millisecond in µs, the rest in ms.
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    }
+}
+
 fn flag_value(args: &[String], i: &mut usize, flag: &str) -> Result<u64, String> {
     *i += 1;
     args.get(*i).and_then(|v| v.parse().ok()).ok_or_else(|| format!("{flag} needs a numeric value"))
@@ -126,6 +138,25 @@ fn run_client(args: &[String]) -> Result<(), String> {
             );
             if !s.last_fsync_error.is_empty() {
                 println!("DEGRADED: last fsync error: {}", s.last_fsync_error);
+            }
+            let served: Vec<_> = s.latencies.iter().filter(|l| l.count > 0).collect();
+            if !served.is_empty() {
+                println!("latency (per request kind, log2 buckets):");
+                println!(
+                    "  {:<12} {:>9} {:>10} {:>10} {:>10} {:>10}",
+                    "kind", "count", "mean", "p50", "p99", "p999"
+                );
+                for l in served {
+                    println!(
+                        "  {:<12} {:>9} {:>10} {:>10} {:>10} {:>10}",
+                        l.kind,
+                        l.count,
+                        fmt_ns(l.mean_ns()),
+                        fmt_ns(l.quantile_ns(0.50)),
+                        fmt_ns(l.quantile_ns(0.99)),
+                        fmt_ns(l.quantile_ns(0.999))
+                    );
+                }
             }
         }
         ("add", [file]) => {

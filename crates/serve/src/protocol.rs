@@ -5,9 +5,13 @@
 //! message discriminator, the payload is the message body in the
 //! workspace's hand-rolled wire format ([`WireWriter`]/[`WireReader`]
 //! — little-endian integers, `f64` by bits, length-prefixed UTF-8).
-//! Requests use kinds `0x01..=0x08`; responses set the high bit
-//! (`0x81..=0x89`), so a stray response on a request stream (or vice
-//! versa) is rejected as an unknown kind rather than mis-decoded.
+//! Requests use kinds `0x01..=0x09`; responses set the high bit
+//! (`0x81..=0x8A`), so a stray response on a request stream (or vice
+//! versa) is rejected as an unknown kind rather than mis-decoded. The
+//! batch kinds (`0x09`/`0x8A`, DESIGN.md §11) carry a worklist of
+//! read-side requests — [`BatchItem`] entries in, per-entry
+//! [`BatchOutcome`]-or-error statuses out — so one frame round-trip
+//! amortizes across many requests.
 //!
 //! Schema payloads travel as SDL text (`cupid-io`'s schema description
 //! language), the reproduction's native review/exchange format — the
@@ -24,7 +28,10 @@
 use std::io::{Read, Write};
 
 use cupid_core::MatchSummary;
+use cupid_model::wire::{BATCH_REQUEST, BATCH_RESPONSE};
 use cupid_model::{read_frame, write_frame, FrameError, WireError, WireReader, WireWriter};
+
+use crate::histogram::KindLatency;
 
 /// A request a client sends to the daemon.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +71,59 @@ pub enum Request {
     Save,
     /// Stop accepting connections and exit after a final save.
     Shutdown,
+    /// A worklist of read-side requests in one frame (DESIGN.md §11).
+    /// The daemon answers with [`Response::Batch`], one status per
+    /// entry in order: a bad entry fails alone, the rest still serve.
+    Batch {
+        /// The worklist, executed under one read-lock acquisition.
+        items: Vec<BatchItem>,
+    },
+}
+
+/// One entry of a [`Request::Batch`] worklist. Only read-side requests
+/// batch — mutations stay unary so each keeps its own durability
+/// acknowledgment (DESIGN.md §10.4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchItem {
+    /// Match one stored pair by name ([`Request::MatchPair`]).
+    MatchPair {
+        /// Source schema name.
+        source: String,
+        /// Target schema name.
+        target: String,
+    },
+    /// Index-pruned top-`k` discovery ([`Request::TopK`]).
+    TopK {
+        /// Candidates kept per schema.
+        k: u32,
+    },
+    /// Repository and session counters ([`Request::Stats`]).
+    Stats,
+}
+
+/// The successful result of one [`BatchItem`]; mirrors the unary
+/// response variant of the same request kind, so batched and unary
+/// results compare bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOutcome {
+    /// [`BatchItem::MatchPair`] result ([`Response::Matched`]).
+    Matched {
+        /// Source schema name, echoed back.
+        source: String,
+        /// Target schema name, echoed back.
+        target: String,
+        /// The match result, bit-identical to the unary path.
+        summary: MatchSummary,
+    },
+    /// [`BatchItem::TopK`] result ([`Response::TopKList`]).
+    TopKList {
+        /// Schema names, in repository order.
+        names: Vec<String>,
+        /// Executed candidate pairs' summaries.
+        summaries: Vec<MatchSummary>,
+    },
+    /// [`BatchItem::Stats`] result ([`Response::Stats`]).
+    Stats(StatsReport),
 }
 
 /// Aggregate daemon counters, as served by [`Request::Stats`].
@@ -98,6 +158,10 @@ pub struct StatsReport {
     /// durability is healthy — how autosave degradation reaches
     /// operators instead of dying in the daemon's stderr.
     pub last_fsync_error: String,
+    /// Per-request-kind latency histograms (log2 buckets; DESIGN.md
+    /// §11), one entry per kind the daemon records, in the daemon's
+    /// fixed kind order.
+    pub latencies: Vec<KindLatency>,
 }
 
 /// A response the daemon sends back. Every request gets exactly one.
@@ -150,6 +214,13 @@ pub enum Response {
         /// Human-readable failure description.
         message: String,
     },
+    /// The result of a [`Request::Batch`]: one status per worklist
+    /// entry, in order. An `Err` entry carries the failure message and
+    /// fails alone — the other entries still carry their results.
+    Batch {
+        /// Per-entry statuses, in worklist order.
+        entries: Vec<Result<BatchOutcome, String>>,
+    },
 }
 
 // Frame kind codes. Append-only, like every enum code in the wire
@@ -172,6 +243,18 @@ const RESP_STATS: u8 = 0x86;
 const RESP_SAVED: u8 = 0x87;
 const RESP_SHUTTING_DOWN: u8 = 0x88;
 const RESP_ERROR: u8 = 0x89;
+// Batch frame kinds live in `cupid_model::wire` with the rest of the
+// workspace kind-space bookkeeping (0x09 request / 0x8A response).
+
+// Inner tag bytes of batch worklist entries and their statuses
+// (same append-only discipline as frame kinds).
+const ITEM_MATCH_PAIR: u8 = 0x01;
+const ITEM_TOP_K: u8 = 0x02;
+const ITEM_STATS: u8 = 0x03;
+const ENTRY_ERR: u8 = 0x00;
+const ENTRY_MATCHED: u8 = 0x01;
+const ENTRY_TOP_K: u8 = 0x02;
+const ENTRY_STATS: u8 = 0x03;
 
 impl Request {
     /// Encode into (frame kind, payload bytes).
@@ -202,6 +285,13 @@ impl Request {
             Request::Stats => REQ_STATS,
             Request::Save => REQ_SAVE,
             Request::Shutdown => REQ_SHUTDOWN,
+            Request::Batch { items } => {
+                w.put_len(items.len());
+                for item in items {
+                    item.write_wire(&mut w);
+                }
+                BATCH_REQUEST
+            }
         };
         (kind, w.into_bytes())
     }
@@ -219,6 +309,14 @@ impl Request {
             REQ_STATS => Request::Stats,
             REQ_SAVE => Request::Save,
             REQ_SHUTDOWN => Request::Shutdown,
+            BATCH_REQUEST => {
+                let n = r.get_len()?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(BatchItem::read_wire(&mut r)?);
+                }
+                Request::Batch { items }
+            }
             other => return Err(r.err(format!("unknown request kind {other:#04x}"))),
         };
         r.finish()?;
@@ -242,6 +340,102 @@ impl Request {
     }
 }
 
+impl BatchItem {
+    fn write_wire(&self, w: &mut WireWriter) {
+        match self {
+            BatchItem::MatchPair { source, target } => {
+                w.put_u8(ITEM_MATCH_PAIR);
+                w.put_str(source);
+                w.put_str(target);
+            }
+            BatchItem::TopK { k } => {
+                w.put_u8(ITEM_TOP_K);
+                w.put_u32(*k);
+            }
+            BatchItem::Stats => w.put_u8(ITEM_STATS),
+        }
+    }
+
+    fn read_wire(r: &mut WireReader<'_>) -> Result<BatchItem, WireError> {
+        Ok(match r.get_u8()? {
+            ITEM_MATCH_PAIR => BatchItem::MatchPair { source: r.get_str()?, target: r.get_str()? },
+            ITEM_TOP_K => BatchItem::TopK { k: r.get_u32()? },
+            ITEM_STATS => BatchItem::Stats,
+            other => return Err(r.err(format!("unknown batch item tag {other:#04x}"))),
+        })
+    }
+}
+
+/// Shared TopK listing body (the unary response and the batch outcome
+/// carry the same shape).
+fn write_top_k(w: &mut WireWriter, names: &[String], summaries: &[MatchSummary]) {
+    w.put_len(names.len());
+    for n in names {
+        w.put_str(n);
+    }
+    w.put_len(summaries.len());
+    for s in summaries {
+        s.write_wire(w);
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn read_top_k(r: &mut WireReader<'_>) -> Result<(Vec<String>, Vec<MatchSummary>), WireError> {
+    let n = r.get_len()?;
+    let mut names = Vec::with_capacity(n);
+    for _ in 0..n {
+        names.push(r.get_str()?);
+    }
+    let n = r.get_len()?;
+    let mut summaries = Vec::with_capacity(n);
+    for _ in 0..n {
+        summaries.push(MatchSummary::read_wire(r)?);
+    }
+    Ok((names, summaries))
+}
+
+impl BatchOutcome {
+    fn write_entry(entry: &Result<BatchOutcome, String>, w: &mut WireWriter) {
+        match entry {
+            Err(message) => {
+                w.put_u8(ENTRY_ERR);
+                w.put_str(message);
+            }
+            Ok(BatchOutcome::Matched { source, target, summary }) => {
+                w.put_u8(ENTRY_MATCHED);
+                w.put_str(source);
+                w.put_str(target);
+                summary.write_wire(w);
+            }
+            Ok(BatchOutcome::TopKList { names, summaries }) => {
+                w.put_u8(ENTRY_TOP_K);
+                write_top_k(w, names, summaries);
+            }
+            Ok(BatchOutcome::Stats(report)) => {
+                w.put_u8(ENTRY_STATS);
+                report.write_wire(w);
+            }
+        }
+    }
+
+    fn read_entry(r: &mut WireReader<'_>) -> Result<Result<BatchOutcome, String>, WireError> {
+        Ok(match r.get_u8()? {
+            ENTRY_ERR => Err(r.get_str()?),
+            ENTRY_MATCHED => Ok(BatchOutcome::Matched {
+                source: r.get_str()?,
+                target: r.get_str()?,
+                summary: MatchSummary::read_wire(r)?,
+            }),
+            ENTRY_TOP_K => {
+                let (names, summaries) = read_top_k(r)?;
+                Ok(BatchOutcome::TopKList { names, summaries })
+            }
+            ENTRY_STATS => Ok(BatchOutcome::Stats(StatsReport::read_wire(r)?)),
+            other => return Err(r.err(format!("unknown batch entry tag {other:#04x}"))),
+        })
+    }
+}
+
 impl StatsReport {
     fn write_wire(&self, w: &mut WireWriter) {
         for v in [
@@ -261,6 +455,16 @@ impl StatsReport {
             w.put_u64(v);
         }
         w.put_str(&self.last_fsync_error);
+        w.put_len(self.latencies.len());
+        for l in &self.latencies {
+            w.put_str(&l.kind);
+            w.put_u64(l.count);
+            w.put_u64(l.total_ns);
+            w.put_len(l.buckets.len());
+            for &b in &l.buckets {
+                w.put_u64(b);
+            }
+        }
     }
 
     fn read_wire(r: &mut WireReader<'_>) -> Result<StatsReport, WireError> {
@@ -278,6 +482,22 @@ impl StatsReport {
             replayed_records: r.get_u64()?,
             compactions: r.get_u64()?,
             last_fsync_error: r.get_str()?,
+            latencies: {
+                let n = r.get_len()?;
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let kind = r.get_str()?;
+                    let count = r.get_u64()?;
+                    let total_ns = r.get_u64()?;
+                    let buckets_len = r.get_len()?;
+                    let mut buckets = Vec::with_capacity(buckets_len);
+                    for _ in 0..buckets_len {
+                        buckets.push(r.get_u64()?);
+                    }
+                    out.push(KindLatency { kind, count, total_ns, buckets });
+                }
+                out
+            },
         })
     }
 }
@@ -306,14 +526,7 @@ impl Response {
                 RESP_MATCHED
             }
             Response::TopKList { names, summaries } => {
-                w.put_len(names.len());
-                for n in names {
-                    w.put_str(n);
-                }
-                w.put_len(summaries.len());
-                for s in summaries {
-                    s.write_wire(&mut w);
-                }
+                write_top_k(&mut w, names, summaries);
                 RESP_TOP_K
             }
             Response::Stats(report) => {
@@ -328,6 +541,13 @@ impl Response {
             Response::Error { message } => {
                 w.put_str(message);
                 RESP_ERROR
+            }
+            Response::Batch { entries } => {
+                w.put_len(entries.len());
+                for entry in entries {
+                    BatchOutcome::write_entry(entry, &mut w);
+                }
+                BATCH_RESPONSE
             }
         };
         (kind, w.into_bytes())
@@ -347,22 +567,21 @@ impl Response {
                 summary: MatchSummary::read_wire(&mut r)?,
             },
             RESP_TOP_K => {
-                let n = r.get_len()?;
-                let mut names = Vec::with_capacity(n);
-                for _ in 0..n {
-                    names.push(r.get_str()?);
-                }
-                let n = r.get_len()?;
-                let mut summaries = Vec::with_capacity(n);
-                for _ in 0..n {
-                    summaries.push(MatchSummary::read_wire(&mut r)?);
-                }
+                let (names, summaries) = read_top_k(&mut r)?;
                 Response::TopKList { names, summaries }
             }
             RESP_STATS => Response::Stats(StatsReport::read_wire(&mut r)?),
             RESP_SAVED => Response::Saved { bytes: r.get_u64()? },
             RESP_SHUTTING_DOWN => Response::ShuttingDown,
             RESP_ERROR => Response::Error { message: r.get_str()? },
+            BATCH_RESPONSE => {
+                let n = r.get_len()?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(BatchOutcome::read_entry(&mut r)?);
+                }
+                Response::Batch { entries }
+            }
             other => return Err(r.err(format!("unknown response kind {other:#04x}"))),
         };
         r.finish()?;
@@ -401,6 +620,14 @@ mod tests {
             Request::Stats,
             Request::Save,
             Request::Shutdown,
+            Request::Batch {
+                items: vec![
+                    BatchItem::MatchPair { source: "PO".into(), target: "Order".into() },
+                    BatchItem::TopK { k: 2 },
+                    BatchItem::Stats,
+                ],
+            },
+            Request::Batch { items: Vec::new() },
         ];
         let mut buf = Vec::new();
         for req in &requests {
@@ -429,6 +656,24 @@ mod tests {
         assert!(Request::decode(kind, &payload).is_err());
         let (kind, mut payload) = Response::Saved { bytes: 17 }.encode();
         payload.push(0);
+        assert!(Response::decode(kind, &payload).is_err());
+        let (kind, mut payload) = Request::Batch { items: vec![BatchItem::Stats] }.encode();
+        payload.push(0);
+        assert!(Request::decode(kind, &payload).is_err());
+    }
+
+    #[test]
+    fn batch_response_round_trips_per_entry_statuses() {
+        let entries = vec![
+            Err("no schema `Ghost` in the repository".to_string()),
+            Ok(BatchOutcome::TopKList { names: vec!["A".into(), "B".into()], summaries: vec![] }),
+        ];
+        let want = Response::Batch { entries };
+        let (kind, payload) = want.encode();
+        assert_eq!(Response::decode(kind, &payload).unwrap(), want);
+        // An unknown entry tag is a loud decode error.
+        let (kind, mut payload) = Response::Batch { entries: vec![Err("x".into())] }.encode();
+        payload[4] = 0x7f; // the first entry's tag byte (after the u32 count)
         assert!(Response::decode(kind, &payload).is_err());
     }
 }

@@ -12,8 +12,11 @@
 //! 2. **populate** — a client ships the paper's schemas as SDL;
 //! 3. **match / discover** — match-pair and index-pruned top-k
 //!    requests, answered from the warm session;
-//! 4. **edit** — replace one schema; only its pairs re-execute;
-//! 5. **persist** — save, shut down, and reopen the snapshot directly
+//! 4. **batch** — a pooled client ships a whole worklist as one
+//!    checksummed frame; the daemon answers it under a single read
+//!    lock, per-entry errors failing alone (DESIGN.md §11);
+//! 5. **edit** — replace one schema; only its pairs re-execute;
+//! 6. **persist** — save, shut down, and reopen the snapshot directly
 //!    to show the daemon's work survives it.
 //!
 //! Run with: `cargo run --release --example serve_session`
@@ -75,7 +78,36 @@ fn main() {
             );
         }
 
-        // ---- 4. edit: incremental re-match under traffic ---------------
+        // ---- 4. batch: a worklist in one frame, via the pool -----------
+        let pool = ServePool::new(addr.to_string(), 2);
+        let mut pooled = pool.checkout().expect("checkout");
+        let entries = pooled
+            .match_pairs(&[("PO", "Order"), ("PO", "Sales"), ("PO", "Nope"), ("Order", "Sales")])
+            .expect("batch");
+        for (entry, (s, t)) in entries.iter().zip([
+            ("PO", "Order"),
+            ("PO", "Sales"),
+            ("PO", "Nope"),
+            ("Order", "Sales"),
+        ]) {
+            match entry {
+                Ok(summary) => {
+                    println!("batch:  {s} ~ {t}  best wsim {:.3}", summary.best_wsim());
+                }
+                Err(message) => println!("batch:  {s} ~ {t}  failed alone: {message}"),
+            }
+        }
+        drop(pooled); // back to the pool's idle list, connection kept warm
+        let latency = pool.checkout().expect("checkout").stats().expect("stats").latencies;
+        if let Some(batch) = latency.iter().find(|l| l.kind == "batch") {
+            println!(
+                "batch:  daemon served {} batch frame(s), p50 {}ns",
+                batch.count,
+                batch.quantile_ns(0.50)
+            );
+        }
+
+        // ---- 5. edit: incremental re-match under traffic ---------------
         let before = client.stats().expect("stats").pairs_executed;
         client
             .replace_sdl(
@@ -87,7 +119,7 @@ fn main() {
         let after = client.stats().expect("stats").pairs_executed;
         println!("client: replaced `PO`; {} pair(s) re-executed", after - before);
 
-        // ---- 5. persist and shut down ----------------------------------
+        // ---- 6. persist and shut down ----------------------------------
         let bytes = client.save().expect("save");
         println!("client: snapshot saved ({bytes} bytes)");
         client.shutdown().expect("shutdown");

@@ -21,6 +21,7 @@ use cupid::lexical::Thesaurus;
 use cupid::model::Schema;
 use cupid::prelude::{RepoError, Repository, ServeClient, ServeOptions, Server};
 use cupid::repo::RepoLock;
+use cupid::serve::{BatchItem, BatchOutcome, ClientBuilder, ServeError, ServePool};
 
 /// A unique, self-cleaning snapshot location per test.
 struct TempSnap(PathBuf);
@@ -177,6 +178,150 @@ fn concurrent_clients_get_bit_identical_responses() {
         assert_eq!(&warm.match_pair(source, target).unwrap(), want);
     }
     assert_eq!(warm.pairs_executed(), 0, "daemon snapshot already covers all pairs");
+}
+
+/// The tentpole contract of the batched wire path: a cold batch —
+/// executed under one read-lock acquisition over one shared memo clone
+/// — returns summaries bit-identical to in-process matching (and hence
+/// to unary daemon requests, which the suite above pins to the same
+/// ground truth), a mid-batch invalid schema name fails only its own
+/// entry with the exact unary error string, and the per-kind latency
+/// histograms surface through `Stats`.
+#[test]
+fn batched_requests_match_unary_bit_for_bit() {
+    let tmp = TempSnap::new();
+    let config = CupidConfig::default();
+    let th = thesaurus();
+    let want_pairs = expected_pairs(&config, &th);
+
+    let server =
+        Server::bind("127.0.0.1:0", &tmp.0, &config, &th, ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        scope.spawn(move || server.run().unwrap());
+        let pool = ServePool::new(addr.to_string(), 2);
+        {
+            let mut setup = pool.checkout().unwrap();
+            for sdl in CORPUS_SDL {
+                setup.add_sdl(sdl).unwrap();
+            }
+        }
+        assert_eq!(pool.idle(), 1, "healthy connection checked back in");
+
+        // One cold batch: every pair, with an invalid entry wedged in
+        // the middle, then a top-k probe and a stats probe.
+        let mut client = pool.checkout().unwrap();
+        assert_eq!(pool.live(), 1, "checkout reuses the parked connection");
+        let mut items: Vec<BatchItem> = want_pairs
+            .iter()
+            .map(|((s, t), _)| BatchItem::MatchPair { source: s.clone(), target: t.clone() })
+            .collect();
+        let bad_at = items.len() / 2;
+        items.insert(bad_at, BatchItem::MatchPair { source: "PO".into(), target: "Nope".into() });
+        items.push(BatchItem::TopK { k: 2 });
+        items.push(BatchItem::Stats);
+        let entries = client.batch(items).unwrap();
+        assert_eq!(entries.len(), want_pairs.len() + 3);
+
+        let mut want_iter = want_pairs.iter();
+        for (pos, entry) in entries.iter().take(want_pairs.len() + 1).enumerate() {
+            if pos == bad_at {
+                let message = entry.as_ref().expect_err("invalid entry must fail alone");
+                let unary = client.match_pair("PO", "Nope").unwrap_err();
+                match unary {
+                    ServeError::Remote(unary_message) => assert_eq!(
+                        message, &unary_message,
+                        "batch entry error must equal the unary error"
+                    ),
+                    other => panic!("unary error of unexpected kind: {other:?}"),
+                }
+                continue;
+            }
+            let ((s, t), want) = want_iter.next().unwrap();
+            match entry {
+                Ok(BatchOutcome::Matched { source, target, summary }) => {
+                    assert_eq!((source, target), (s, t));
+                    assert_eq!(summary, want, "batched {s}~{t} diverged from in-process");
+                }
+                other => panic!("expected Matched for {s}~{t}, got {other:?}"),
+            }
+        }
+
+        // The top-k entry equals a unary top-k on the warmed daemon.
+        let unary_topk = client.top_k(2).unwrap();
+        match &entries[want_pairs.len() + 1] {
+            Ok(BatchOutcome::TopKList { names, summaries }) => {
+                assert_eq!(names, &unary_topk.names);
+                assert_eq!(summaries, &unary_topk.summaries, "batched top-k diverged");
+            }
+            other => panic!("expected TopKList, got {other:?}"),
+        }
+        assert!(matches!(
+            &entries[want_pairs.len() + 2],
+            Ok(BatchOutcome::Stats(report)) if report.schemas == 6
+        ));
+
+        // Unary requests after the batch are cache hits on the batch's
+        // published summaries — same bits again.
+        for ((s, t), want) in &want_pairs {
+            assert_eq!(&client.match_pair(s, t).unwrap(), want);
+        }
+
+        // The convenience batchers agree with everything above.
+        let pairs: Vec<(String, String)> =
+            want_pairs.iter().map(|((s, t), _)| (s.clone(), t.clone())).collect();
+        for (got, (_, want)) in client.match_pairs(&pairs).unwrap().iter().zip(&want_pairs) {
+            assert_eq!(got.as_ref().unwrap(), want);
+        }
+        let listings = client.top_k_many(&[2, 2]).unwrap();
+        assert_eq!(listings.len(), 2);
+        for listing in listings {
+            assert_eq!(listing.unwrap().summaries, unary_topk.summaries);
+        }
+
+        // Per-kind latency histograms surface through Stats.
+        let stats = client.stats().unwrap();
+        let kinds: Vec<&str> = stats.latencies.iter().map(|l| l.kind.as_str()).collect();
+        for kind in ["mutate", "match_pair", "top_k", "stats", "save", "batch", "shutdown"] {
+            assert!(kinds.contains(&kind), "missing latency kind {kind} in {kinds:?}");
+        }
+        let batch_lat = stats.latencies.iter().find(|l| l.kind == "batch").unwrap();
+        assert!(batch_lat.count >= 3, "three batches served, got {}", batch_lat.count);
+        assert!(batch_lat.quantile_ns(0.5) > 0);
+        assert!(batch_lat.quantile_ns(0.999) >= batch_lat.quantile_ns(0.5));
+        assert!(batch_lat.mean_ns() > 0);
+
+        client.shutdown().unwrap();
+    });
+}
+
+/// A daemon that accepts but never answers must not park the client
+/// forever: the read timeout surfaces as a loud frame I/O error, the
+/// connection is poisoned, and its pool evicts it on checkin instead of
+/// handing the desynchronized stream to the next checkout.
+#[test]
+fn read_timeout_fails_loudly_and_pool_evicts_broken_connections() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let pool = ServePool::with_builder(
+        addr.to_string(),
+        2,
+        ClientBuilder::new()
+            .connect_timeout(Duration::from_secs(10))
+            .read_timeout(Duration::from_millis(50)),
+    );
+    let mut client = pool.checkout().unwrap();
+    assert_eq!(pool.live(), 1);
+    let err = client.stats().unwrap_err();
+    assert!(matches!(err, ServeError::Frame(_)), "timeout must be a frame I/O error: {err:?}");
+    assert!(client.is_poisoned());
+    // Poisoned clients refuse further exchanges instead of reading
+    // from a desynchronized stream.
+    assert!(client.stats().is_err());
+    drop(client);
+    assert_eq!(pool.live(), 0, "poisoned connection evicted on checkin");
+    assert_eq!(pool.idle(), 0);
+    drop(listener);
 }
 
 #[test]

@@ -15,7 +15,7 @@
 use cupid::core::session::SimilarityEntry;
 use cupid::core::{MappingElement, MatchSummary, SchemaId};
 use cupid::model::{read_frame, NodeId};
-use cupid::serve::{Request, Response, StatsReport};
+use cupid::serve::{BatchItem, BatchOutcome, KindLatency, Request, Response, StatsReport};
 use proptest::prelude::*;
 
 /// splitmix64 — a tiny deterministic generator so summaries with
@@ -121,7 +121,69 @@ fn requests(sdl: &str, a: &str, b: &str, k: u32) -> Vec<Request> {
         Request::Stats,
         Request::Save,
         Request::Shutdown,
+        Request::Batch {
+            items: vec![
+                BatchItem::MatchPair { source: a.to_string(), target: b.to_string() },
+                BatchItem::TopK { k },
+                BatchItem::Stats,
+            ],
+        },
+        Request::Batch { items: Vec::new() },
     ]
+}
+
+/// A batch entry mix covering every outcome tag plus the error slot.
+fn batch_entries(
+    a: &str,
+    b: &str,
+    summary: &MatchSummary,
+    report: &StatsReport,
+) -> Vec<Result<BatchOutcome, String>> {
+    vec![
+        Ok(BatchOutcome::Matched {
+            source: a.to_string(),
+            target: b.to_string(),
+            summary: summary.clone(),
+        }),
+        Err(format!("no schema `{b}` in repository")),
+        Ok(BatchOutcome::TopKList {
+            names: vec![a.to_string(), b.to_string()],
+            summaries: vec![summary.clone()],
+        }),
+        Ok(BatchOutcome::Stats(report.clone())),
+    ]
+}
+
+/// A stats payload with busy per-kind histograms (and one empty kind).
+fn report_from(a: &str, n: u64) -> StatsReport {
+    StatsReport {
+        schemas: n,
+        cached_pairs: n.wrapping_mul(3),
+        pairs_executed: n / 2,
+        vocab_size: n.wrapping_add(17),
+        distinct_pairs_computed: n.rotate_left(5),
+        sim_chunks: n % 97,
+        sim_bytes: n.wrapping_mul(32),
+        requests_served: n,
+        journal_records: n.rotate_left(9),
+        journal_bytes: n.wrapping_mul(41),
+        replayed_records: n % 13,
+        compactions: n % 7,
+        last_fsync_error: if n % 2 == 0 {
+            String::new()
+        } else {
+            format!("{a}: injected fault {n:#x}")
+        },
+        latencies: vec![
+            KindLatency {
+                kind: "match_pair".to_string(),
+                count: n % 1000,
+                total_ns: n.wrapping_mul(7),
+                buckets: (0..40u32).map(|i| n.rotate_left(i) & 0xff).collect(),
+            },
+            KindLatency::empty("save"),
+        ],
+    }
 }
 
 /// Every response variant.
@@ -139,28 +201,12 @@ fn responses(a: &str, b: &str, summary: &MatchSummary, n: u64) -> Vec<Response> 
             names: vec![a.to_string(), b.to_string()],
             summaries: vec![summary.clone(), summary.clone()],
         },
-        Response::Stats(StatsReport {
-            schemas: n,
-            cached_pairs: n.wrapping_mul(3),
-            pairs_executed: n / 2,
-            vocab_size: n.wrapping_add(17),
-            distinct_pairs_computed: n.rotate_left(5),
-            sim_chunks: n % 97,
-            sim_bytes: n.wrapping_mul(32),
-            requests_served: n,
-            journal_records: n.rotate_left(9),
-            journal_bytes: n.wrapping_mul(41),
-            replayed_records: n % 13,
-            compactions: n % 7,
-            last_fsync_error: if n % 2 == 0 {
-                String::new()
-            } else {
-                format!("{a}: injected fault {n:#x}")
-            },
-        }),
+        Response::Stats(report_from(a, n)),
         Response::Saved { bytes: n },
         Response::ShuttingDown,
         Response::Error { message: b.to_string() },
+        Response::Batch { entries: batch_entries(a, b, summary, &report_from(a, n)) },
+        Response::Batch { entries: Vec::new() },
     ]
 }
 
@@ -228,6 +274,32 @@ proptest! {
                     prop_assert_eq!(g.len(), w.len());
                     for (x, y) in g.iter().zip(w) {
                         prop_assert!(summary_bits_eq(x, y), "summary bits diverged");
+                    }
+                }
+                (Response::Batch { entries: g }, Response::Batch { entries: w }) => {
+                    prop_assert_eq!(g.len(), w.len());
+                    for (x, y) in g.iter().zip(w) {
+                        match (x, y) {
+                            (
+                                Ok(BatchOutcome::Matched { source: gs, target: gt, summary: gm }),
+                                Ok(BatchOutcome::Matched { source: ws, target: wt, summary: wm }),
+                            ) => {
+                                prop_assert_eq!(gs, ws);
+                                prop_assert_eq!(gt, wt);
+                                prop_assert!(summary_bits_eq(gm, wm), "summary bits diverged");
+                            }
+                            (
+                                Ok(BatchOutcome::TopKList { names: gn, summaries: gs }),
+                                Ok(BatchOutcome::TopKList { names: wn, summaries: ws }),
+                            ) => {
+                                prop_assert_eq!(gn, wn);
+                                prop_assert_eq!(gs.len(), ws.len());
+                                for (gsum, wsum) in gs.iter().zip(ws) {
+                                    prop_assert!(summary_bits_eq(gsum, wsum), "summary bits diverged");
+                                }
+                            }
+                            (x, y) => prop_assert_eq!(x, y),
+                        }
                     }
                 }
                 (got, want) => prop_assert_eq!(got, want),
