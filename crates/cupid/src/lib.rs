@@ -82,7 +82,7 @@ pub mod prelude {
     };
     pub use cupid_repo::{CupidRepositoryExt, DiscoveryIndex, RepoError, Repository};
     pub use cupid_serve::{
-        ClientBuilder, CupidServeExt, PooledClient, ServeClient, ServeError, ServeOptions,
-        ServePool, Server,
+        ClientBuilder, CupidServeExt, PooledClient, RetryPolicy, ServeClient, ServeError,
+        ServeOptions, ServePool, Server, ShutdownHandle,
     };
 }

@@ -383,6 +383,21 @@ pub const BATCH_REQUEST: u8 = 0x09;
 /// Batched response frame: one status (result or error) per entry.
 pub const BATCH_RESPONSE: u8 = 0x8A;
 
+// --- daemon robustness frame kinds -------------------------------------
+//
+// The hostile-network layer (`cupid-serve`, DESIGN.md §12) adds two
+// kinds: mutations carrying a client-assigned request id (so a retry
+// after a lost acknowledgment deduplicates daemon-side instead of
+// double-applying), and the typed overload-shed response the admission
+// controller answers with when the in-flight cap is full.
+
+/// Mutation request frame carrying a client-assigned request id for
+/// daemon-side retry deduplication (add/replace/remove payloads).
+pub const MUTATE_REQUEST: u8 = 0x0A;
+/// Admission-control shed: the daemon refused the request because its
+/// in-flight cap stayed full past the queue deadline. Retryable.
+pub const OVERLOADED_RESPONSE: u8 = 0x8B;
+
 const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 

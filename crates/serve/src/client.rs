@@ -22,15 +22,25 @@
 //!   of connections whose transport broke mid-exchange (tracked by the
 //!   client's poison flag — a framing error desynchronizes the stream
 //!   beyond recovery, so the pool drops it and dials fresh).
+//! * **Retries** — a [`RetryPolicy`] on the builder makes the client
+//!   transparently reconnect and resend when an exchange fails with a
+//!   *retryable* error ([`ServeError::is_retryable`]): reads are safe
+//!   to repeat trivially, and mutations are sent as
+//!   [`Request::Mutate`] frames carrying client-assigned request ids
+//!   the daemon deduplicates, so a retried mutation whose ack was lost
+//!   cannot double-apply (DESIGN.md §12.3).
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::hash::{BuildHasher, Hasher};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use cupid_core::MatchSummary;
 
-use crate::protocol::{BatchItem, BatchOutcome, Request, Response, StatsReport};
+use crate::protocol::{BatchItem, BatchOutcome, MutationOp, Request, Response, StatsReport};
+use crate::retry::{splitmix64, RetryPolicy};
 use crate::ServeError;
 
 /// A connected daemon client.
@@ -39,22 +49,35 @@ pub struct ServeClient {
     stream: TcpStream,
     /// Set when the transport broke (frame error, timeout, peer close
     /// mid-exchange): the stream may be desynchronized, so the client
-    /// refuses further exchanges and its pool evicts it on checkin.
+    /// refuses further exchanges (without a retry policy) and its pool
+    /// evicts it on checkin. With a retry policy, the next call
+    /// reconnects instead.
     poisoned: bool,
+    /// The peer we connected to — kept so a retrying client can redial
+    /// after a transport failure without re-resolving.
+    peer: SocketAddr,
+    /// The options we dialed with, reused verbatim on reconnect.
+    builder: ClientBuilder,
+    /// Next mutation request id. Seeded per-client from OS randomness
+    /// (a fresh `RandomState`) so two clients cannot collide in the
+    /// daemon's replay table; within a client, ids increment.
+    next_request_id: u64,
 }
 
-/// Connection options for [`ServeClient`]: dial and read deadlines.
-/// `ServeClient::connect` uses the defaults (no timeouts — the
-/// integration suite's daemons answer or die); services fronting a
-/// shared daemon should set both.
+/// Connection options for [`ServeClient`]: dial and read deadlines,
+/// plus an optional retry policy. `ServeClient::connect` uses the
+/// defaults (no timeouts, no retries — the integration suite's daemons
+/// answer or die); services fronting a shared daemon should set all
+/// three.
 #[derive(Debug, Clone, Default)]
 pub struct ClientBuilder {
     connect_timeout: Option<Duration>,
     read_timeout: Option<Duration>,
+    retry: Option<RetryPolicy>,
 }
 
 impl ClientBuilder {
-    /// No timeouts (block until the OS gives up).
+    /// No timeouts (block until the OS gives up), no retries.
     pub fn new() -> ClientBuilder {
         ClientBuilder::default()
     }
@@ -66,10 +89,19 @@ impl ClientBuilder {
     }
 
     /// Fail a read (and poison the connection) once the daemon has
-    /// been silent this long mid-exchange. Surfaces as a
-    /// [`cupid_model::FrameError::Io`] wrapped in [`ServeError::Frame`].
+    /// been silent this long mid-exchange. Surfaces as
+    /// [`ServeError::DeadlineExceeded`].
     pub fn read_timeout(mut self, timeout: Duration) -> ClientBuilder {
         self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Transparently retry retryable failures under `policy`
+    /// (reconnecting first when the transport broke). Only requests
+    /// that are safe to repeat are retried — see
+    /// [`ServeClient`]'s module docs.
+    pub fn retry(mut self, policy: RetryPolicy) -> ClientBuilder {
+        self.retry = Some(policy);
         self
     }
 
@@ -105,10 +137,27 @@ impl ClientBuilder {
                 })?
             }
         };
+        let peer = stream.peer_addr().map_err(|e| io_err(&e))?;
         stream.set_nodelay(true).ok();
         stream.set_read_timeout(self.read_timeout).map_err(|e| io_err(&e))?;
-        Ok(ServeClient { stream, poisoned: false })
+        stream.set_write_timeout(self.read_timeout).map_err(|e| io_err(&e))?;
+        Ok(ServeClient {
+            stream,
+            poisoned: false,
+            peer,
+            builder: self.clone(),
+            next_request_id: random_id_base(),
+        })
     }
+}
+
+/// A per-client random starting point for mutation request ids, drawn
+/// from the OS-seeded `RandomState` (no `rand` dependency in the
+/// non-dev tree). Collisions between two clients would require both
+/// the 64-bit bases *and* the offsets to align — vanishingly unlikely
+/// within the daemon's 4096-entry replay window.
+fn random_id_base() -> u64 {
+    std::collections::hash_map::RandomState::new().build_hasher().finish()
 }
 
 /// The result of a top-`k` discovery request: the executed candidate
@@ -129,41 +178,110 @@ impl ServeClient {
     }
 
     /// True once the transport broke mid-exchange: the stream may hold
-    /// half a frame, so the client is unusable and a pool evicts it.
+    /// half a frame, so the client is unusable (absent a retry policy)
+    /// and a pool evicts it.
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
     }
 
-    /// One request/response exchange. Transport failures (frame
-    /// corruption, timeout, peer close) poison the client; a
-    /// [`ServeError::Remote`] answer does not — the protocol stays in
-    /// sync across an application-level error.
+    /// One request/response exchange on the current stream. Transport
+    /// failures (frame corruption, timeout, peer close) poison the
+    /// client; [`ServeError::Remote`] and [`ServeError::Overloaded`]
+    /// answers do not — the protocol stays in sync across an
+    /// application-level refusal.
     fn roundtrip(&mut self, request: &Request) -> Result<Response, ServeError> {
         if self.poisoned {
-            return Err(ServeError::Closed);
+            return Err(ServeError::Poisoned);
         }
         let result = (|| {
             request.write_to(&mut self.stream).map_err(ServeError::Frame)?;
             match Response::read_from(&mut self.stream).map_err(ServeError::Frame)? {
                 Some(Response::Error { message }) => Err(ServeError::Remote(message)),
+                Some(Response::Overloaded { max_inflight, queue_deadline_ms }) => {
+                    Err(ServeError::Overloaded { max_inflight, queue_deadline_ms })
+                }
                 Some(response) => Ok(response),
                 None => Err(ServeError::Closed),
             }
         })();
-        if matches!(result, Err(ServeError::Frame(_) | ServeError::Io { .. } | ServeError::Closed))
-        {
-            self.poisoned = true;
+        match result {
+            Err(ServeError::Frame(e)) if frame_timed_out(&e) => {
+                // The stream may hold half a frame — desynchronized
+                // either way — but the *cause* is the deadline, and
+                // that's what callers and the retry loop branch on.
+                self.poisoned = true;
+                Err(ServeError::DeadlineExceeded)
+            }
+            Err(e @ (ServeError::Frame(_) | ServeError::Io { .. } | ServeError::Closed)) => {
+                self.poisoned = true;
+                Err(e)
+            }
+            other => other,
         }
-        result
+    }
+
+    /// One logical exchange: [`ServeClient::roundtrip`] wrapped in the
+    /// builder's [`RetryPolicy`], when one is set and `request` is safe
+    /// to resend. Before each retry the client sleeps the policy's
+    /// backoff delay and, if the transport broke, redials the same
+    /// peer. Non-retryable errors and exhausted budgets surface the
+    /// *last* error.
+    fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
+        let Some(policy) = self.builder.retry.clone() else {
+            return self.roundtrip(request);
+        };
+        if !retryable_request(request) {
+            return self.roundtrip(request);
+        }
+        let mut attempt = 0u32;
+        loop {
+            let result = match self.reconnect_if_poisoned() {
+                Ok(()) => self.roundtrip(request),
+                Err(e) => Err(e),
+            };
+            match result {
+                Ok(response) => return Ok(response),
+                Err(e) if e.is_retryable() && attempt < policy.budget => {
+                    std::thread::sleep(policy.delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Redial the original peer with the original options after a
+    /// transport failure, swapping the broken stream for a fresh one.
+    /// Mutation ids are *not* reset — the replay table keys on them.
+    fn reconnect_if_poisoned(&mut self) -> Result<(), ServeError> {
+        if !self.poisoned {
+            return Ok(());
+        }
+        let fresh = self.builder.connect(self.peer)?;
+        self.stream = fresh.stream;
+        self.poisoned = false;
+        Ok(())
     }
 
     fn unexpected(response: Response) -> ServeError {
         ServeError::Unexpected(format!("unexpected response variant: {response:?}"))
     }
 
+    /// The next client-assigned mutation request id (random base,
+    /// sequential offsets — see [`random_id_base`]).
+    fn next_request_id(&mut self) -> u64 {
+        let id = self.next_request_id;
+        self.next_request_id = self.next_request_id.wrapping_add(1);
+        id
+    }
+
     /// Add a schema from SDL text; returns the stored name.
     pub fn add_sdl(&mut self, sdl: &str) -> Result<String, ServeError> {
-        match self.roundtrip(&Request::AddSchema { sdl: sdl.to_string() })? {
+        let request = Request::Mutate {
+            request_id: self.next_request_id(),
+            op: MutationOp::Add { sdl: sdl.to_string() },
+        };
+        match self.call(&request)? {
             Response::Added { name } => Ok(name),
             other => Err(Self::unexpected(other)),
         }
@@ -171,7 +289,11 @@ impl ServeClient {
 
     /// Replace the stored schema with the same name, from SDL text.
     pub fn replace_sdl(&mut self, sdl: &str) -> Result<String, ServeError> {
-        match self.roundtrip(&Request::ReplaceSchema { sdl: sdl.to_string() })? {
+        let request = Request::Mutate {
+            request_id: self.next_request_id(),
+            op: MutationOp::Replace { sdl: sdl.to_string() },
+        };
+        match self.call(&request)? {
             Response::Replaced { name } => Ok(name),
             other => Err(Self::unexpected(other)),
         }
@@ -179,7 +301,11 @@ impl ServeClient {
 
     /// Remove the schema stored under `name`.
     pub fn remove(&mut self, name: &str) -> Result<(), ServeError> {
-        match self.roundtrip(&Request::RemoveSchema { name: name.to_string() })? {
+        let request = Request::Mutate {
+            request_id: self.next_request_id(),
+            op: MutationOp::Remove { name: name.to_string() },
+        };
+        match self.call(&request)? {
             Response::Removed { .. } => Ok(()),
             other => Err(Self::unexpected(other)),
         }
@@ -189,7 +315,7 @@ impl ServeClient {
     /// an in-process match of the same schemas.
     pub fn match_pair(&mut self, source: &str, target: &str) -> Result<MatchSummary, ServeError> {
         let request = Request::MatchPair { source: source.to_string(), target: target.to_string() };
-        match self.roundtrip(&request)? {
+        match self.call(&request)? {
             Response::Matched { summary, .. } => Ok(summary),
             other => Err(Self::unexpected(other)),
         }
@@ -205,7 +331,7 @@ impl ServeClient {
         items: Vec<BatchItem>,
     ) -> Result<Vec<Result<BatchOutcome, String>>, ServeError> {
         let sent = items.len();
-        match self.roundtrip(&Request::Batch { items })? {
+        match self.call(&Request::Batch { items })? {
             Response::Batch { entries } if entries.len() == sent => Ok(entries),
             Response::Batch { entries } => Err(ServeError::Unexpected(format!(
                 "batch answered {} entries for {sent} requests",
@@ -264,7 +390,7 @@ impl ServeClient {
 
     /// Index-pruned top-`k` discovery over the daemon's corpus.
     pub fn top_k(&mut self, k: usize) -> Result<TopKListing, ServeError> {
-        match self.roundtrip(&Request::TopK { k: k as u32 })? {
+        match self.call(&Request::TopK { k: k as u32 })? {
             Response::TopKList { names, summaries } => Ok(TopKListing { names, summaries }),
             other => Err(Self::unexpected(other)),
         }
@@ -272,7 +398,7 @@ impl ServeClient {
 
     /// Daemon counters.
     pub fn stats(&mut self) -> Result<StatsReport, ServeError> {
-        match self.roundtrip(&Request::Stats)? {
+        match self.call(&Request::Stats)? {
             Response::Stats(report) => Ok(report),
             other => Err(Self::unexpected(other)),
         }
@@ -280,7 +406,7 @@ impl ServeClient {
 
     /// Persist the daemon's snapshot now; returns its size in bytes.
     pub fn save(&mut self) -> Result<u64, ServeError> {
-        match self.roundtrip(&Request::Save)? {
+        match self.call(&Request::Save)? {
             Response::Saved { bytes } => Ok(bytes),
             other => Err(Self::unexpected(other)),
         }
@@ -289,11 +415,41 @@ impl ServeClient {
     /// Ask the daemon to shut down (it saves a dirty repository on the
     /// way out).
     pub fn shutdown(&mut self) -> Result<(), ServeError> {
-        match self.roundtrip(&Request::Shutdown)? {
+        match self.call(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
             other => Err(Self::unexpected(other)),
         }
     }
+}
+
+/// Did this frame error come from the socket's read/write deadline
+/// expiring? Unix reports `WouldBlock` for a timed-out blocking
+/// socket, Windows `TimedOut` — std documents the pair.
+fn frame_timed_out(e: &cupid_model::FrameError) -> bool {
+    matches!(
+        e,
+        cupid_model::FrameError::Io(io) if matches!(
+            io.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        )
+    )
+}
+
+/// Is this request safe to send twice? Reads trivially ([`BatchItem`]
+/// only has read variants, so whole batches qualify); `Save` because
+/// saving twice persists the same state; [`Request::Mutate`] because
+/// its request id replays daemon-side instead of re-executing. The
+/// legacy id-less mutation kinds and `Shutdown` are never resent.
+fn retryable_request(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::MatchPair { .. }
+            | Request::TopK { .. }
+            | Request::Stats
+            | Request::Batch { .. }
+            | Request::Save
+            | Request::Mutate { .. }
+    )
 }
 
 /// Pool bookkeeping: parked connections plus the count of live ones
@@ -307,8 +463,26 @@ struct PoolInner {
     addr: String,
     cap: usize,
     builder: ClientBuilder,
+    /// Dial counter: the n-th dialed connection reseeds the builder's
+    /// retry policy with `splitmix64(seed ^ n)` so pooled clients
+    /// back off on decorrelated schedules (no thundering herd after a
+    /// shared fault) while the whole pool stays deterministic for a
+    /// fixed seed and dial order.
+    dials: AtomicU64,
     state: Mutex<PoolState>,
     available: Condvar,
+}
+
+impl PoolInner {
+    /// The builder for the next fresh dial, retry seed decorrelated.
+    fn dial_builder(&self) -> ClientBuilder {
+        let mut builder = self.builder.clone();
+        if let Some(policy) = &mut builder.retry {
+            let n = self.dials.fetch_add(1, Ordering::Relaxed);
+            policy.seed = splitmix64(policy.seed ^ n);
+        }
+        builder
+    }
 }
 
 /// A capped checkout/checkin pool of daemon connections.
@@ -332,17 +506,28 @@ impl ServePool {
         ServePool::with_builder(addr, cap, ClientBuilder::new())
     }
 
-    /// A pool whose connections are dialed with `builder`'s timeouts.
+    /// A pool whose connections are dialed with `builder`'s timeouts
+    /// and retry policy. When the builder carries a [`RetryPolicy`],
+    /// each dialed connection gets a decorrelated seed (the policy's
+    /// seed mixed with the pool's dial counter) so simultaneous
+    /// redials don't share a backoff schedule.
     pub fn with_builder(addr: impl Into<String>, cap: usize, builder: ClientBuilder) -> ServePool {
         ServePool {
             inner: Arc::new(PoolInner {
                 addr: addr.into(),
                 cap: cap.max(1),
                 builder,
+                dials: AtomicU64::new(0),
                 state: Mutex::new(PoolState { idle: Vec::new(), live: 0 }),
                 available: Condvar::new(),
             }),
         }
+    }
+
+    /// A pool whose connections transparently retry under `policy`
+    /// (with per-connection decorrelated jitter seeds).
+    pub fn with_retry(addr: impl Into<String>, cap: usize, policy: RetryPolicy) -> ServePool {
+        ServePool::with_builder(addr, cap, ClientBuilder::new().retry(policy))
     }
 
     /// Check a connection out: an idle one if parked, a fresh dial if
@@ -362,7 +547,7 @@ impl ServePool {
                 // the lock so a slow connect doesn't stall checkins.
                 state.live += 1;
                 drop(state);
-                return match inner.builder.connect(inner.addr.as_str()) {
+                return match inner.dial_builder().connect(inner.addr.as_str()) {
                     Ok(client) => {
                         Ok(PooledClient { client: Some(client), pool: Arc::clone(inner) })
                     }

@@ -33,18 +33,20 @@
 //! a daemon and compares against [`cupid_core::MatchSession`] output
 //! byte for byte.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use cupid_core::{CupidConfig, MatchSummary};
 use cupid_lexical::Thesaurus;
+use cupid_model::FrameError;
 use cupid_repo::{RepoError, Repository, SharedBatch, SharedMatch};
 
 use crate::histogram::LatencyHistogram;
-use crate::protocol::{BatchItem, BatchOutcome, Request, Response, StatsReport};
+use crate::protocol::{BatchItem, BatchOutcome, MutationOp, Request, Response, StatsReport};
 use crate::ServeError;
 
 /// Request-kind labels of the per-kind latency histograms, in recorder
@@ -60,7 +62,8 @@ fn latency_kind(request: &Request) -> usize {
     match request {
         Request::AddSchema { .. }
         | Request::ReplaceSchema { .. }
-        | Request::RemoveSchema { .. } => 0,
+        | Request::RemoveSchema { .. }
+        | Request::Mutate { .. } => 0,
         Request::MatchPair { .. } => 1,
         Request::TopK { .. } => 2,
         Request::Stats => 3,
@@ -92,11 +95,123 @@ pub struct ServeOptions {
     /// records ([`Repository::set_compact_after`]); `None` compacts
     /// only on explicit saves and shutdown.
     pub compact_after: Option<u64>,
+    /// Admission control (DESIGN.md §12.2): at most this many requests
+    /// execute at once; an arrival that cannot get a slot within
+    /// [`ServeOptions::queue_deadline`] is shed with a typed
+    /// [`Response::Overloaded`] frame instead of queuing unboundedly.
+    /// `None` disables admission control (every request executes).
+    /// `Stats` and `Shutdown` bypass admission so operators can always
+    /// observe and drain an overloaded daemon.
+    pub max_inflight: Option<usize>,
+    /// How long an arrival may wait for an in-flight slot before being
+    /// shed. Zero means shed immediately when the cap is full.
+    pub queue_deadline: Duration,
+    /// How long a connection may sit idle *between* frames before the
+    /// daemon closes it and reclaims the worker (DESIGN.md §12.1). An
+    /// idle peer parks cheaply until this expires; `None` lets
+    /// keep-alive connections park forever (the pre-hardening
+    /// behaviour, where a silent peer pins a worker indefinitely).
+    pub idle_timeout: Option<Duration>,
+    /// How long a single frame may take to arrive or drain once its
+    /// first byte is seen. A peer that stalls mid-frame is cut loudly
+    /// (the stream cannot be resynchronized anyway) and counted in
+    /// `deadline_cuts`. `None` disables the per-frame deadline.
+    pub frame_deadline: Option<Duration>,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        ServeOptions { max_connections: 64, autosave_every: None, compact_after: Some(1024) }
+        ServeOptions {
+            max_connections: 64,
+            autosave_every: None,
+            compact_after: Some(1024),
+            max_inflight: None,
+            queue_deadline: Duration::from_millis(100),
+            idle_timeout: Some(Duration::from_secs(300)),
+            frame_deadline: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Counting semaphore for admission control: a plain Mutex + Condvar
+/// pair (no async runtime here) bounding concurrently *executing*
+/// requests. Arrivals over the cap wait on the condvar up to the queue
+/// deadline, then are shed.
+struct Admission {
+    max: usize,
+    deadline: Duration,
+    inflight: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Admission {
+    fn new(max: usize, deadline: Duration) -> Admission {
+        Admission { max: max.max(1), deadline, inflight: Mutex::new(0), freed: Condvar::new() }
+    }
+
+    /// Acquire an in-flight slot, waiting up to the queue deadline.
+    /// `None` means shed.
+    fn admit(&self) -> Option<AdmitSlot<'_>> {
+        let mut count = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        let give_up = Instant::now() + self.deadline;
+        while *count >= self.max {
+            let now = Instant::now();
+            if now >= give_up {
+                return None;
+            }
+            let (guard, _timeout) =
+                self.freed.wait_timeout(count, give_up - now).unwrap_or_else(|e| e.into_inner());
+            count = guard;
+        }
+        *count += 1;
+        Some(AdmitSlot { admission: self })
+    }
+}
+
+/// RAII in-flight slot: releasing wakes one queued waiter.
+struct AdmitSlot<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for AdmitSlot<'_> {
+    fn drop(&mut self) {
+        let mut count = self.admission.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        *count = count.saturating_sub(1);
+        drop(count);
+        self.admission.freed.notify_one();
+    }
+}
+
+/// How many distinct mutation request ids the daemon remembers for
+/// retry deduplication. 4096 ids bounds the table to a few hundred KiB
+/// while covering far more in-flight retries than any sane client
+/// budget produces; a retry arriving after its id was evicted re-runs
+/// the operation, which at worst yields the same "already in
+/// repository" error a non-idempotent double-apply would (DESIGN.md
+/// §12.3 spells out this window).
+const DEDUP_CAPACITY: usize = 4096;
+
+/// Replay table for mutation retries: request id → the response the
+/// first execution produced, evicted FIFO at [`DEDUP_CAPACITY`].
+/// Checked and recorded while holding the repository *write* lock,
+/// where mutations already serialize, so check-then-execute is
+/// race-free without extra locking discipline.
+#[derive(Default)]
+struct DedupTable {
+    seen: HashMap<u64, Response>,
+    order: VecDeque<u64>,
+}
+
+impl DedupTable {
+    fn record(&mut self, id: u64, response: &Response) {
+        if self.seen.insert(id, response.clone()).is_none() {
+            self.order.push_back(id);
+            if self.order.len() > DEDUP_CAPACITY {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.seen.remove(&evicted);
+                }
+            }
+        }
     }
 }
 
@@ -115,9 +230,27 @@ struct Shared<'a> {
     path: PathBuf,
     addr: SocketAddr,
     options: ServeOptions,
-    shutdown: AtomicBool,
+    /// Shared with [`ShutdownHandle`]s, which may outlive the scope.
+    shutdown: Arc<AtomicBool>,
+    /// Set by [`Server::run`] the moment its accept loop breaks —
+    /// the signal [`wake_accept_loop`] retries until it observes.
+    accept_exited: Arc<AtomicBool>,
     requests: AtomicU64,
     mutations: AtomicU64,
+    /// Requests shed by admission control ([`Response::Overloaded`]).
+    shed: AtomicU64,
+    /// Connections closed by the idle read deadline.
+    idle_disconnects: AtomicU64,
+    /// Connections cut mid-frame by the frame deadline (read or write).
+    deadline_cuts: AtomicU64,
+    /// Mutation retries answered from the request-id replay table.
+    deduped: AtomicU64,
+    /// In-flight admission semaphore; `None` when admission control is
+    /// off.
+    admission: Option<Admission>,
+    /// Mutation-retry replay table (guarded separately, but only ever
+    /// touched while holding the repository write lock).
+    dedup: Mutex<DedupTable>,
     connections: Mutex<Connections>,
     /// Per-request-kind latency recorders, indexed by [`latency_kind`].
     latencies: [LatencyHistogram; LATENCY_KINDS.len()],
@@ -160,17 +293,41 @@ impl<'a> Server<'a> {
                 repo: RwLock::new(repo),
                 path,
                 addr: local,
+                admission: options
+                    .max_inflight
+                    .map(|max| Admission::new(max, options.queue_deadline)),
                 options: ServeOptions {
                     max_connections: options.max_connections.max(1),
                     ..options
                 },
-                shutdown: AtomicBool::new(false),
+                shutdown: Arc::new(AtomicBool::new(false)),
+                accept_exited: Arc::new(AtomicBool::new(false)),
                 requests: AtomicU64::new(0),
                 mutations: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+                idle_disconnects: AtomicU64::new(0),
+                deadline_cuts: AtomicU64::new(0),
+                deduped: AtomicU64::new(0),
+                dedup: Mutex::new(DedupTable::default()),
                 connections: Mutex::new(Connections::default()),
                 latencies: std::array::from_fn(|_| LatencyHistogram::new()),
             },
         })
+    }
+
+    /// A handle that triggers the same graceful drain a `Shutdown`
+    /// frame does, from any thread: stop accepting, let in-flight
+    /// requests finish, write the final save, return from
+    /// [`Server::run`]. This is the programmatic stand-in for a signal
+    /// handler — the workspace is `forbid(unsafe_code)` with no libc
+    /// binding, so a process embedding the daemon installs its own
+    /// SIGTERM hook and calls [`ShutdownHandle::drain`] from it.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            addr: self.shared.addr,
+            flag: Arc::clone(&self.shared.shutdown),
+            accept_exited: Arc::clone(&self.shared.accept_exited),
+        }
     }
 
     /// The address the daemon is listening on.
@@ -221,12 +378,17 @@ impl<'a> Server<'a> {
                     shared.connections.lock().unwrap_or_else(|e| e.into_inner()).open.remove(&id);
                 });
             }
-            // Shutting down: close every open connection so workers
-            // parked in `read` on idle peers unblock and the scope can
-            // join them.
+            // Publish that the accept loop is done: wake retriers stop
+            // here, whether their wake connection was ever dequeued.
+            shared.accept_exited.store(true, Ordering::SeqCst);
+            // Graceful drain: close only the *read* half of every open
+            // connection. Workers parked waiting for a frame observe a
+            // clean EOF and exit; workers mid-request keep their write
+            // half so the in-flight response still reaches its client
+            // before the scope joins them.
             let conns = shared.connections.lock().unwrap_or_else(|e| e.into_inner());
             for stream in conns.open.values() {
-                stream.shutdown(Shutdown::Both).ok();
+                stream.shutdown(Shutdown::Read).ok();
             }
         });
         let mut repo = shared.repo.write().unwrap_or_else(|e| e.into_inner());
@@ -234,6 +396,67 @@ impl<'a> Server<'a> {
             repo.save().map_err(ServeError::Repo)?;
         }
         Ok(())
+    }
+}
+
+/// Triggers a graceful drain of a running [`Server`] from outside its
+/// serving thread (see [`Server::shutdown_handle`]). Cloneable and
+/// `'static` — safe to move into a signal-handling or supervisor
+/// thread.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    addr: SocketAddr,
+    flag: Arc<AtomicBool>,
+    accept_exited: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Begin the drain: set the shutdown flag and wake the accept loop
+    /// until it is seen observing the flag. Idempotent. Returns once
+    /// the accept loop has stopped (or the bounded wake retry gives
+    /// up — e.g. [`Server::run`] was never called); [`Server::run`]
+    /// returning is the signal that the final save completed.
+    pub fn drain(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        wake_accept_loop(self.addr, &self.accept_exited);
+    }
+
+    /// Whether a drain has been initiated.
+    pub fn is_draining(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// How long each wake connection is held open (and how long between
+/// wake retries): long enough for a parked accept thread to get
+/// scheduled and dequeue a *live* socket even on a loaded single core.
+const WAKE_PAUSE: Duration = Duration::from_millis(10);
+/// Bounds the wake retry loop (~2 s of pauses plus connect time) so a
+/// drain of a server whose `run()` never started still returns.
+const WAKE_ATTEMPTS: usize = 200;
+
+/// Wake a `run()` loop parked in `accept` so it observes the shutdown
+/// flag, retrying until the loop confirms its exit via `accept_exited`.
+///
+/// One fire-and-forget connect is not enough. Dropping the wake stream
+/// immediately sends an RST right behind the handshake, and on a busy
+/// single core the kernel can reap the reset connection from the
+/// accept backlog before the parked accept thread is ever scheduled to
+/// dequeue it — the wake is lost and the daemon sleeps forever with
+/// its final save unwritten (caught by `tests/chaos_daemon.rs`). Each
+/// attempt therefore holds its connection open across a pause, so the
+/// socket is still live when `accept` returns it, and the loop keeps
+/// trying (covering transient connect failures too) until the accept
+/// loop's own exit signal confirms delivery.
+fn wake_accept_loop(addr: SocketAddr, accept_exited: &AtomicBool) {
+    let target = wake_addr(addr);
+    for _ in 0..WAKE_ATTEMPTS {
+        if accept_exited.load(Ordering::SeqCst) {
+            return;
+        }
+        let wake = TcpStream::connect_timeout(&target, Duration::from_millis(250));
+        std::thread::sleep(WAKE_PAUSE);
+        drop(wake);
     }
 }
 
@@ -273,15 +496,90 @@ fn register(shared: &Shared<'_>, stream: &TcpStream) -> Result<u64, String> {
     Ok(id)
 }
 
-/// Serve one connection: a loop of request frame → response frame.
-/// Ends when the peer closes, a frame is malformed, or the daemon is
-/// shutting down.
-fn serve_connection(mut stream: TcpStream, shared: &Shared<'_>) {
+/// What waiting for a request frame's first byte resolved to.
+enum FrameWait {
+    /// At least one byte is buffered — a frame is arriving.
+    Ready,
+    /// Clean EOF: the peer (or a drain's `Shutdown::Read`) closed.
+    Closed,
+    /// The idle deadline expired with no byte sent.
+    IdleExpired,
+    /// The socket failed; nothing more can be read.
+    Failed,
+}
+
+/// Is this I/O error a read/write deadline expiry? Unix reports
+/// `WouldBlock` for a timed-out blocking socket, Windows `TimedOut` —
+/// check both (std documents this exact pair for `set_read_timeout`).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Did this frame error come from a deadline expiry (as opposed to a
+/// malformed frame or a hard socket failure)?
+fn is_deadline_cut(e: &FrameError) -> bool {
+    matches!(e, FrameError::Io(io) if is_timeout(io))
+}
+
+/// Park until the peer's next frame starts, under the idle deadline.
+/// `peek` leaves the byte for the frame reader, so this distinguishes
+/// "idle between frames" (cheap, tolerated up to `idle_timeout`) from
+/// "stalled mid-frame" (cut by the much shorter frame deadline) —
+/// DESIGN.md §12.1.
+fn wait_for_frame(stream: &TcpStream, idle_timeout: Option<Duration>) -> FrameWait {
+    if stream.set_read_timeout(idle_timeout).is_err() {
+        return FrameWait::Failed;
+    }
+    let mut first = [0u8; 1];
     loop {
+        match stream.peek(&mut first) {
+            Ok(0) => return FrameWait::Closed,
+            Ok(_) => return FrameWait::Ready,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => return FrameWait::IdleExpired,
+            Err(_) => return FrameWait::Failed,
+        }
+    }
+}
+
+/// Serve one connection: a loop of request frame → response frame.
+/// Ends when the peer closes, idles past the idle deadline, stalls past
+/// the frame deadline, sends a malformed frame, or the daemon drains.
+fn serve_connection(mut stream: TcpStream, shared: &Shared<'_>) {
+    let opts = &shared.options;
+    // A peer that stops draining its receive window mid-response would
+    // otherwise pin the worker in `write` forever.
+    if stream.set_write_timeout(opts.frame_deadline).is_err() {
+        return;
+    }
+    loop {
+        match wait_for_frame(&stream, opts.idle_timeout) {
+            FrameWait::Ready => {}
+            FrameWait::Closed | FrameWait::Failed => return,
+            FrameWait::IdleExpired => {
+                shared.idle_disconnects.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        // A frame has started: switch to the (tighter) frame deadline
+        // for its remaining bytes.
+        if opts.frame_deadline != opts.idle_timeout
+            && stream.set_read_timeout(opts.frame_deadline).is_err()
+        {
+            return;
+        }
         let request = match Request::read_from(&mut stream) {
             Ok(Some(r)) => r,
             Ok(None) => return,
             Err(e) => {
+                if is_deadline_cut(&e) {
+                    // Mid-frame stall: the stream holds half a frame and
+                    // cannot be resynchronized, and an error frame would
+                    // interleave with whatever the peer eventually
+                    // sends. Cut loudly — count it, close it.
+                    shared.deadline_cuts.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
                 // Tell the peer why before hanging up; after a framing
                 // error the stream cannot be resynchronized.
                 let resp = Response::Error { message: e.to_string() };
@@ -290,8 +588,26 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared<'_>) {
             }
         };
         shared.requests.fetch_add(1, Ordering::Relaxed);
-        let started = std::time::Instant::now();
-        let response = handle_request(&request, shared);
+        let started = Instant::now();
+        // Admission control: bound concurrently-executing requests,
+        // shedding arrivals that cannot get a slot within the queue
+        // deadline. Stats and Shutdown bypass admission — an operator
+        // must always be able to observe and drain an overloaded
+        // daemon.
+        let exempt = matches!(request, Request::Stats | Request::Shutdown);
+        let response = match &shared.admission {
+            Some(admission) if !exempt => match admission.admit() {
+                Some(_slot) => handle_request(&request, shared),
+                None => {
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    Response::Overloaded {
+                        max_inflight: admission.max as u64,
+                        queue_deadline_ms: admission.deadline.as_millis() as u64,
+                    }
+                }
+            },
+            _ => handle_request(&request, shared),
+        };
         shared.latencies[latency_kind(&request)].record(started.elapsed());
         if matches!(response, Response::ShuttingDown) {
             // Commit to the shutdown *before* the response write: a
@@ -300,11 +616,14 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared<'_>) {
             // running forever.
             shared.shutdown.store(true, Ordering::SeqCst);
             response.write_to(&mut stream).ok();
-            // Wake the accept loop so it observes the flag.
-            TcpStream::connect(wake_addr(shared.addr)).ok();
+            // Wake the accept loop and stay until it observes the flag.
+            wake_accept_loop(shared.addr, &shared.accept_exited);
             return;
         }
-        if response.write_to(&mut stream).is_err() {
+        if let Err(e) = response.write_to(&mut stream) {
+            if is_deadline_cut(&e) {
+                shared.deadline_cuts.fetch_add(1, Ordering::Relaxed);
+            }
             return;
         }
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -318,20 +637,39 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared<'_>) {
 /// connection stays usable.
 fn handle_request(request: &Request, shared: &Shared<'_>) -> Response {
     match request {
-        Request::AddSchema { sdl } => mutate(shared, |repo| {
+        Request::AddSchema { sdl } => mutate(shared, None, |repo| {
             let name = repo.import_sdl(sdl)?;
             Ok(Response::Added { name })
         }),
-        Request::ReplaceSchema { sdl } => mutate(shared, |repo| {
+        Request::ReplaceSchema { sdl } => mutate(shared, None, |repo| {
             let schema = cupid_io::parse_sdl(sdl).map_err(cupid_repo::RepoError::Import)?;
             let name = schema.name().to_string();
             repo.replace(&schema)?;
             Ok(Response::Replaced { name })
         }),
-        Request::RemoveSchema { name } => mutate(shared, |repo| {
+        Request::RemoveSchema { name } => mutate(shared, None, |repo| {
             repo.remove(name)?;
             Ok(Response::Removed { name: name.clone() })
         }),
+        Request::Mutate { request_id, op } => {
+            let id = Some(*request_id);
+            match op {
+                MutationOp::Add { sdl } => mutate(shared, id, |repo| {
+                    let name = repo.import_sdl(sdl)?;
+                    Ok(Response::Added { name })
+                }),
+                MutationOp::Replace { sdl } => mutate(shared, id, |repo| {
+                    let schema = cupid_io::parse_sdl(sdl).map_err(cupid_repo::RepoError::Import)?;
+                    let name = schema.name().to_string();
+                    repo.replace(&schema)?;
+                    Ok(Response::Replaced { name })
+                }),
+                MutationOp::Remove { name } => mutate(shared, id, |repo| {
+                    repo.remove(name)?;
+                    Ok(Response::Removed { name: name.clone() })
+                }),
+            }
+        }
         Request::MatchPair { source, target } => {
             let guard = shared.repo.read().unwrap_or_else(|e| e.into_inner());
             let shared_match = match guard.match_pair_shared(source, target) {
@@ -416,6 +754,10 @@ fn stats_report(guard: &Repository<'_>, shared: &Shared<'_>) -> StatsReport {
         journal_bytes: durability.journal_bytes,
         replayed_records: durability.replayed_records,
         compactions: durability.compactions,
+        shed_requests: shared.shed.load(Ordering::Relaxed),
+        idle_disconnects: shared.idle_disconnects.load(Ordering::Relaxed),
+        deadline_cuts: shared.deadline_cuts.load(Ordering::Relaxed),
+        deduped_mutations: shared.deduped.load(Ordering::Relaxed),
         last_fsync_error: durability.last_fsync_error.unwrap_or_default(),
         latencies: LATENCY_KINDS
             .iter()
@@ -561,15 +903,38 @@ fn batch_dispatch(items: &[BatchItem], shared: &Shared<'_>) -> Response {
 /// ([`Repository::sync_journal`]) — the response is not written until
 /// the record is durable, which is the guarantee the crash-recovery
 /// suite SIGKILLs daemons to verify.
+///
+/// With a `request_id` (the retry-safe [`Request::Mutate`] path), the
+/// replay table is consulted *inside* the write lock: a retry of an
+/// already-applied mutation gets the original response back verbatim —
+/// success or error alike — instead of re-executing, so an ack lost to
+/// a connection reset cannot double-apply (DESIGN.md §12.3).
 fn mutate(
     shared: &Shared<'_>,
+    request_id: Option<u64>,
     op: impl FnOnce(&mut Repository<'_>) -> Result<Response, cupid_repo::RepoError>,
 ) -> Response {
     let mut guard = shared.repo.write().unwrap_or_else(|e| e.into_inner());
+    if let Some(id) = request_id {
+        let dedup = shared.dedup.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(original) = dedup.seen.get(&id) {
+            shared.deduped.fetch_add(1, Ordering::Relaxed);
+            return original.clone();
+        }
+    }
     let response = match op(&mut guard) {
         Ok(r) => r,
-        Err(e) => return Response::Error { message: e.to_string() },
+        Err(e) => {
+            let response = Response::Error { message: e.to_string() };
+            if let Some(id) = request_id {
+                shared.dedup.lock().unwrap_or_else(|e| e.into_inner()).record(id, &response);
+            }
+            return response;
+        }
     };
+    if let Some(id) = request_id {
+        shared.dedup.lock().unwrap_or_else(|e| e.into_inner()).record(id, &response);
+    }
     let count = shared.mutations.fetch_add(1, Ordering::Relaxed) + 1;
     if let Some(every) = shared.options.autosave_every {
         if every > 0 && count % every == 0 {

@@ -85,15 +85,18 @@ use cupid_core::Cupid;
 use cupid_model::FrameError;
 use cupid_repo::RepoError;
 
+pub mod chaos;
 mod client;
 mod daemon;
 pub mod histogram;
 pub mod protocol;
+mod retry;
 
 pub use client::{ClientBuilder, PooledClient, ServeClient, ServePool, TopKListing};
-pub use daemon::{ServeOptions, Server};
+pub use daemon::{ServeOptions, Server, ShutdownHandle};
 pub use histogram::{KindLatency, LatencyHistogram, LATENCY_BUCKETS};
-pub use protocol::{BatchItem, BatchOutcome, Request, Response, StatsReport};
+pub use protocol::{BatchItem, BatchOutcome, MutationOp, Request, Response, StatsReport};
+pub use retry::RetryPolicy;
 
 /// Errors of the daemon subsystem (server, client, CLI).
 #[derive(Debug)]
@@ -110,6 +113,24 @@ pub enum ServeError {
     Frame(FrameError),
     /// The repository layer failed (snapshot I/O, lock held, …).
     Repo(RepoError),
+    /// The daemon shed the request under admission control: its
+    /// in-flight cap (`max_inflight`) stayed full past the queue
+    /// deadline. Retryable — backing off is exactly what the daemon is
+    /// asking for.
+    Overloaded {
+        /// The daemon's in-flight request cap.
+        max_inflight: u64,
+        /// How long the request waited for a slot, in milliseconds.
+        queue_deadline_ms: u64,
+    },
+    /// An exchange did not complete within the configured deadline
+    /// (connect, read, or write timeout) — including after exhausting
+    /// the retry budget on timeouts.
+    DeadlineExceeded,
+    /// The connection desynchronized on an earlier transport error and
+    /// refuses reuse; reconnect (or check a fresh client out of the
+    /// pool) to continue.
+    Poisoned,
     /// The daemon answered with an error response; the connection
     /// remains usable.
     Remote(String),
@@ -120,12 +141,43 @@ pub enum ServeError {
     Closed,
 }
 
+impl ServeError {
+    /// Whether a retry can succeed where this error failed: the fault
+    /// is transient (overload, deadline, transport) rather than a
+    /// property of the request itself ([`ServeError::Remote`] — the
+    /// daemon executed it and said no) or of the client (`Poisoned`,
+    /// `Repo`, protocol bugs). The retry loop in [`ServeClient`]
+    /// branches on this instead of parsing message strings.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ServeError::Overloaded { .. }
+            | ServeError::DeadlineExceeded
+            | ServeError::Closed
+            | ServeError::Io { .. }
+            | ServeError::Frame(_) => true,
+            ServeError::Repo(_)
+            | ServeError::Poisoned
+            | ServeError::Remote(_)
+            | ServeError::Unexpected(_) => false,
+        }
+    }
+}
+
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Io { context, message } => write!(f, "{context}: {message}"),
             ServeError::Frame(e) => write!(f, "{e}"),
             ServeError::Repo(e) => write!(f, "{e}"),
+            ServeError::Overloaded { max_inflight, queue_deadline_ms } => write!(
+                f,
+                "daemon overloaded: {max_inflight} requests in flight for over \
+                 {queue_deadline_ms} ms; retry with backoff"
+            ),
+            ServeError::DeadlineExceeded => write!(f, "exchange exceeded its deadline"),
+            ServeError::Poisoned => {
+                write!(f, "connection poisoned by an earlier transport error; reconnect")
+            }
             ServeError::Remote(m) => write!(f, "daemon error: {m}"),
             ServeError::Unexpected(m) => write!(f, "{m}"),
             ServeError::Closed => write!(f, "daemon closed the connection mid-exchange"),

@@ -6,7 +6,13 @@
 //!
 //! ```text
 //! cupid-serve <addr> <repo-path> [--max-conns N] [--autosave N] [--compact-after N]
+//!             [--max-inflight N] [--queue-deadline MS] [--idle-timeout MS] [--frame-deadline MS]
 //! ```
+//!
+//! `--max-inflight` / `--queue-deadline` enable admission control
+//! (shed with a typed `Overloaded` frame instead of queueing);
+//! `--idle-timeout` / `--frame-deadline` bound how long a silent or
+//! stalling peer can hold a connection (DESIGN.md §12).
 //!
 //! Client mode sends one request to a running daemon and prints the
 //! reply:
@@ -28,7 +34,21 @@ use cupid_serve::{ServeClient, ServeOptions, Server};
 
 const USAGE: &str = "usage:
   cupid-serve <addr> <repo-path> [--max-conns N] [--autosave N] [--compact-after N]
+              [--max-inflight N] [--queue-deadline MS] [--idle-timeout MS] [--frame-deadline MS]
   cupid-serve --client <addr> <command> [args]
+
+daemon flags:
+  --max-conns N        concurrent connection cap (default 64)
+  --autosave N         fsync the journal every N mutations
+  --compact-after N    fold the journal into a snapshot at N records
+  --max-inflight N     admission control: at most N requests execute at
+                       once; arrivals over the cap are shed with a typed
+                       Overloaded frame after --queue-deadline
+  --queue-deadline MS  how long a request may wait for a slot (default 100)
+  --idle-timeout MS    close connections idle between frames this long
+                       (default 300000; 0 disables)
+  --frame-deadline MS  cut connections stalled mid-frame this long
+                       (default 30000; 0 disables)
 
 client commands:
   stats                      daemon counters
@@ -67,6 +87,21 @@ fn run_daemon(args: &[String]) -> Result<(), String> {
             }
             "--compact-after" => {
                 options.compact_after = Some(flag_value(args, &mut i, "--compact-after")?);
+            }
+            "--max-inflight" => {
+                options.max_inflight = Some(flag_value(args, &mut i, "--max-inflight")? as usize);
+            }
+            "--queue-deadline" => {
+                options.queue_deadline =
+                    std::time::Duration::from_millis(flag_value(args, &mut i, "--queue-deadline")?);
+            }
+            "--idle-timeout" => {
+                let ms = flag_value(args, &mut i, "--idle-timeout")?;
+                options.idle_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--frame-deadline" => {
+                let ms = flag_value(args, &mut i, "--frame-deadline")?;
+                options.frame_deadline = (ms > 0).then(|| std::time::Duration::from_millis(ms));
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with('-') => {
@@ -136,6 +171,13 @@ fn run_client(args: &[String]) -> Result<(), String> {
                 s.compactions,
                 s.requests_served
             );
+            if s.shed_requests + s.idle_disconnects + s.deadline_cuts + s.deduped_mutations > 0 {
+                println!(
+                    "hostile-network: shed {}  idle disconnects {}  deadline cuts {}  \
+                     deduped mutations {}",
+                    s.shed_requests, s.idle_disconnects, s.deadline_cuts, s.deduped_mutations
+                );
+            }
             if !s.last_fsync_error.is_empty() {
                 println!("DEGRADED: last fsync error: {}", s.last_fsync_error);
             }

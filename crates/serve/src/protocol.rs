@@ -5,13 +5,15 @@
 //! message discriminator, the payload is the message body in the
 //! workspace's hand-rolled wire format ([`WireWriter`]/[`WireReader`]
 //! — little-endian integers, `f64` by bits, length-prefixed UTF-8).
-//! Requests use kinds `0x01..=0x09`; responses set the high bit
-//! (`0x81..=0x8A`), so a stray response on a request stream (or vice
+//! Requests use kinds `0x01..=0x0A`; responses set the high bit
+//! (`0x81..=0x8B`), so a stray response on a request stream (or vice
 //! versa) is rejected as an unknown kind rather than mis-decoded. The
 //! batch kinds (`0x09`/`0x8A`, DESIGN.md §11) carry a worklist of
 //! read-side requests — [`BatchItem`] entries in, per-entry
 //! [`BatchOutcome`]-or-error statuses out — so one frame round-trip
-//! amortizes across many requests.
+//! amortizes across many requests. The robustness kinds (`0x0A`/`0x8B`,
+//! DESIGN.md §12) carry id-stamped mutations for retry deduplication
+//! and the admission controller's typed overload shed.
 //!
 //! Schema payloads travel as SDL text (`cupid-io`'s schema description
 //! language), the reproduction's native review/exchange format — the
@@ -28,7 +30,7 @@
 use std::io::{Read, Write};
 
 use cupid_core::MatchSummary;
-use cupid_model::wire::{BATCH_REQUEST, BATCH_RESPONSE};
+use cupid_model::wire::{BATCH_REQUEST, BATCH_RESPONSE, MUTATE_REQUEST, OVERLOADED_RESPONSE};
 use cupid_model::{read_frame, write_frame, FrameError, WireError, WireReader, WireWriter};
 
 use crate::histogram::KindLatency;
@@ -77,6 +79,44 @@ pub enum Request {
     Batch {
         /// The worklist, executed under one read-lock acquisition.
         items: Vec<BatchItem>,
+    },
+    /// A schema mutation carrying a client-assigned request id
+    /// (DESIGN.md §12). The daemon remembers recently executed ids and
+    /// answers a duplicate with the *original* response instead of
+    /// re-applying — which is what makes mutation retries safe when an
+    /// acknowledgment is lost to a reset: the retried `Add` gets its
+    /// `Added` back, not an "already in repository" error, and the
+    /// mutation applies exactly once.
+    Mutate {
+        /// Client-assigned id, unique per logical mutation; a retry
+        /// resends the same id with the same payload.
+        request_id: u64,
+        /// The mutation itself.
+        op: MutationOp,
+    },
+}
+
+/// The operation inside a [`Request::Mutate`] frame — the same three
+/// schema mutations as the id-less legacy kinds, grouped under one
+/// frame kind so the request id travels uniformly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutationOp {
+    /// Add a new schema, shipped as SDL text ([`Request::AddSchema`]).
+    Add {
+        /// The schema as an SDL document.
+        sdl: String,
+    },
+    /// Replace the stored schema with the same name
+    /// ([`Request::ReplaceSchema`]).
+    Replace {
+        /// The replacement schema as an SDL document.
+        sdl: String,
+    },
+    /// Remove the schema stored under this name
+    /// ([`Request::RemoveSchema`]).
+    Remove {
+        /// The repository key.
+        name: String,
     },
 }
 
@@ -158,6 +198,18 @@ pub struct StatsReport {
     /// durability is healthy — how autosave degradation reaches
     /// operators instead of dying in the daemon's stderr.
     pub last_fsync_error: String,
+    /// Requests refused by admission control because the in-flight cap
+    /// stayed full past the queue deadline (DESIGN.md §12).
+    pub shed_requests: u64,
+    /// Connections closed for sitting idle past the idle read deadline
+    /// without sending a frame — each one a reclaimed worker slot.
+    pub idle_disconnects: u64,
+    /// Connections cut for stalling mid-frame (read or write) past the
+    /// frame deadline — a misbehaving peer, not an idle one.
+    pub deadline_cuts: u64,
+    /// Mutations answered from the request-id dedup table instead of
+    /// re-applied — each one a retry whose original ack was lost.
+    pub deduped_mutations: u64,
     /// Per-request-kind latency histograms (log2 buckets; DESIGN.md
     /// §11), one entry per kind the daemon records, in the daemon's
     /// fixed kind order.
@@ -214,6 +266,17 @@ pub enum Response {
         /// Human-readable failure description.
         message: String,
     },
+    /// Admission control shed the request: the daemon's in-flight cap
+    /// stayed full past its queue deadline (DESIGN.md §12). The
+    /// connection stays usable and the request is safe to retry after
+    /// backing off — nothing was executed.
+    Overloaded {
+        /// The daemon's in-flight cap at the time of the shed.
+        max_inflight: u64,
+        /// How long the request waited for a slot before being shed,
+        /// in milliseconds (the daemon's queue deadline).
+        queue_deadline_ms: u64,
+    },
     /// The result of a [`Request::Batch`]: one status per worklist
     /// entry, in order. An `Err` entry carries the failure message and
     /// fails alone — the other entries still carry their results.
@@ -251,6 +314,9 @@ const RESP_ERROR: u8 = 0x89;
 const ITEM_MATCH_PAIR: u8 = 0x01;
 const ITEM_TOP_K: u8 = 0x02;
 const ITEM_STATS: u8 = 0x03;
+const MUTATE_ADD: u8 = 0x01;
+const MUTATE_REPLACE: u8 = 0x02;
+const MUTATE_REMOVE: u8 = 0x03;
 const ENTRY_ERR: u8 = 0x00;
 const ENTRY_MATCHED: u8 = 0x01;
 const ENTRY_TOP_K: u8 = 0x02;
@@ -292,6 +358,24 @@ impl Request {
                 }
                 BATCH_REQUEST
             }
+            Request::Mutate { request_id, op } => {
+                w.put_u64(*request_id);
+                match op {
+                    MutationOp::Add { sdl } => {
+                        w.put_u8(MUTATE_ADD);
+                        w.put_str(sdl);
+                    }
+                    MutationOp::Replace { sdl } => {
+                        w.put_u8(MUTATE_REPLACE);
+                        w.put_str(sdl);
+                    }
+                    MutationOp::Remove { name } => {
+                        w.put_u8(MUTATE_REMOVE);
+                        w.put_str(name);
+                    }
+                }
+                MUTATE_REQUEST
+            }
         };
         (kind, w.into_bytes())
     }
@@ -316,6 +400,16 @@ impl Request {
                     items.push(BatchItem::read_wire(&mut r)?);
                 }
                 Request::Batch { items }
+            }
+            MUTATE_REQUEST => {
+                let request_id = r.get_u64()?;
+                let op = match r.get_u8()? {
+                    MUTATE_ADD => MutationOp::Add { sdl: r.get_str()? },
+                    MUTATE_REPLACE => MutationOp::Replace { sdl: r.get_str()? },
+                    MUTATE_REMOVE => MutationOp::Remove { name: r.get_str()? },
+                    other => return Err(r.err(format!("unknown mutation tag {other:#04x}"))),
+                };
+                Request::Mutate { request_id, op }
             }
             other => return Err(r.err(format!("unknown request kind {other:#04x}"))),
         };
@@ -451,6 +545,10 @@ impl StatsReport {
             self.journal_bytes,
             self.replayed_records,
             self.compactions,
+            self.shed_requests,
+            self.idle_disconnects,
+            self.deadline_cuts,
+            self.deduped_mutations,
         ] {
             w.put_u64(v);
         }
@@ -481,6 +579,10 @@ impl StatsReport {
             journal_bytes: r.get_u64()?,
             replayed_records: r.get_u64()?,
             compactions: r.get_u64()?,
+            shed_requests: r.get_u64()?,
+            idle_disconnects: r.get_u64()?,
+            deadline_cuts: r.get_u64()?,
+            deduped_mutations: r.get_u64()?,
             last_fsync_error: r.get_str()?,
             latencies: {
                 let n = r.get_len()?;
@@ -542,6 +644,11 @@ impl Response {
                 w.put_str(message);
                 RESP_ERROR
             }
+            Response::Overloaded { max_inflight, queue_deadline_ms } => {
+                w.put_u64(*max_inflight);
+                w.put_u64(*queue_deadline_ms);
+                OVERLOADED_RESPONSE
+            }
             Response::Batch { entries } => {
                 w.put_len(entries.len());
                 for entry in entries {
@@ -574,6 +681,9 @@ impl Response {
             RESP_SAVED => Response::Saved { bytes: r.get_u64()? },
             RESP_SHUTTING_DOWN => Response::ShuttingDown,
             RESP_ERROR => Response::Error { message: r.get_str()? },
+            OVERLOADED_RESPONSE => {
+                Response::Overloaded { max_inflight: r.get_u64()?, queue_deadline_ms: r.get_u64()? }
+            }
             BATCH_RESPONSE => {
                 let n = r.get_len()?;
                 let mut entries = Vec::with_capacity(n);
@@ -628,6 +738,12 @@ mod tests {
                 ],
             },
             Request::Batch { items: Vec::new() },
+            Request::Mutate {
+                request_id: 0xDEAD_BEEF_0BAD_CAFE,
+                op: MutationOp::Add { sdl: "schema S\n  attr A : int\n".into() },
+            },
+            Request::Mutate { request_id: 0, op: MutationOp::Replace { sdl: String::new() } },
+            Request::Mutate { request_id: u64::MAX, op: MutationOp::Remove { name: "S".into() } },
         ];
         let mut buf = Vec::new();
         for req in &requests {
@@ -659,6 +775,26 @@ mod tests {
         assert!(Response::decode(kind, &payload).is_err());
         let (kind, mut payload) = Request::Batch { items: vec![BatchItem::Stats] }.encode();
         payload.push(0);
+        assert!(Request::decode(kind, &payload).is_err());
+    }
+
+    #[test]
+    fn overloaded_response_round_trips() {
+        let want = Response::Overloaded { max_inflight: 32, queue_deadline_ms: 100 };
+        let (kind, payload) = want.encode();
+        assert_eq!(Response::decode(kind, &payload).unwrap(), want);
+        // The shed is a response kind: it must not decode as a request.
+        assert!(Request::decode(kind, &payload).is_err());
+        let (kind, mut payload) = want.encode();
+        payload.push(0);
+        assert!(Response::decode(kind, &payload).is_err());
+    }
+
+    #[test]
+    fn mutation_tags_are_strict() {
+        let (kind, mut payload) =
+            Request::Mutate { request_id: 7, op: MutationOp::Remove { name: "X".into() } }.encode();
+        payload[8] = 0x7f; // the op tag byte, after the u64 request id
         assert!(Request::decode(kind, &payload).is_err());
     }
 

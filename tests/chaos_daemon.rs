@@ -1,0 +1,449 @@
+//! Hostile-network suite for the match daemon (DESIGN.md §12).
+//!
+//! Every test here puts the daemon behind the in-process
+//! [`ChaosProxy`] (or under deliberate overload/misbehaviour) and
+//! checks the hardening contract:
+//!
+//! * **No acked mutation is lost or double-applied** — response frames
+//!   carrying mutation acks are torn down on a deterministic schedule;
+//!   the retrying client must still get every mutation applied exactly
+//!   once (request-id dedup replays the original ack).
+//! * **No call outlives its deadline** — with every frame black-holed,
+//!   a retried call must fail *typed* (`DeadlineExceeded`) within the
+//!   policy's computable wall-clock bound, never park forever.
+//! * **Retried reads are bit-identical** — a seeded mix of delay,
+//!   drop, reset, partial-write and black-hole faults may force any
+//!   number of reconnects and resends, but every summary that comes
+//!   back must carry the same similarity bits as a fault-free run.
+//! * **Overload sheds instead of queueing** — past `max_inflight`,
+//!   arrivals get the typed `Overloaded` frame and the daemon's shed
+//!   counter says so.
+//! * **Idle peers don't pin workers** — a connected-but-silent client
+//!   is closed at the idle deadline and its connection slot reclaimed
+//!   (the regression this PR exists to fix).
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use cupid::core::CupidConfig;
+use cupid::lexical::Thesaurus;
+use cupid::prelude::{ServeClient, ServeOptions, Server, ShutdownHandle};
+use cupid::serve::chaos::{ChaosProxy, Direction, Fault, FaultMix};
+use cupid::serve::{ClientBuilder, RetryPolicy, ServeError};
+
+/// Drains the daemon if the test body panics. Every test here runs
+/// the daemon on a scoped thread; a bare assertion failure in the
+/// body would otherwise leave `thread::scope` joining a daemon parked
+/// in `accept` that will never hear a shutdown — the suite hangs
+/// forever and the panic message is never printed. The guard turns
+/// that back into an ordinary test failure. Construct it *inside* the
+/// scope closure (guards declared outside drop only after the join).
+struct DrainOnPanic(ShutdownHandle);
+
+impl Drop for DrainOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.drain();
+        }
+    }
+}
+
+/// A unique, self-cleaning snapshot location per test.
+struct TempSnap(PathBuf);
+
+impl TempSnap {
+    fn new() -> Self {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cupid-chaos-test-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempSnap(dir.join("cupid.repo"))
+    }
+}
+
+impl Drop for TempSnap {
+    fn drop(&mut self) {
+        if let Some(dir) = self.0.parent() {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+}
+
+const CORPUS_SDL: &[&str] = &[
+    "schema PO\n  element Item\n    attr Qty : int\n    attr Invoice : string\n",
+    "schema Order\n  element Item\n    attr Quantity : int\n    attr Bill : string\n",
+    "schema Sales\n  element Order\n    attr Quantity : int\n    attr OrderDate : date\n",
+    "schema Customer\n  element Person\n    attr CustomerName : string\n    attr Phone : string\n",
+    "schema Client\n  element Person\n    attr ClientName : string\n    attr Telephone : string\n",
+    "schema Misc\n  element Thing\n    attr Unrelated : decimal\n",
+];
+
+fn thesaurus() -> Thesaurus {
+    Thesaurus::parse(
+        "abbrev Qty = quantity\n\
+         syn invoice bill 1.0\n\
+         syn phone telephone 1.0\n\
+         syn customer client 0.9\n",
+    )
+    .unwrap()
+}
+
+/// Daemon options tuned for chaos runs: tight deadlines so faults
+/// resolve in milliseconds, not the production defaults.
+fn chaos_opts() -> ServeOptions {
+    ServeOptions {
+        idle_timeout: Some(Duration::from_secs(5)),
+        frame_deadline: Some(Duration::from_secs(2)),
+        ..ServeOptions::default()
+    }
+}
+
+/// A builder with deadlines sized for loopback chaos (every attempt
+/// bounded by ~250 ms of socket deadline) and a deterministic retry
+/// policy generous enough to ride out the injected fault rates.
+fn retrying(seed: u64) -> ClientBuilder {
+    ClientBuilder::new()
+        .connect_timeout(Duration::from_secs(1))
+        .read_timeout(Duration::from_millis(250))
+        .retry(
+            RetryPolicy::new(seed)
+                .base(Duration::from_millis(5))
+                .cap(Duration::from_millis(40))
+                .budget(6),
+        )
+}
+
+/// Acks torn down on a fixed cadence: every third response frame of
+/// every proxied connection resets the whole connection, so roughly a
+/// third of mutations lose their ack *after* the daemon applied them.
+/// The retrying client must converge anyway — and must not
+/// double-apply: a re-executed `Add` would answer "already in
+/// repository", turning the ack into an error, which the per-mutation
+/// asserts below would catch.
+#[test]
+fn no_acked_mutation_lost_or_double_applied() {
+    let tmp = TempSnap::new();
+    let config = CupidConfig::default();
+    let th = thesaurus();
+    let server = Server::bind("127.0.0.1:0", &tmp.0, &config, &th, chaos_opts()).unwrap();
+    let daemon_addr = server.local_addr();
+    let mut proxy = ChaosProxy::start(daemon_addr, |ctx| {
+        if ctx.direction == Direction::ServerToClient && ctx.frame % 3 == 2 {
+            Fault::Reset
+        } else {
+            Fault::Pass
+        }
+    })
+    .unwrap();
+
+    let handle = server.shutdown_handle();
+    std::thread::scope(|scope| {
+        scope.spawn(move || server.run().unwrap());
+        let _guard = DrainOnPanic(handle);
+        let mut client = retrying(0xC0FFEE).connect(proxy.addr()).unwrap();
+        for sdl in CORPUS_SDL {
+            client.add_sdl(sdl).expect("acked add must survive torn acks");
+        }
+        // Mutations of all three kinds, every ack at risk.
+        client
+            .replace_sdl("schema Misc\n  element Thing\n    attr Renamed : decimal\n")
+            .expect("acked replace must survive torn acks");
+        client.remove("Client").expect("acked remove must survive torn acks");
+
+        // Ground truth read directly from the daemon, not the proxy.
+        let mut direct = ServeClient::connect(daemon_addr).unwrap();
+        let stats = direct.stats().unwrap();
+        assert_eq!(stats.schemas, CORPUS_SDL.len() as u64 - 1, "adds minus the remove");
+        assert!(
+            stats.deduped_mutations > 0,
+            "the reset cadence must have forced at least one replayed ack"
+        );
+        // The replace landed exactly once (its effect is visible).
+        let listing = direct.top_k(16).unwrap();
+        assert!(listing.names.contains(&"Misc".to_string()));
+        assert!(!listing.names.contains(&"Client".to_string()), "removed schema stays removed");
+        direct.shutdown().unwrap();
+    });
+    let (_, resets) = proxy.injected().into_iter().find(|(k, _)| *k == "reset").unwrap();
+    assert!(resets > 0, "the schedule must actually have torn connections");
+    proxy.stop();
+}
+
+/// With every request frame black-holed, a retried call must fail
+/// typed within the policy's computable wall-clock bound — silence is
+/// the one fault that can't be detected faster than the deadline, so
+/// this is the worst case for "no call outlives its deadline".
+#[test]
+fn no_call_outlives_its_deadline() {
+    let tmp = TempSnap::new();
+    let config = CupidConfig::default();
+    let th = thesaurus();
+    let server = Server::bind("127.0.0.1:0", &tmp.0, &config, &th, chaos_opts()).unwrap();
+    let daemon_addr = server.local_addr();
+    let mut proxy = ChaosProxy::start(daemon_addr, |ctx| {
+        if ctx.direction == Direction::ClientToServer {
+            Fault::BlackHole
+        } else {
+            Fault::Pass
+        }
+    })
+    .unwrap();
+
+    let handle = server.shutdown_handle();
+    std::thread::scope(|scope| {
+        scope.spawn(move || server.run().unwrap());
+        let _guard = DrainOnPanic(handle);
+        let connect_timeout = Duration::from_secs(1);
+        let read_timeout = Duration::from_millis(200);
+        let policy = RetryPolicy::new(7).base(Duration::from_millis(5)).budget(3);
+        // Every attempt is bounded by connect + write deadline + read
+        // deadline; the policy bound adds the backoff sleeps.
+        let per_attempt = connect_timeout + read_timeout * 2;
+        let bound = policy.max_elapsed(per_attempt);
+        let mut client = ClientBuilder::new()
+            .connect_timeout(connect_timeout)
+            .read_timeout(read_timeout)
+            .retry(policy)
+            .connect(proxy.addr())
+            .unwrap();
+        let started = Instant::now();
+        let err = client.stats().unwrap_err();
+        let elapsed = started.elapsed();
+        assert!(
+            matches!(err, ServeError::DeadlineExceeded),
+            "black-holed call must fail typed: {err:?}"
+        );
+        // Generous slack for 1-core CI scheduling; the point is the
+        // *bound*, not the exact sum.
+        assert!(
+            elapsed < bound + Duration::from_millis(500),
+            "call outlived its deadline: {elapsed:?} vs bound {bound:?}"
+        );
+        ServeClient::connect(daemon_addr).unwrap().shutdown().unwrap();
+    });
+    proxy.stop();
+}
+
+/// A seeded mix of all five fault classes may force any number of
+/// reconnects and resends, but every read that eventually succeeds
+/// must return the same similarity bits as a fault-free run against
+/// the same daemon.
+#[test]
+fn retried_reads_bit_identical_to_clean_run() {
+    let tmp = TempSnap::new();
+    let config = CupidConfig::default();
+    let th = thesaurus();
+    let server = Server::bind("127.0.0.1:0", &tmp.0, &config, &th, chaos_opts()).unwrap();
+    let daemon_addr = server.local_addr();
+    let mix = FaultMix {
+        delay: 8,
+        drop: 6,
+        reset: 6,
+        partial_write: 6,
+        black_hole: 4,
+        out_of: 100,
+        max_delay: Duration::from_millis(40),
+    };
+    let mut proxy = ChaosProxy::start(daemon_addr, mix.schedule(0xBAD_5EED)).unwrap();
+
+    let handle = server.shutdown_handle();
+    std::thread::scope(|scope| {
+        scope.spawn(move || server.run().unwrap());
+        let _guard = DrainOnPanic(handle);
+        // Populate and read ground truth over a clean direct path.
+        let mut direct = ServeClient::connect(daemon_addr).unwrap();
+        for sdl in CORPUS_SDL {
+            direct.add_sdl(sdl).unwrap();
+        }
+        let names: Vec<String> = direct.top_k(0).unwrap().names;
+        let mut clean = Vec::new();
+        for i in 0..names.len() {
+            for j in (i + 1)..names.len() {
+                clean.push(direct.match_pair(&names[i], &names[j]).unwrap());
+            }
+        }
+        let clean_topk = direct.top_k(4).unwrap();
+
+        // Same reads through the chaos proxy with retries.
+        let mut client = retrying(0xFEED_FACE).connect(proxy.addr()).unwrap();
+        let mut hostile = Vec::new();
+        for i in 0..names.len() {
+            for j in (i + 1)..names.len() {
+                hostile.push(
+                    client
+                        .match_pair(&names[i], &names[j])
+                        .expect("retry budget must ride out the fault mix"),
+                );
+            }
+        }
+        let hostile_topk = client.top_k(4).expect("retried top-k");
+
+        for (c, h) in clean.iter().zip(&hostile) {
+            let bits = |s: &cupid::core::MatchSummary| {
+                s.leaf_mappings
+                    .iter()
+                    .map(|m| (m.source_path.clone(), m.target_path.clone(), m.wsim.to_bits()))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(bits(c), bits(h), "summary bits diverged under faults");
+            assert_eq!(c.compared_pairs, h.compared_pairs);
+        }
+        assert_eq!(clean_topk.names, hostile_topk.names);
+        assert_eq!(clean_topk.summaries.len(), hostile_topk.summaries.len());
+        for (c, h) in clean_topk.summaries.iter().zip(&hostile_topk.summaries) {
+            assert_eq!(
+                c.leaf_mappings.len(),
+                h.leaf_mappings.len(),
+                "top-k summaries diverged under faults"
+            );
+        }
+        direct.shutdown().unwrap();
+    });
+    let injected = proxy.injected();
+    let total: u64 = injected.iter().map(|(_, n)| n).sum();
+    assert!(total > 0, "seed injected nothing: {injected:?}");
+    proxy.stop();
+}
+
+/// Past `max_inflight`, arrivals that can't get a slot within the
+/// queue deadline get the typed `Overloaded` frame — the daemon sheds
+/// instead of queueing unboundedly, and its stats say so.
+#[test]
+fn overload_sheds_with_typed_response() {
+    let tmp = TempSnap::new();
+    let config = CupidConfig::default();
+    let th = thesaurus();
+    let opts =
+        ServeOptions { max_inflight: Some(1), queue_deadline: Duration::ZERO, ..chaos_opts() };
+    let server = Server::bind("127.0.0.1:0", &tmp.0, &config, &th, opts).unwrap();
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    std::thread::scope(|scope| {
+        scope.spawn(move || server.run().unwrap());
+        let _guard = DrainOnPanic(handle);
+        let mut setup = ServeClient::connect(addr).unwrap();
+        for sdl in CORPUS_SDL {
+            setup.add_sdl(sdl).unwrap();
+        }
+        // Hammer the 1-slot daemon from several threads with no
+        // retries: collisions must shed with the typed frame, and a
+        // shed response must leave the connection usable (it's an
+        // application-level refusal, not a transport fault). A shed
+        // needs an arrival to land *during* another request's
+        // execution, and on a 1-core runner closed-loop clients are
+        // rarely in-handler simultaneously — one storm round sheds
+        // nothing every so often, so storm in rounds until a shed
+        // shows up (one round almost always does).
+        let shed_seen = std::sync::atomic::AtomicU32::new(0);
+        let ok_seen = std::sync::atomic::AtomicU32::new(0);
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            std::thread::scope(|inner| {
+                for _ in 0..6 {
+                    inner.spawn(|| {
+                        let mut client = ServeClient::connect(addr).unwrap();
+                        for _ in 0..25 {
+                            match client.top_k(4) {
+                                Ok(listing) => {
+                                    assert!(!listing.names.is_empty());
+                                    ok_seen.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(ServeError::Overloaded { max_inflight, .. }) => {
+                                    assert_eq!(max_inflight, 1);
+                                    shed_seen.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(other) => {
+                                    panic!("unexpected error under overload: {other:?}")
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            if shed_seen.load(Ordering::Relaxed) > 0 || Instant::now() >= deadline {
+                break;
+            }
+        }
+        assert!(ok_seen.load(Ordering::Relaxed) > 0, "admitted requests must still succeed");
+        assert!(
+            shed_seen.load(Ordering::Relaxed) > 0,
+            "six clients against one slot never shed across 20 s of storm rounds"
+        );
+        // Fresh connection for the postmortem: `setup` may have sat
+        // past the idle deadline while the storm rounds ran.
+        drop(setup);
+        let mut fin = ServeClient::connect(addr).unwrap();
+        let stats = fin.stats().unwrap();
+        assert_eq!(
+            stats.shed_requests,
+            shed_seen.load(Ordering::Relaxed) as u64,
+            "daemon shed counter must match client-observed Overloaded frames"
+        );
+        fin.shutdown().unwrap();
+    });
+}
+
+/// Regression (pre-hardening bug): a client that connects and never
+/// sends a frame used to pin an accept-loop worker forever. With an
+/// idle deadline, the daemon closes it, counts it, and the connection
+/// slot is reclaimed for real clients.
+#[test]
+fn idle_peer_slot_is_reclaimed() {
+    let tmp = TempSnap::new();
+    let config = CupidConfig::default();
+    let th = thesaurus();
+    let opts = ServeOptions {
+        max_connections: 1,
+        idle_timeout: Some(Duration::from_millis(150)),
+        ..ServeOptions::default()
+    };
+    let server = Server::bind("127.0.0.1:0", &tmp.0, &config, &th, opts).unwrap();
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    std::thread::scope(|scope| {
+        scope.spawn(move || server.run().unwrap());
+        let _guard = DrainOnPanic(handle);
+        // A silent connection takes the only slot...
+        let silent = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        // ...so the next client is refused at the door.
+        let refused = ServeClient::connect(addr).unwrap().stats().unwrap_err();
+        assert!(
+            matches!(&refused, ServeError::Remote(m) if m.contains("capacity")),
+            "expected a capacity refusal while the idle peer pins the slot: {refused:?}"
+        );
+        // Once the idle deadline passes, the slot comes back.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let stats = loop {
+            std::thread::sleep(Duration::from_millis(50));
+            if let Ok(stats) = ServeClient::connect(addr).and_then(|mut c| c.stats()) {
+                break stats;
+            }
+            assert!(Instant::now() < deadline, "idle peer never evicted; slot still pinned");
+        };
+        assert!(stats.idle_disconnects >= 1, "idle eviction must be counted");
+        drop(silent);
+        // The stats client above was just dropped, but with one
+        // connection slot its worker may not have seen the EOF and
+        // released it yet — a shutdown sent immediately can bounce off
+        // the capacity check. Retry until it lands; an unwrap here
+        // would panic *inside* the scope, and the join of the
+        // never-shut-down daemon thread (parked in accept) would hang
+        // the suite before the panic could surface.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match ServeClient::connect(addr).and_then(|mut c| c.shutdown()) {
+                Ok(_) => break,
+                Err(e) => {
+                    assert!(Instant::now() < deadline, "daemon never took the shutdown: {e:?}");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    });
+}

@@ -19,9 +19,25 @@ use cupid::core::{CupidConfig, MatchSession, MatchSummary};
 use cupid::io::parse_sdl;
 use cupid::lexical::Thesaurus;
 use cupid::model::Schema;
-use cupid::prelude::{RepoError, Repository, ServeClient, ServeOptions, Server};
+use cupid::prelude::{RepoError, Repository, ServeClient, ServeOptions, Server, ShutdownHandle};
 use cupid::repo::RepoLock;
 use cupid::serve::{BatchItem, BatchOutcome, ClientBuilder, ServeError, ServePool};
+
+/// Drains the daemon if the test body panics. The daemon runs on a
+/// scoped thread; without the guard, a failed assertion in the body
+/// would leave `thread::scope` joining a daemon that never hears a
+/// shutdown — the suite hangs instead of failing. Construct it
+/// *inside* the scope closure (guards outside drop only after the
+/// join).
+struct DrainOnPanic(ShutdownHandle);
+
+impl Drop for DrainOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.drain();
+        }
+    }
+}
 
 /// A unique, self-cleaning snapshot location per test.
 struct TempSnap(PathBuf);
@@ -106,8 +122,10 @@ fn concurrent_clients_get_bit_identical_responses() {
     let server =
         Server::bind("127.0.0.1:0", &tmp.0, &config, &th, ServeOptions::default()).unwrap();
     let addr = server.local_addr();
+    let handle = server.shutdown_handle();
     std::thread::scope(|scope| {
         scope.spawn(move || server.run().unwrap());
+        let _guard = DrainOnPanic(handle);
 
         // One client populates the corpus.
         let mut setup = ServeClient::connect(addr).unwrap();
@@ -197,8 +215,10 @@ fn batched_requests_match_unary_bit_for_bit() {
     let server =
         Server::bind("127.0.0.1:0", &tmp.0, &config, &th, ServeOptions::default()).unwrap();
     let addr = server.local_addr();
+    let handle = server.shutdown_handle();
     std::thread::scope(|scope| {
         scope.spawn(move || server.run().unwrap());
+        let _guard = DrainOnPanic(handle);
         let pool = ServePool::new(addr.to_string(), 2);
         {
             let mut setup = pool.checkout().unwrap();
@@ -296,9 +316,9 @@ fn batched_requests_match_unary_bit_for_bit() {
 }
 
 /// A daemon that accepts but never answers must not park the client
-/// forever: the read timeout surfaces as a loud frame I/O error, the
-/// connection is poisoned, and its pool evicts it on checkin instead of
-/// handing the desynchronized stream to the next checkout.
+/// forever: the read timeout surfaces as a typed `DeadlineExceeded`,
+/// the connection is poisoned, and its pool evicts it on checkin
+/// instead of handing the desynchronized stream to the next checkout.
 #[test]
 fn read_timeout_fails_loudly_and_pool_evicts_broken_connections() {
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
@@ -313,11 +333,15 @@ fn read_timeout_fails_loudly_and_pool_evicts_broken_connections() {
     let mut client = pool.checkout().unwrap();
     assert_eq!(pool.live(), 1);
     let err = client.stats().unwrap_err();
-    assert!(matches!(err, ServeError::Frame(_)), "timeout must be a frame I/O error: {err:?}");
+    assert!(
+        matches!(err, ServeError::DeadlineExceeded),
+        "timeout must be typed DeadlineExceeded: {err:?}"
+    );
+    assert!(err.is_retryable(), "a deadline expiry is worth retrying");
     assert!(client.is_poisoned());
     // Poisoned clients refuse further exchanges instead of reading
-    // from a desynchronized stream.
-    assert!(client.stats().is_err());
+    // from a desynchronized stream (typed too, for pool diagnostics).
+    assert!(matches!(client.stats().unwrap_err(), ServeError::Poisoned));
     drop(client);
     assert_eq!(pool.live(), 0, "poisoned connection evicted on checkin");
     assert_eq!(pool.idle(), 0);
@@ -332,8 +356,10 @@ fn daemon_holds_the_single_writer_lock() {
     let server =
         Server::bind("127.0.0.1:0", &tmp.0, &config, &th, ServeOptions::default()).unwrap();
     let addr = server.local_addr();
+    let handle = server.shutdown_handle();
     std::thread::scope(|scope| {
         scope.spawn(move || server.run().unwrap());
+        let _guard = DrainOnPanic(handle);
         // While the daemon runs, a second writer is refused loudly.
         match Repository::open_or_create(&tmp.0, &config, &th) {
             Err(RepoError::Locked { pid, .. }) => assert_eq!(pid, std::process::id()),
@@ -364,8 +390,10 @@ fn mutations_errors_and_restart() {
     let server =
         Server::bind("127.0.0.1:0", &tmp.0, &config, &th, ServeOptions::default()).unwrap();
     let addr = server.local_addr();
+    let handle = server.shutdown_handle();
     std::thread::scope(|scope| {
         scope.spawn(move || server.run().unwrap());
+        let _guard = DrainOnPanic(handle);
         let mut client = ServeClient::connect(addr).unwrap();
         for sdl in CORPUS_SDL {
             client.add_sdl(sdl).unwrap();
@@ -406,8 +434,10 @@ fn mutations_errors_and_restart() {
     let server =
         Server::bind("127.0.0.1:0", &tmp.0, &config, &th, ServeOptions::default()).unwrap();
     let addr = server.local_addr();
+    let handle = server.shutdown_handle();
     std::thread::scope(|scope| {
         scope.spawn(move || server.run().unwrap());
+        let _guard = DrainOnPanic(handle);
         let mut client = ServeClient::connect(addr).unwrap();
         let stats = client.stats().unwrap();
         assert_eq!(stats.schemas, 5, "restarted daemon loads the saved corpus");
@@ -584,8 +614,10 @@ fn autosave_journals_mutations_and_snapshots_at_shutdown() {
     let server = Server::bind("127.0.0.1:0", &tmp.0, &config, &th, options).unwrap();
     let addr = server.local_addr();
     let journal = cupid::repo::journal::journal_path(&tmp.0);
+    let handle = server.shutdown_handle();
     std::thread::scope(|scope| {
         scope.spawn(move || server.run().unwrap());
+        let _guard = DrainOnPanic(handle);
         let mut client = ServeClient::connect(addr).unwrap();
         let header_only = std::fs::metadata(&journal).unwrap().len();
 

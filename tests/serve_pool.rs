@@ -1,0 +1,279 @@
+//! Checkout-storm suite for [`ServePool`] plus property tests for
+//! [`RetryPolicy`] (DESIGN.md §12.3).
+//!
+//! The pool's contract under pressure: the cap is never overshot no
+//! matter how many threads storm `checkout()`, a daemon outage
+//! mid-storm fails checkouts loudly without leaking cap slots or
+//! deadlocking waiters, and poisoned connections racing healthy
+//! checkins are evicted exactly once. The retry policy's contract is
+//! determinism: equal policies yield bit-equal backoff schedules, every
+//! delay bounded by its floor and ceiling.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use cupid::core::CupidConfig;
+use cupid::lexical::Thesaurus;
+use cupid::prelude::{ServeClient, ServeOptions, Server, ShutdownHandle};
+use cupid::serve::{ClientBuilder, RetryPolicy, ServeError, ServePool};
+use proptest::prelude::*;
+
+/// Drains the daemon if the test body panics. The daemon runs on a
+/// scoped thread; without the guard, a failed assertion in the body
+/// would leave `thread::scope` joining a daemon that never hears a
+/// shutdown — the suite hangs instead of failing. Construct it
+/// *inside* the scope closure (guards outside drop only after the
+/// join).
+struct DrainOnPanic(ShutdownHandle);
+
+impl Drop for DrainOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.drain();
+        }
+    }
+}
+
+/// A unique, self-cleaning snapshot location per test.
+struct TempSnap(PathBuf);
+
+impl TempSnap {
+    fn new() -> Self {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cupid-pool-test-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempSnap(dir.join("cupid.repo"))
+    }
+}
+
+impl Drop for TempSnap {
+    fn drop(&mut self) {
+        if let Some(dir) = self.0.parent() {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+}
+
+fn thesaurus() -> Thesaurus {
+    Thesaurus::parse("abbrev Qty = quantity\n").unwrap()
+}
+
+const SDL_A: &str = "schema PO\n  element Item\n    attr Qty : int\n";
+const SDL_B: &str = "schema Order\n  element Item\n    attr Quantity : int\n";
+
+/// Far more waiters than the cap: every thread must eventually get a
+/// connection, the live count must never overshoot the cap, and the
+/// pool must end fully parked.
+#[test]
+fn checkout_storm_never_overshoots_the_cap() {
+    let tmp = TempSnap::new();
+    let config = CupidConfig::default();
+    let th = thesaurus();
+    let server =
+        Server::bind("127.0.0.1:0", &tmp.0, &config, &th, ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    std::thread::scope(|scope| {
+        scope.spawn(move || server.run().unwrap());
+        let _guard = DrainOnPanic(handle);
+        let mut setup = ServeClient::connect(addr).unwrap();
+        setup.add_sdl(SDL_A).unwrap();
+        setup.add_sdl(SDL_B).unwrap();
+
+        let pool = ServePool::new(addr.to_string(), 2);
+        let served = AtomicUsize::new(0);
+        let overshoot = AtomicUsize::new(0);
+        std::thread::scope(|inner| {
+            for _ in 0..12 {
+                inner.spawn(|| {
+                    for _ in 0..5 {
+                        let mut client = pool.checkout().unwrap();
+                        if pool.live() > 2 {
+                            overshoot.fetch_add(1, Ordering::Relaxed);
+                        }
+                        client.match_pair("PO", "Order").unwrap();
+                        served.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(served.load(Ordering::Relaxed), 60, "every waiter eventually served");
+        assert_eq!(overshoot.load(Ordering::Relaxed), 0, "cap overshot under storm");
+        assert!(pool.live() <= 2);
+        assert_eq!(pool.idle(), pool.live(), "everything parked after the storm");
+        setup.shutdown().unwrap();
+    });
+}
+
+/// The daemon goes down mid-storm: checked-out clients fail typed and
+/// poisoned, later checkouts fail to dial loudly — and neither path
+/// leaks a cap slot or wedges the waiters.
+#[test]
+fn daemon_outage_mid_storm_leaks_no_slots() {
+    let tmp = TempSnap::new();
+    let config = CupidConfig::default();
+    let th = thesaurus();
+    let server =
+        Server::bind("127.0.0.1:0", &tmp.0, &config, &th, ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    std::thread::scope(|scope| {
+        scope.spawn(move || server.run().unwrap());
+        let _guard = DrainOnPanic(handle);
+        let mut setup = ServeClient::connect(addr).unwrap();
+        setup.add_sdl(SDL_A).unwrap();
+        setup.add_sdl(SDL_B).unwrap();
+
+        let pool = ServePool::with_builder(
+            addr.to_string(),
+            2,
+            ClientBuilder::new()
+                .connect_timeout(Duration::from_secs(2))
+                .read_timeout(Duration::from_millis(500)),
+        );
+        // Two clients checked out across the outage.
+        let mut held_a = pool.checkout().unwrap();
+        let mut held_b = pool.checkout().unwrap();
+        held_a.match_pair("PO", "Order").unwrap();
+        setup.shutdown().unwrap();
+        // Give the drain a moment to close the held connections.
+        std::thread::sleep(Duration::from_millis(100));
+
+        // In-flight exchanges fail loudly and poison the connections.
+        assert!(held_a.match_pair("PO", "Order").is_err());
+        assert!(held_b.match_pair("PO", "Order").is_err());
+        assert!(held_a.is_poisoned() && held_b.is_poisoned());
+        drop(held_a);
+        drop(held_b);
+        assert_eq!(pool.live(), 0, "poisoned connections evicted, slots freed");
+
+        // With the daemon gone, a storm of checkouts fails loudly —
+        // every thread gets an error, nobody deadlocks, and no failed
+        // dial leaks a slot.
+        std::thread::scope(|inner| {
+            for _ in 0..6 {
+                inner.spawn(|| {
+                    for _ in 0..3 {
+                        match pool.checkout() {
+                            Err(ServeError::Io { context, .. }) => assert_eq!(context, "connect"),
+                            Ok(_) => panic!("checkout succeeded against a dead daemon"),
+                            Err(other) => panic!("unexpected checkout error: {other:?}"),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.live(), 0, "failed dials must release their reserved slots");
+    });
+}
+
+/// Poisoned evictions racing healthy checkins: half the workers poison
+/// their connection each round (the daemon cuts them via the frame
+/// deadline), half check healthy ones back in. The cap must hold and
+/// every eviction must free its slot.
+#[test]
+fn poisoned_eviction_races_checkin_without_leaking() {
+    let tmp = TempSnap::new();
+    let config = CupidConfig::default();
+    let th = thesaurus();
+    let server =
+        Server::bind("127.0.0.1:0", &tmp.0, &config, &th, ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    std::thread::scope(|scope| {
+        scope.spawn(move || server.run().unwrap());
+        let _guard = DrainOnPanic(handle);
+        let mut setup = ServeClient::connect(addr).unwrap();
+        setup.add_sdl(SDL_A).unwrap();
+        setup.add_sdl(SDL_B).unwrap();
+
+        // Tight read timeout + a listener that never answers makes
+        // poisoning cheap: we alternate healthy daemon exchanges with
+        // deliberately timed-out ones against this black hole.
+        let black_hole = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let hole_addr = black_hole.local_addr().unwrap();
+        let healthy = ServePool::new(addr.to_string(), 3);
+        let doomed = ServePool::with_builder(
+            hole_addr.to_string(),
+            3,
+            ClientBuilder::new().read_timeout(Duration::from_millis(30)),
+        );
+        std::thread::scope(|inner| {
+            for worker in 0..8 {
+                let healthy = &healthy;
+                let doomed = &doomed;
+                inner.spawn(move || {
+                    for _ in 0..4 {
+                        if worker % 2 == 0 {
+                            let mut client = healthy.checkout().unwrap();
+                            client.match_pair("PO", "Order").unwrap();
+                        } else {
+                            let mut client = doomed.checkout().unwrap();
+                            assert!(matches!(
+                                client.stats().unwrap_err(),
+                                ServeError::DeadlineExceeded
+                            ));
+                            assert!(client.is_poisoned());
+                        }
+                        // Drop = checkin (healthy) or eviction (poisoned),
+                        // racing the other workers' checkouts.
+                    }
+                });
+            }
+        });
+        assert_eq!(doomed.live(), 0, "every poisoned connection evicted");
+        assert!(healthy.live() <= 3 && healthy.idle() == healthy.live());
+        // The healthy pool still works after the storm.
+        healthy.checkout().unwrap().match_pair("PO", "Order").unwrap();
+        setup.shutdown().unwrap();
+        drop(black_hole);
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Equal policies produce bit-equal schedules; every delay sits in
+    /// `[ceiling/2, ceiling)` with the documented doubling-then-capped
+    /// ceiling; the budget bounds the schedule length exactly.
+    #[test]
+    fn retry_schedules_are_deterministic_and_bounded(
+        seed in 0u64..u64::MAX,
+        base_ms in 1u64..200,
+        cap_ms in 1u64..2_000,
+        budget in 0u32..10,
+    ) {
+        let policy = RetryPolicy::new(seed)
+            .base(Duration::from_millis(base_ms))
+            .cap(Duration::from_millis(cap_ms))
+            .budget(budget);
+        let again = RetryPolicy::new(seed)
+            .base(Duration::from_millis(base_ms))
+            .cap(Duration::from_millis(cap_ms))
+            .budget(budget);
+        prop_assert_eq!(policy.delays(), again.delays(), "same policy, same schedule");
+        prop_assert_eq!(policy.delays().len(), budget as usize);
+        for (i, delay) in policy.delays().into_iter().enumerate() {
+            let ceiling = Duration::from_millis(base_ms)
+                .saturating_mul(1u32 << i.min(31))
+                .min(Duration::from_millis(cap_ms));
+            prop_assert!(delay < ceiling, "delay {i} {delay:?} ≥ ceiling {ceiling:?}");
+            prop_assert!(delay >= ceiling / 2, "delay {i} {delay:?} under floor");
+        }
+        // A different seed decorrelates some delay (unless there is no
+        // room to differ: sub-millisecond spans can collide).
+        let other = RetryPolicy::new(seed ^ 0x9E37_79B9)
+            .base(Duration::from_millis(base_ms))
+            .cap(Duration::from_millis(cap_ms))
+            .budget(budget);
+        if budget > 0 && base_ms >= 8 {
+            let differs = policy.delays() != other.delays();
+            prop_assert!(differs || policy.delays().is_empty(), "seeds failed to decorrelate");
+        }
+    }
+}

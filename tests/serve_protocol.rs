@@ -15,7 +15,9 @@
 use cupid::core::session::SimilarityEntry;
 use cupid::core::{MappingElement, MatchSummary, SchemaId};
 use cupid::model::{read_frame, NodeId};
-use cupid::serve::{BatchItem, BatchOutcome, KindLatency, Request, Response, StatsReport};
+use cupid::serve::{
+    BatchItem, BatchOutcome, KindLatency, MutationOp, Request, Response, StatsReport,
+};
 use proptest::prelude::*;
 
 /// splitmix64 — a tiny deterministic generator so summaries with
@@ -129,6 +131,15 @@ fn requests(sdl: &str, a: &str, b: &str, k: u32) -> Vec<Request> {
             ],
         },
         Request::Batch { items: Vec::new() },
+        Request::Mutate {
+            request_id: k as u64 ^ 0xdead_beef,
+            op: MutationOp::Add { sdl: sdl.to_string() },
+        },
+        Request::Mutate {
+            request_id: u64::MAX - k as u64,
+            op: MutationOp::Replace { sdl: sdl.to_string() },
+        },
+        Request::Mutate { request_id: k as u64, op: MutationOp::Remove { name: a.to_string() } },
     ]
 }
 
@@ -169,6 +180,10 @@ fn report_from(a: &str, n: u64) -> StatsReport {
         journal_bytes: n.wrapping_mul(41),
         replayed_records: n % 13,
         compactions: n % 7,
+        shed_requests: n.rotate_left(3),
+        idle_disconnects: n % 29,
+        deadline_cuts: n % 31,
+        deduped_mutations: n.rotate_left(11),
         last_fsync_error: if n % 2 == 0 {
             String::new()
         } else {
@@ -207,6 +222,7 @@ fn responses(a: &str, b: &str, summary: &MatchSummary, n: u64) -> Vec<Response> 
         Response::Error { message: b.to_string() },
         Response::Batch { entries: batch_entries(a, b, summary, &report_from(a, n)) },
         Response::Batch { entries: Vec::new() },
+        Response::Overloaded { max_inflight: n % 4096, queue_deadline_ms: n.rotate_left(7) },
     ]
 }
 
