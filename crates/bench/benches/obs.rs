@@ -1,0 +1,101 @@
+//! Observability overhead (DESIGN.md §13.5): the cost of request
+//! tracing on the daemon's hottest path.
+//!
+//! Two daemons serve the same warm 32-schema snapshot: one with
+//! tracing enabled (the default) and one started with `tracing: false`
+//! (the `--no-trace` kill switch). Each leg ships the serve bench's
+//! batched `match_pair` worklist — [`REQUESTS`] cached pair lookups in
+//! one batch frame per iteration — so the measured delta is pure
+//! instrumentation: eight `Instant` reads per request, the per-(kind,
+//! stage) histogram folds, and the slow-log admission check. The
+//! acceptance bar for PR 9 is a tracing-on mean within 5% of
+//! tracing-off (and of the pre-PR baseline in
+//! `benchmarks/pr9-before/BENCH_serve.json`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cupid_corpus::synthetic::{generate, SyntheticConfig};
+use cupid_eval::configs;
+use cupid_model::Schema;
+use cupid_repo::Repository;
+use cupid_serve::{ServeClient, ServeOptions, Server};
+use std::hint::black_box;
+
+const SCHEMAS: usize = 32;
+const LEAVES: usize = 24;
+/// Requests per timed iteration, shipped as one batch frame.
+const REQUESTS: usize = 64;
+
+/// Same corpus construction as the `serve` bench, so the two benches'
+/// batched legs are directly comparable.
+fn corpus() -> Vec<Schema> {
+    let mut out = Vec::with_capacity(SCHEMAS);
+    for seed in 0..(SCHEMAS as u64 / 2) {
+        let pair = generate(&SyntheticConfig::sized(LEAVES, 1000 + seed));
+        for (half, mut s) in [("a", pair.source), ("b", pair.target)] {
+            s.rename(format!("S{seed}{half}"));
+            out.push(s);
+        }
+    }
+    out
+}
+
+fn bench_obs(c: &mut Criterion) {
+    let cfg = configs::synthetic();
+    let th = generate(&SyntheticConfig::sized(LEAVES, 1000)).thesaurus;
+    let corpus = corpus();
+    let names: Vec<String> = corpus.iter().map(|s| s.name().to_string()).collect();
+    let dir = std::env::temp_dir().join(format!("cupid-bench-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snap = dir.join("warm.repo");
+
+    {
+        let mut repo = Repository::open_or_create(&snap, &cfg, &th).expect("open");
+        repo.add_corpus(&corpus).expect("corpus prepares");
+        repo.match_all_pairs();
+        repo.save().expect("snapshot");
+    }
+
+    let worklist: Vec<(String, String)> = (0..REQUESTS)
+        .map(|r| {
+            let i = (r * 3) % names.len();
+            let j = (i + 1 + (r % (names.len() - 1))) % names.len();
+            let (i, j) = if i < j { (i, j) } else { (j, i) };
+            (names[i].clone(), names[j].clone())
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("obs");
+    g.sample_size(10);
+    for (leg, tracing) in [("tracing_on", true), ("tracing_off", false)] {
+        let options = ServeOptions { tracing, ..ServeOptions::default() };
+        let server = Server::bind("127.0.0.1:0", &snap, &cfg, &th, options).expect("bind");
+        let addr = server.local_addr();
+        std::thread::scope(|scope| {
+            scope.spawn(move || server.run().expect("daemon run"));
+            let mut client = ServeClient::connect(addr).expect("connect");
+            g.bench_function(format!("match_pair_batched/{leg}"), |b| {
+                b.iter(|| {
+                    let entries = client.match_pairs(&worklist).expect("batch");
+                    let mut served = 0usize;
+                    for entry in entries {
+                        let summary = entry.expect("entry ok");
+                        served += 1;
+                        black_box(summary.best_wsim());
+                    }
+                    black_box(served)
+                })
+            });
+            client.shutdown().expect("shutdown");
+        });
+    }
+    g.finish();
+
+    criterion::set_context("schemas", SCHEMAS);
+    criterion::set_context("leaves_per_schema", LEAVES);
+    criterion::set_context("requests_per_iter", REQUESTS);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

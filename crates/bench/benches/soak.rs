@@ -135,16 +135,28 @@ fn bench_soak(c: &mut Criterion) {
         });
         let elapsed = started.elapsed();
 
-        // Daemon-side view of the same load, through the Stats frame.
-        let daemon_batch = {
+        // Daemon-side view of the same load, through the Stats frame:
+        // the `batch` wall histogram plus its per-stage attribution
+        // (PR 9), which says where daemon-side time actually goes and —
+        // by subtraction from the client-observed frame latency — how
+        // much of the client p50 is the wire and the accept queue
+        // rather than daemon work.
+        let (daemon_batch, batch_stages) = {
             let mut client = pool.checkout().expect("checkout");
             let stats = client.stats().expect("stats");
-            stats
+            let wall = stats
                 .latencies
                 .iter()
                 .find(|l| l.kind == "batch")
                 .cloned()
-                .unwrap_or_else(|| KindLatency::empty("batch"))
+                .unwrap_or_else(|| KindLatency::empty("batch"));
+            let stages: Vec<KindLatency> = stats
+                .stage_latencies
+                .iter()
+                .filter(|s| s.kind.starts_with("batch/"))
+                .cloned()
+                .collect();
+            (wall, stages)
         };
 
         if !smoke() {
@@ -162,6 +174,19 @@ fn bench_soak(c: &mut Criterion) {
             criterion::set_context("daemon_batch_p99_ns", daemon_batch.quantile_ns(0.99));
             criterion::set_context("daemon_batch_p999_ns", daemon_batch.quantile_ns(0.999));
             criterion::set_context("daemon_batch_count", daemon_batch.count);
+            // Stage attribution: mean ns per batch frame spent in each
+            // daemon stage, so the JSON records where the daemon-side
+            // slice of the client p50 goes (DESIGN.md §13.1).
+            for s in &batch_stages {
+                let stage = s.kind.split_once('/').map(|(_, st)| st).unwrap_or(&s.kind);
+                let per_frame = s.total_ns / daemon_batch.count.max(1);
+                criterion::set_context(format!("daemon_batch_stage_{stage}_ns"), per_frame);
+            }
+            let attributed: u64 = batch_stages.iter().map(|s| s.total_ns).sum();
+            criterion::set_context(
+                "daemon_batch_attributed_ns",
+                attributed / daemon_batch.count.max(1),
+            );
         }
 
         // A conventional timed leg so the JSON carries a mean to trend:

@@ -398,6 +398,19 @@ pub const MUTATE_REQUEST: u8 = 0x0A;
 /// in-flight cap stayed full past the queue deadline. Retryable.
 pub const OVERLOADED_RESPONSE: u8 = 0x8B;
 
+// --- daemon observability frame kinds ----------------------------------
+//
+// The tracing layer (`cupid-serve`, DESIGN.md §13) adds one exchange:
+// a query for the daemon's slow-log ring — the bounded buffer holding
+// the slowest requests seen so far, each with its full per-stage
+// latency breakdown — so a tail outlier can be explained post hoc.
+
+/// Slow-log query frame: no payload; answers with the ring contents.
+pub const SLOW_LOG_REQUEST: u8 = 0x0B;
+/// Slow-log response frame: the slowest-N request traces, stage
+/// breakdowns included, slowest first.
+pub const SLOW_LOG_RESPONSE: u8 = 0x8C;
+
 const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 

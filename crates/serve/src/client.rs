@@ -41,6 +41,7 @@ use cupid_core::MatchSummary;
 
 use crate::protocol::{BatchItem, BatchOutcome, MutationOp, Request, Response, StatsReport};
 use crate::retry::{splitmix64, RetryPolicy};
+use crate::trace::TraceRecord;
 use crate::ServeError;
 
 /// A connected daemon client.
@@ -404,6 +405,15 @@ impl ServeClient {
         }
     }
 
+    /// The daemon's slow-log ring: its slowest retained request traces,
+    /// slowest first, each with a full per-stage breakdown.
+    pub fn slow_log(&mut self) -> Result<Vec<TraceRecord>, ServeError> {
+        match self.call(&Request::SlowLog)? {
+            Response::SlowLog { entries } => Ok(entries),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
     /// Persist the daemon's snapshot now; returns its size in bytes.
     pub fn save(&mut self) -> Result<u64, ServeError> {
         match self.call(&Request::Save)? {
@@ -446,6 +456,7 @@ fn retryable_request(request: &Request) -> bool {
         Request::MatchPair { .. }
             | Request::TopK { .. }
             | Request::Stats
+            | Request::SlowLog
             | Request::Batch { .. }
             | Request::Save
             | Request::Mutate { .. }

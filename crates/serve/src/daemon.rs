@@ -34,6 +34,7 @@
 //! byte for byte.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -42,20 +43,23 @@ use std::time::{Duration, Instant};
 
 use cupid_core::{CupidConfig, MatchSummary};
 use cupid_lexical::Thesaurus;
-use cupid_model::FrameError;
+use cupid_model::{write_frame, FrameError};
 use cupid_repo::{RepoError, Repository, SharedBatch, SharedMatch};
 
 use crate::histogram::LatencyHistogram;
+use crate::log::{Level, Logger};
+use crate::metrics::{http_response, render_prometheus, EXPOSITION_CONTENT_TYPE};
 use crate::protocol::{BatchItem, BatchOutcome, MutationOp, Request, Response, StatsReport};
+use crate::trace::{RequestTrace, SlowLog, Stage, StageRecorder};
 use crate::ServeError;
 
 /// Request-kind labels of the per-kind latency histograms, in recorder
-/// order (`Shared::latencies` is indexed by [`latency_kind`]). The
-/// three schema mutations share one "mutate" histogram — they share the
-/// same write-lock + journal path, so their latency profile is one
-/// conversation.
-const LATENCY_KINDS: [&str; 7] =
-    ["mutate", "match_pair", "top_k", "stats", "save", "batch", "shutdown"];
+/// order (`Shared::latencies` and the stage matrix are indexed by
+/// [`latency_kind`]). The three schema mutations share one "mutate"
+/// histogram — they share the same write-lock + journal path, so their
+/// latency profile is one conversation.
+const LATENCY_KINDS: [&str; 8] =
+    ["mutate", "match_pair", "top_k", "stats", "save", "batch", "shutdown", "slow_log"];
 
 /// Which histogram a request records into.
 fn latency_kind(request: &Request) -> usize {
@@ -70,6 +74,7 @@ fn latency_kind(request: &Request) -> usize {
         Request::Save => 4,
         Request::Batch { .. } => 5,
         Request::Shutdown => 6,
+        Request::SlowLog => 7,
     }
 }
 
@@ -117,6 +122,21 @@ pub struct ServeOptions {
     /// (the stream cannot be resynchronized anyway) and counted in
     /// `deadline_cuts`. `None` disables the per-frame deadline.
     pub frame_deadline: Option<Duration>,
+    /// Per-request stage tracing (DESIGN.md §13). On by default — the
+    /// cost is a handful of monotonic clock reads per request, bounded
+    /// under 5% by `benches/obs.rs`. Off, requests carry a disabled
+    /// [`RequestTrace`] that skips every clock read, stage histograms
+    /// stay empty, and the slow log records nothing.
+    pub tracing: bool,
+    /// Slow-log ring capacity: how many of the slowest traces the
+    /// daemon retains for the `SlowLog` frame. Zero disables the ring
+    /// (the over-threshold counter still ticks).
+    pub slow_log_capacity: usize,
+    /// Requests at least this slow are counted and offered to the
+    /// slow-log ring.
+    pub slow_threshold: Duration,
+    /// Minimum level of the daemon's structured stderr log.
+    pub log_level: Level,
 }
 
 impl Default for ServeOptions {
@@ -129,6 +149,10 @@ impl Default for ServeOptions {
             queue_deadline: Duration::from_millis(100),
             idle_timeout: Some(Duration::from_secs(300)),
             frame_deadline: Some(Duration::from_secs(30)),
+            tracing: true,
+            slow_log_capacity: 32,
+            slow_threshold: Duration::from_millis(1),
+            log_level: Level::Info,
         }
     }
 }
@@ -254,6 +278,17 @@ struct Shared<'a> {
     connections: Mutex<Connections>,
     /// Per-request-kind latency recorders, indexed by [`latency_kind`].
     latencies: [LatencyHistogram; LATENCY_KINDS.len()],
+    /// Per-(kind, stage) attribution histograms finished traces fold
+    /// into (DESIGN.md §13.1).
+    stages: StageRecorder<{ LATENCY_KINDS.len() }>,
+    /// Bounded ring of the slowest request traces.
+    slow_log: SlowLog,
+    /// The daemon's structured stderr logger.
+    logger: Logger,
+    /// Monotonic trace-id allocator (per daemon run).
+    next_trace_id: AtomicU64,
+    /// HTTP `/metrics` scrapes answered.
+    metrics_scrapes: AtomicU64,
 }
 
 /// A bound, not-yet-running match daemon. [`Server::bind`] opens the
@@ -287,6 +322,8 @@ impl<'a> Server<'a> {
             .map_err(ServeError::Repo)?;
         repo.set_compact_after(options.compact_after);
         let path = repo.path().to_path_buf();
+        let slow_log = SlowLog::new(options.slow_log_capacity, options.slow_threshold);
+        let logger = Logger::new(options.log_level);
         Ok(Server {
             listener,
             shared: Shared {
@@ -311,6 +348,11 @@ impl<'a> Server<'a> {
                 dedup: Mutex::new(DedupTable::default()),
                 connections: Mutex::new(Connections::default()),
                 latencies: std::array::from_fn(|_| LatencyHistogram::new()),
+                stages: StageRecorder::new(),
+                slow_log,
+                logger,
+                next_trace_id: AtomicU64::new(1),
+                metrics_scrapes: AtomicU64::new(0),
             },
         })
     }
@@ -347,6 +389,14 @@ impl<'a> Server<'a> {
     pub fn run(self) -> Result<(), ServeError> {
         let Server { listener, shared } = self;
         let shared = &shared;
+        shared.logger.info(
+            "listening",
+            &[
+                ("addr", &shared.addr.to_string()),
+                ("repo", &shared.path.display().to_string()),
+                ("tracing", if shared.options.tracing { "on" } else { "off" }),
+            ],
+        );
         std::thread::scope(|scope| {
             for conn in listener.incoming() {
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -369,6 +419,7 @@ impl<'a> Server<'a> {
                 let id = match register(shared, &stream) {
                     Ok(id) => id,
                     Err(message) => {
+                        shared.logger.warn("connection_refused", &[("reason", &message)]);
                         Response::Error { message }.write_to(&mut stream).ok();
                         continue;
                     }
@@ -393,8 +444,14 @@ impl<'a> Server<'a> {
         });
         let mut repo = shared.repo.write().unwrap_or_else(|e| e.into_inner());
         if repo.is_dirty() {
-            repo.save().map_err(ServeError::Repo)?;
+            repo.save().map_err(|e| {
+                shared.logger.error("final_save_failed", &[("err", &e.to_string())]);
+                ServeError::Repo(e)
+            })?;
         }
+        shared
+            .logger
+            .info("drained", &[("requests", &shared.requests.load(Ordering::Relaxed).to_string())]);
         Ok(())
     }
 }
@@ -545,6 +602,11 @@ fn wait_for_frame(stream: &TcpStream, idle_timeout: Option<Duration>) -> FrameWa
 /// Serve one connection: a loop of request frame → response frame.
 /// Ends when the peer closes, idles past the idle deadline, stalls past
 /// the frame deadline, sends a malformed frame, or the daemon drains.
+///
+/// Connections that open with `GET ` instead of the `CPDF` frame magic
+/// are HTTP metrics scrapes — answered once and closed (DESIGN.md
+/// §13.3), so `/metrics` shares the daemon's port with the frame
+/// protocol.
 fn serve_connection(mut stream: TcpStream, shared: &Shared<'_>) {
     let opts = &shared.options;
     // A peer that stops draining its receive window mid-response would
@@ -552,12 +614,14 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared<'_>) {
     if stream.set_write_timeout(opts.frame_deadline).is_err() {
         return;
     }
+    let mut first_frame = true;
     loop {
         match wait_for_frame(&stream, opts.idle_timeout) {
             FrameWait::Ready => {}
             FrameWait::Closed | FrameWait::Failed => return,
             FrameWait::IdleExpired => {
                 shared.idle_disconnects.fetch_add(1, Ordering::Relaxed);
+                shared.logger.debug("idle_disconnect", &[]);
                 return;
             }
         }
@@ -568,6 +632,23 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared<'_>) {
         {
             return;
         }
+        // Protocol sniff, once per connection: an HTTP request line
+        // instead of the frame magic means a metrics scrape.
+        if first_frame {
+            first_frame = false;
+            if sniff_http(&stream, opts.frame_deadline) {
+                serve_metrics(stream, shared);
+                return;
+            }
+        }
+        let trace_id = shared.next_trace_id.fetch_add(1, Ordering::Relaxed);
+        let mut trace = if opts.tracing {
+            RequestTrace::new(trace_id)
+        } else {
+            RequestTrace::disabled(trace_id)
+        };
+        let started = Instant::now();
+        let decode = trace.start(Stage::Decode);
         let request = match Request::read_from(&mut stream) {
             Ok(Some(r)) => r,
             Ok(None) => return,
@@ -578,51 +659,91 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared<'_>) {
                     // interleave with whatever the peer eventually
                     // sends. Cut loudly — count it, close it.
                     shared.deadline_cuts.fetch_add(1, Ordering::Relaxed);
+                    shared.logger.warn("deadline_cut", &[("during", "request_read")]);
                     return;
                 }
                 // Tell the peer why before hanging up; after a framing
                 // error the stream cannot be resynchronized.
+                shared.logger.warn("malformed_frame", &[("err", &e.to_string())]);
                 let resp = Response::Error { message: e.to_string() };
                 resp.write_to(&mut stream).ok();
                 return;
             }
         };
+        decode.stop(&mut trace);
         shared.requests.fetch_add(1, Ordering::Relaxed);
-        let started = Instant::now();
+        let kind = latency_kind(&request);
         // Admission control: bound concurrently-executing requests,
         // shedding arrivals that cannot get a slot within the queue
         // deadline. Stats and Shutdown bypass admission — an operator
         // must always be able to observe and drain an overloaded
         // daemon.
         let exempt = matches!(request, Request::Stats | Request::Shutdown);
+        let handler_started = trace.is_enabled().then(Instant::now);
         let response = match &shared.admission {
-            Some(admission) if !exempt => match admission.admit() {
-                Some(_slot) => handle_request(&request, shared),
-                None => {
-                    shared.shed.fetch_add(1, Ordering::Relaxed);
-                    Response::Overloaded {
-                        max_inflight: admission.max as u64,
-                        queue_deadline_ms: admission.deadline.as_millis() as u64,
+            Some(admission) if !exempt => {
+                let wait = trace.start(Stage::AdmissionWait);
+                let slot = admission.admit();
+                wait.stop(&mut trace);
+                match slot {
+                    Some(_slot) => handle_request(&request, shared, &mut trace),
+                    None => {
+                        shared.shed.fetch_add(1, Ordering::Relaxed);
+                        shared.logger.warn(
+                            "request_shed",
+                            &[("trace_id", &trace_id.to_string()), ("kind", LATENCY_KINDS[kind])],
+                        );
+                        Response::Overloaded {
+                            max_inflight: admission.max as u64,
+                            queue_deadline_ms: admission.deadline.as_millis() as u64,
+                        }
                     }
                 }
-            },
-            _ => handle_request(&request, shared),
+            }
+            _ => handle_request(&request, shared, &mut trace),
         };
-        shared.latencies[latency_kind(&request)].record(started.elapsed());
-        if matches!(response, Response::ShuttingDown) {
+        if let Some(handler_started) = handler_started {
+            // Admission wait is timed separately; the residual tiling
+            // covers only the handler's own wall time.
+            let handler_wall = handler_started.elapsed().saturating_sub(Duration::from_nanos(
+                trace.stage_ns[Stage::AdmissionWait as usize],
+            ));
+            trace.absorb_handler_residual(handler_wall);
+        }
+        let shutting_down = matches!(response, Response::ShuttingDown);
+        if shutting_down {
             // Commit to the shutdown *before* the response write: a
             // client that dies after sending Shutdown must still stop
             // the daemon (and trigger its final save), not leave it
             // running forever.
             shared.shutdown.store(true, Ordering::SeqCst);
-            response.write_to(&mut stream).ok();
+        }
+        let encode = trace.start(Stage::Encode);
+        let (frame_kind, payload) = response.encode();
+        encode.stop(&mut trace);
+        let write = trace.start(Stage::SocketWrite);
+        let wrote = write_frame(&mut stream, frame_kind, &payload);
+        write.stop(&mut trace);
+        // The request is over: record its wall (decode through socket
+        // write) and fold the trace into the stage matrix and slow log.
+        let wall = started.elapsed();
+        shared.latencies[kind].record(wall);
+        shared.stages.record(kind, &trace);
+        if trace.is_enabled() {
+            shared.slow_log.offer(&trace, LATENCY_KINDS[kind], wall);
+        }
+        if shutting_down {
             // Wake the accept loop and stay until it observes the flag.
             wake_accept_loop(shared.addr, &shared.accept_exited);
             return;
         }
-        if let Err(e) = response.write_to(&mut stream) {
+        if let Err(e) = wrote {
             if is_deadline_cut(&e) {
                 shared.deadline_cuts.fetch_add(1, Ordering::Relaxed);
+                shared.logger.warn(
+                    "deadline_cut",
+                    &[("during", "response_write"), ("trace_id", &trace_id.to_string())],
+                );
             }
             return;
         }
@@ -632,63 +753,142 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared<'_>) {
     }
 }
 
+/// Does this just-arrived payload open with an HTTP `GET `? Peeks up to
+/// four bytes without consuming them, waiting briefly for slow writers;
+/// anything that diverges from `GET ` (the `CPDF` frame magic on byte
+/// one, say) is the frame protocol. A prefix of `GET ` that never
+/// completes falls through to the frame reader, which rejects the bad
+/// magic loudly.
+fn sniff_http(stream: &TcpStream, deadline: Option<Duration>) -> bool {
+    let give_up = Instant::now() + deadline.unwrap_or(Duration::from_secs(2));
+    let mut buf = [0u8; 4];
+    loop {
+        match stream.peek(&mut buf) {
+            Ok(0) => return false,
+            Ok(n) => {
+                if buf[..n] != b"GET "[..n] {
+                    return false;
+                }
+                if n == 4 {
+                    return true;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+        if Instant::now() >= give_up {
+            return false;
+        }
+        // Fewer than four bytes buffered and all consistent with
+        // `GET `: give the writer a moment and peek again.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Answer one HTTP metrics scrape and close. Only `GET /metrics` (and
+/// `GET /`, for convenience) exist; anything else is a 404. The request
+/// head is drained up to a small bound so well-behaved HTTP clients see
+/// their request consumed before the response lands.
+fn serve_metrics(mut stream: TcpStream, shared: &Shared<'_>) {
+    // Read the request head (bounded; the frame deadline is already the
+    // read timeout). Stop at the blank line; ignore the rest.
+    let mut head = Vec::with_capacity(256);
+    let mut chunk = [0u8; 256];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8 << 10 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+    let request_line = String::from_utf8_lossy(&head);
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let response = if path == "/metrics" || path == "/" {
+        shared.metrics_scrapes.fetch_add(1, Ordering::Relaxed);
+        shared.logger.debug("metrics_scrape", &[]);
+        let report = {
+            let guard = shared.repo.read().unwrap_or_else(|e| e.into_inner());
+            stats_report(&guard, shared)
+        };
+        http_response("200 OK", EXPOSITION_CONTENT_TYPE, &render_prometheus(&report))
+    } else {
+        http_response("404 Not Found", "text/plain; charset=utf-8", "only /metrics lives here\n")
+    };
+    stream.write_all(&response).ok();
+    stream.shutdown(Shutdown::Both).ok();
+}
+
 /// Execute one request against the shared repository. Never panics on
 /// bad input: every failure becomes [`Response::Error`] and the
-/// connection stays usable.
-fn handle_request(request: &Request, shared: &Shared<'_>) -> Response {
+/// connection stays usable. The trace accumulates lock-wait and
+/// uncached-execution time; everything else the handler does lands in
+/// `exec_cached` via the residual tiling in [`serve_connection`].
+fn handle_request(request: &Request, shared: &Shared<'_>, trace: &mut RequestTrace) -> Response {
     match request {
-        Request::AddSchema { sdl } => mutate(shared, None, |repo| {
+        Request::AddSchema { sdl } => mutate(shared, None, trace, |repo| {
             let name = repo.import_sdl(sdl)?;
             Ok(Response::Added { name })
         }),
-        Request::ReplaceSchema { sdl } => mutate(shared, None, |repo| {
+        Request::ReplaceSchema { sdl } => mutate(shared, None, trace, |repo| {
             let schema = cupid_io::parse_sdl(sdl).map_err(cupid_repo::RepoError::Import)?;
             let name = schema.name().to_string();
             repo.replace(&schema)?;
             Ok(Response::Replaced { name })
         }),
-        Request::RemoveSchema { name } => mutate(shared, None, |repo| {
+        Request::RemoveSchema { name } => mutate(shared, None, trace, |repo| {
             repo.remove(name)?;
             Ok(Response::Removed { name: name.clone() })
         }),
         Request::Mutate { request_id, op } => {
             let id = Some(*request_id);
             match op {
-                MutationOp::Add { sdl } => mutate(shared, id, |repo| {
+                MutationOp::Add { sdl } => mutate(shared, id, trace, |repo| {
                     let name = repo.import_sdl(sdl)?;
                     Ok(Response::Added { name })
                 }),
-                MutationOp::Replace { sdl } => mutate(shared, id, |repo| {
+                MutationOp::Replace { sdl } => mutate(shared, id, trace, |repo| {
                     let schema = cupid_io::parse_sdl(sdl).map_err(cupid_repo::RepoError::Import)?;
                     let name = schema.name().to_string();
                     repo.replace(&schema)?;
                     Ok(Response::Replaced { name })
                 }),
-                MutationOp::Remove { name } => mutate(shared, id, |repo| {
+                MutationOp::Remove { name } => mutate(shared, id, trace, |repo| {
                     repo.remove(name)?;
                     Ok(Response::Removed { name: name.clone() })
                 }),
             }
         }
         Request::MatchPair { source, target } => {
+            let wait = trace.start(Stage::LockWaitRead);
             let guard = shared.repo.read().unwrap_or_else(|e| e.into_inner());
+            wait.stop(trace);
+            let exec = trace.start(Stage::ExecUncached);
             let shared_match = match guard.match_pair_shared(source, target) {
                 Ok(m) => m,
                 Err(e) => return Response::Error { message: e.to_string() },
             };
             drop(guard);
             let summary = match shared_match {
-                SharedMatch::Cached(s) => s,
+                SharedMatch::Cached(s) => {
+                    // Cache hit: the lookup time is handler residual,
+                    // not uncached execution — drop the timer.
+                    drop(exec);
+                    s
+                }
                 SharedMatch::Executed(batch) => {
+                    exec.stop(trace);
                     let summary = batch.summaries().next().expect("one-entry batch").clone();
-                    absorb(shared, batch);
+                    absorb(shared, batch, trace);
                     summary
                 }
             };
             Response::Matched { source: source.clone(), target: target.clone(), summary }
         }
         Request::TopK { k } => {
+            let wait = trace.start(Stage::LockWaitRead);
             let guard = shared.repo.read().unwrap_or_else(|e| e.into_inner());
+            wait.stop(trace);
             let names = guard.names().to_vec();
             let pairs = guard.discovery_index().top_k_pairs(*k as usize);
             // Serve cached pairs directly; execute the rest as one
@@ -707,30 +907,43 @@ fn handle_request(request: &Request, shared: &Shared<'_>) -> Response {
                     }
                 }
             }
+            let exec = trace.start(Stage::ExecUncached);
             let batch = (!missing.is_empty()).then(|| guard.execute_pairs_shared(&missing));
             drop(guard);
+            if batch.is_some() {
+                exec.stop(trace);
+            }
             if let Some(batch) = batch {
                 for (&slot, summary) in slots.iter().zip(batch.summaries()) {
                     summaries[slot] = Some(summary.clone());
                 }
-                absorb(shared, batch);
+                absorb(shared, batch, trace);
             }
             let summaries = summaries.into_iter().map(|s| s.expect("every slot filled")).collect();
             Response::TopKList { names, summaries }
         }
         Request::Stats => {
+            let wait = trace.start(Stage::LockWaitRead);
             let guard = shared.repo.read().unwrap_or_else(|e| e.into_inner());
+            wait.stop(trace);
             Response::Stats(stats_report(&guard, shared))
         }
-        Request::Batch { items } => batch_dispatch(items, shared),
+        Request::Batch { items } => batch_dispatch(items, shared, trace),
         Request::Save => {
+            let wait = trace.start(Stage::LockWaitWrite);
             let mut guard = shared.repo.write().unwrap_or_else(|e| e.into_inner());
-            if let Err(e) = guard.save() {
+            wait.stop(trace);
+            let exec = trace.start(Stage::ExecUncached);
+            let saved = guard.save();
+            exec.stop(trace);
+            if let Err(e) = saved {
+                shared.logger.error("save_failed", &[("err", &e.to_string())]);
                 return Response::Error { message: e.to_string() };
             }
             let bytes = std::fs::metadata(&shared.path).map(|m| m.len()).unwrap_or(0);
             Response::Saved { bytes }
         }
+        Request::SlowLog => Response::SlowLog { entries: shared.slow_log.snapshot() },
         Request::Shutdown => Response::ShuttingDown,
     }
 }
@@ -759,11 +972,15 @@ fn stats_report(guard: &Repository<'_>, shared: &Shared<'_>) -> StatsReport {
         deadline_cuts: shared.deadline_cuts.load(Ordering::Relaxed),
         deduped_mutations: shared.deduped.load(Ordering::Relaxed),
         last_fsync_error: durability.last_fsync_error.unwrap_or_default(),
+        slow_requests: shared.slow_log.over_threshold(),
+        slow_log_entries: shared.slow_log.len() as u64,
+        metrics_scrapes: shared.metrics_scrapes.load(Ordering::Relaxed),
         latencies: LATENCY_KINDS
             .iter()
             .zip(&shared.latencies)
             .map(|(k, h)| h.snapshot(k))
             .collect(),
+        stage_latencies: shared.stages.snapshot(&LATENCY_KINDS),
     }
 }
 
@@ -801,8 +1018,10 @@ fn enqueue(
 /// then splice the summaries back into per-entry outcomes. A bad entry
 /// (unknown schema name) fails alone — its slot carries the same error
 /// string the unary path would return, and every other entry completes.
-fn batch_dispatch(items: &[BatchItem], shared: &Shared<'_>) -> Response {
+fn batch_dispatch(items: &[BatchItem], shared: &Shared<'_>, trace: &mut RequestTrace) -> Response {
+    let wait = trace.start(Stage::LockWaitRead);
     let guard = shared.repo.read().unwrap_or_else(|e| e.into_inner());
+    wait.stop(trace);
     let position: BTreeMap<&str, usize> =
         guard.names().iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
     let mut worklist: Vec<(usize, usize)> = Vec::new();
@@ -863,12 +1082,16 @@ fn batch_dispatch(items: &[BatchItem], shared: &Shared<'_>) -> Response {
         };
         pending.push(entry);
     }
+    let exec = trace.start(Stage::ExecUncached);
     let batch = (!worklist.is_empty()).then(|| guard.execute_pairs_shared(&worklist));
     drop(guard);
+    if batch.is_some() {
+        exec.stop(trace);
+    }
     let executed: Vec<MatchSummary> = match batch {
         Some(batch) => {
             let summaries = batch.summaries().cloned().collect();
-            absorb(shared, batch);
+            absorb(shared, batch, trace);
             summaries
         }
         None => Vec::new(),
@@ -912,9 +1135,12 @@ fn batch_dispatch(items: &[BatchItem], shared: &Shared<'_>) -> Response {
 fn mutate(
     shared: &Shared<'_>,
     request_id: Option<u64>,
+    trace: &mut RequestTrace,
     op: impl FnOnce(&mut Repository<'_>) -> Result<Response, cupid_repo::RepoError>,
 ) -> Response {
+    let wait = trace.start(Stage::LockWaitWrite);
     let mut guard = shared.repo.write().unwrap_or_else(|e| e.into_inner());
+    wait.stop(trace);
     if let Some(id) = request_id {
         let dedup = shared.dedup.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(original) = dedup.seen.get(&id) {
@@ -922,7 +1148,10 @@ fn mutate(
             return original.clone();
         }
     }
-    let response = match op(&mut guard) {
+    let exec = trace.start(Stage::ExecUncached);
+    let applied = op(&mut guard);
+    exec.stop(trace);
+    let response = match applied {
         Ok(r) => r,
         Err(e) => {
             let response = Response::Error { message: e.to_string() };
@@ -945,16 +1174,33 @@ fn mutate(
             // loses durability, which the next sync or save retries;
             // log it daemon-side *and* surface it through the `Stats`
             // frame's `last_fsync_error` (the repository records it).
-            if let Err(e) = guard.sync_journal() {
-                eprintln!("cupid-serve: journal fsync failed (state kept in memory): {e}");
+            let sync = trace.start(Stage::ExecUncached);
+            let synced = guard.sync_journal();
+            sync.stop(trace);
+            if let Err(e) = synced {
+                shared.logger.error(
+                    "journal_fsync_failed",
+                    &[
+                        ("err", &e.to_string()),
+                        ("trace_id", &trace.trace_id.to_string()),
+                        ("note", "state kept in memory"),
+                    ],
+                );
             }
         }
     }
     response
 }
 
-/// Publish shared-path execution results under the write lock.
-fn absorb(shared: &Shared<'_>, batch: SharedBatch) {
+/// Publish shared-path execution results under the write lock. The
+/// lock wait is attributed to the trace's write-wait stage, the absorb
+/// itself to uncached execution — it is the publication half of the
+/// shared execution path.
+fn absorb(shared: &Shared<'_>, batch: SharedBatch, trace: &mut RequestTrace) {
+    let wait = trace.start(Stage::LockWaitWrite);
     let mut guard = shared.repo.write().unwrap_or_else(|e| e.into_inner());
+    wait.stop(trace);
+    let exec = trace.start(Stage::ExecUncached);
     guard.absorb(batch);
+    exec.stop(trace);
 }

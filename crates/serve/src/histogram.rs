@@ -141,8 +141,10 @@ impl KindLatency {
     }
 }
 
-/// Inclusive upper bound of log2 bucket `i`, in nanoseconds.
-fn bucket_upper_ns(i: usize) -> u64 {
+/// Inclusive upper bound of log2 bucket `i`, in nanoseconds (also the
+/// `le` boundary the Prometheus exposition derives its cumulative
+/// buckets from — see [`crate::metrics`]).
+pub fn bucket_upper_ns(i: usize) -> u64 {
     if i + 1 >= 64 {
         u64::MAX
     } else {

@@ -89,14 +89,20 @@ pub mod chaos;
 mod client;
 mod daemon;
 pub mod histogram;
+pub mod log;
+pub mod metrics;
 pub mod protocol;
 mod retry;
+pub mod trace;
 
 pub use client::{ClientBuilder, PooledClient, ServeClient, ServePool, TopKListing};
 pub use daemon::{ServeOptions, Server, ShutdownHandle};
 pub use histogram::{KindLatency, LatencyHistogram, LATENCY_BUCKETS};
+pub use log::{Level, Logger};
+pub use metrics::render_prometheus;
 pub use protocol::{BatchItem, BatchOutcome, MutationOp, Request, Response, StatsReport};
 pub use retry::RetryPolicy;
+pub use trace::{RequestTrace, SlowLog, Stage, TraceRecord, STAGES, STAGE_NAMES};
 
 /// Errors of the daemon subsystem (server, client, CLI).
 #[derive(Debug)]

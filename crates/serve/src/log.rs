@@ -1,0 +1,277 @@
+//! Structured, leveled, rate-limited daemon logging (DESIGN.md §13.4).
+//!
+//! The daemon used to talk to its operator through scattered
+//! `eprintln!` calls — unparseable, unleveled, and able to flood stderr
+//! when a fault repeats per request. Every daemon-side stderr path now
+//! routes through one [`Logger`] that emits **one JSON object per
+//! line**: a fixed envelope (`ts_ms`, `level`, `event`) plus free-form
+//! string fields (`trace_id` where a request is in scope), so `jq` and
+//! log shippers read the stream without a grammar.
+//!
+//! Rate limiting is per *event name*, token-bucket shaped: each event
+//! may burst `BURST` (5) lines, refilling one line per second. Suppressed
+//! lines are counted, and the count is attached to the next emitted
+//! line of that event (`"suppressed_prior"`), so a repeating fault
+//! shows up loudly once per second with an honest tally instead of
+//! either flooding stderr or vanishing.
+//!
+//! The logger is deliberately std-only and synchronous — a line is one
+//! formatted `String` and one locked `writeln!`, which at the daemon's
+//! logging volume (operational events, not per-request chatter) costs
+//! nothing measurable.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::trace::unix_ms;
+
+/// Log severity, lowest first. [`Level::Off`] silences everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Per-connection noise (idle disconnects, refused peers).
+    Debug,
+    /// Lifecycle events (listening, drain, save).
+    Info,
+    /// Degraded but serving (fsync failure, deadline cuts, sheds).
+    Warn,
+    /// The daemon cannot do what it was asked.
+    Error,
+    /// No output at all.
+    Off,
+}
+
+impl Level {
+    fn name(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+            Level::Off => "off",
+        }
+    }
+
+    /// Parse a CLI level name.
+    pub fn parse(s: &str) -> Option<Level> {
+        Some(match s {
+            "debug" => Level::Debug,
+            "info" => Level::Info,
+            "warn" => Level::Warn,
+            "error" => Level::Error,
+            "off" => Level::Off,
+            _ => return None,
+        })
+    }
+}
+
+/// Lines each event may emit back-to-back before rate limiting bites.
+const BURST: u32 = 5;
+/// Refill interval: one token per event per second.
+const REFILL_MS: u64 = 1_000;
+
+/// Per-event token bucket.
+struct Bucket {
+    tokens: u32,
+    last_refill: Instant,
+    suppressed: u64,
+}
+
+/// A leveled, rate-limited JSON-lines logger. Cheap to share: one
+/// mutex around the bucket map and the sink, taken only when a line is
+/// actually considered (level-filtered events don't lock).
+pub struct Logger {
+    min_level: Level,
+    state: Mutex<LoggerState>,
+}
+
+struct LoggerState {
+    buckets: HashMap<String, Bucket>,
+    /// Test seam: `None` writes to stderr.
+    sink: Option<Vec<u8>>,
+}
+
+impl Logger {
+    /// A logger emitting `min_level` and up to stderr.
+    pub fn new(min_level: Level) -> Logger {
+        Logger { min_level, state: Mutex::new(LoggerState { buckets: HashMap::new(), sink: None }) }
+    }
+
+    /// A logger capturing lines in memory instead of stderr (tests).
+    #[cfg(test)]
+    fn captured(min_level: Level) -> Logger {
+        Logger {
+            min_level,
+            state: Mutex::new(LoggerState { buckets: HashMap::new(), sink: Some(Vec::new()) }),
+        }
+    }
+
+    #[cfg(test)]
+    fn captured_lines(&self) -> Vec<String> {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let bytes = state.sink.clone().unwrap_or_default();
+        String::from_utf8_lossy(&bytes).lines().map(str::to_string).collect()
+    }
+
+    /// The configured minimum level.
+    pub fn min_level(&self) -> Level {
+        self.min_level
+    }
+
+    /// Emit one structured line. `event` is the stable machine-readable
+    /// name (snake_case) rate limiting keys on; `fields` are extra
+    /// key/value pairs, JSON-escaped. Returns whether the line was
+    /// written (false: level-filtered or rate-limited).
+    pub fn log(&self, level: Level, event: &str, fields: &[(&str, &str)]) -> bool {
+        if level < self.min_level || self.min_level == Level::Off || level == Level::Off {
+            return false;
+        }
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let now = Instant::now();
+        let bucket = state.buckets.entry(event.to_string()).or_insert(Bucket {
+            tokens: BURST,
+            last_refill: now,
+            suppressed: 0,
+        });
+        // Refill whole tokens for elapsed seconds, capping at the burst.
+        let elapsed_ms = now.duration_since(bucket.last_refill).as_millis() as u64;
+        let refill = (elapsed_ms / REFILL_MS) as u32;
+        if refill > 0 {
+            bucket.tokens = (bucket.tokens + refill).min(BURST);
+            bucket.last_refill = now;
+        }
+        if bucket.tokens == 0 {
+            bucket.suppressed += 1;
+            return false;
+        }
+        bucket.tokens -= 1;
+        let suppressed = std::mem::take(&mut bucket.suppressed);
+
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"ts_ms\":");
+        line.push_str(&unix_ms().to_string());
+        line.push_str(",\"level\":\"");
+        line.push_str(level.name());
+        line.push_str("\",\"event\":\"");
+        escape_into(&mut line, event);
+        line.push('"');
+        for (key, value) in fields {
+            line.push_str(",\"");
+            escape_into(&mut line, key);
+            line.push_str("\":\"");
+            escape_into(&mut line, value);
+            line.push('"');
+        }
+        if suppressed > 0 {
+            line.push_str(",\"suppressed_prior\":");
+            line.push_str(&suppressed.to_string());
+        }
+        line.push('}');
+        match &mut state.sink {
+            Some(buf) => {
+                buf.extend_from_slice(line.as_bytes());
+                buf.push(b'\n');
+            }
+            None => {
+                let stderr = std::io::stderr();
+                let mut handle = stderr.lock();
+                writeln!(handle, "{line}").ok();
+            }
+        }
+        true
+    }
+
+    /// [`Level::Debug`] convenience.
+    pub fn debug(&self, event: &str, fields: &[(&str, &str)]) -> bool {
+        self.log(Level::Debug, event, fields)
+    }
+
+    /// [`Level::Info`] convenience.
+    pub fn info(&self, event: &str, fields: &[(&str, &str)]) -> bool {
+        self.log(Level::Info, event, fields)
+    }
+
+    /// [`Level::Warn`] convenience.
+    pub fn warn(&self, event: &str, fields: &[(&str, &str)]) -> bool {
+        self.log(Level::Warn, event, fields)
+    }
+
+    /// [`Level::Error`] convenience.
+    pub fn error(&self, event: &str, fields: &[(&str, &str)]) -> bool {
+        self.log(Level::Error, event, fields)
+    }
+}
+
+/// Append `s` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_filter() {
+        let log = Logger::captured(Level::Warn);
+        assert!(!log.info("quiet", &[]));
+        assert!(log.warn("loud", &[]));
+        assert!(log.error("louder", &[]));
+        assert_eq!(log.captured_lines().len(), 2);
+        let off = Logger::captured(Level::Off);
+        assert!(!off.error("silenced", &[]));
+        assert!(off.captured_lines().is_empty());
+    }
+
+    #[test]
+    fn lines_are_json_with_envelope_and_fields() {
+        let log = Logger::captured(Level::Debug);
+        log.warn("journal_fsync_failed", &[("err", "disk \"full\"\n"), ("trace_id", "42")]);
+        let lines = log.captured_lines();
+        assert_eq!(lines.len(), 1);
+        let line = &lines[0];
+        assert!(line.starts_with("{\"ts_ms\":"), "envelope first: {line}");
+        assert!(line.contains("\"level\":\"warn\""));
+        assert!(line.contains("\"event\":\"journal_fsync_failed\""));
+        assert!(line.contains("\"err\":\"disk \\\"full\\\"\\n\""), "escaped: {line}");
+        assert!(line.contains("\"trace_id\":\"42\""));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn repeating_event_is_rate_limited_with_a_tally() {
+        let log = Logger::captured(Level::Debug);
+        let mut written = 0;
+        for _ in 0..50 {
+            if log.warn("flood", &[]) {
+                written += 1;
+            }
+        }
+        assert_eq!(written, BURST as usize, "only the burst goes through");
+        // A different event has its own bucket.
+        assert!(log.warn("other", &[]));
+        // Wait out a refill token; the tally of suppressed lines rides
+        // along on the next emitted line.
+        std::thread::sleep(std::time::Duration::from_millis(REFILL_MS + 100));
+        assert!(log.warn("flood", &[]));
+        let last = log.captured_lines().into_iter().last().unwrap();
+        assert!(
+            last.contains(&format!("\"suppressed_prior\":{}", 50 - BURST)),
+            "tally rides the resume line: {last}"
+        );
+    }
+}

@@ -7,18 +7,24 @@
 //! ```text
 //! cupid-serve <addr> <repo-path> [--max-conns N] [--autosave N] [--compact-after N]
 //!             [--max-inflight N] [--queue-deadline MS] [--idle-timeout MS] [--frame-deadline MS]
+//!             [--no-trace] [--slow-log-capacity N] [--slow-threshold-ms MS] [--log-level LEVEL]
 //! ```
 //!
 //! `--max-inflight` / `--queue-deadline` enable admission control
 //! (shed with a typed `Overloaded` frame instead of queueing);
 //! `--idle-timeout` / `--frame-deadline` bound how long a silent or
-//! stalling peer can hold a connection (DESIGN.md §12).
+//! stalling peer can hold a connection (DESIGN.md §12). The
+//! observability knobs (DESIGN.md §13) tune per-request stage tracing,
+//! the slow-log ring and the structured stderr log; the daemon also
+//! answers `GET /metrics` on its own port with a Prometheus text
+//! exposition.
 //!
 //! Client mode sends one request to a running daemon and prints the
 //! reply:
 //!
 //! ```text
 //! cupid-serve --client <addr> stats
+//! cupid-serve --client <addr> slowlog
 //! cupid-serve --client <addr> add <schema.sdl>
 //! cupid-serve --client <addr> replace <schema.sdl>
 //! cupid-serve --client <addr> remove <name>
@@ -30,11 +36,12 @@
 
 use cupid_core::CupidConfig;
 use cupid_lexical::Thesaurus;
-use cupid_serve::{ServeClient, ServeOptions, Server};
+use cupid_serve::{Level, ServeClient, ServeOptions, Server, STAGE_NAMES};
 
 const USAGE: &str = "usage:
   cupid-serve <addr> <repo-path> [--max-conns N] [--autosave N] [--compact-after N]
               [--max-inflight N] [--queue-deadline MS] [--idle-timeout MS] [--frame-deadline MS]
+              [--no-trace] [--slow-log-capacity N] [--slow-threshold-ms MS] [--log-level LEVEL]
   cupid-serve --client <addr> <command> [args]
 
 daemon flags:
@@ -49,9 +56,21 @@ daemon flags:
                        (default 300000; 0 disables)
   --frame-deadline MS  cut connections stalled mid-frame this long
                        (default 30000; 0 disables)
+  --no-trace           disable per-request stage tracing (stage
+                       histograms and the slow log stay empty)
+  --slow-log-capacity N  slowest traces retained for `slowlog` (default
+                       32; 0 disables the ring)
+  --slow-threshold-ms MS  requests at least this slow enter the slow
+                       log (default 1)
+  --log-level LEVEL    structured stderr log level: debug, info, warn,
+                       error, off (default info)
+
+the daemon also answers HTTP `GET /metrics` on the same port with a
+Prometheus text exposition of every counter and histogram.
 
 client commands:
-  stats                      daemon counters
+  stats                      daemon counters, latency and stage tables
+  slowlog                    the slowest retained requests, stage by stage
   add <schema.sdl>           add a schema from an SDL file
   replace <schema.sdl>       replace the schema with the same name
   remove <name>              remove a schema
@@ -102,6 +121,26 @@ fn run_daemon(args: &[String]) -> Result<(), String> {
             "--frame-deadline" => {
                 let ms = flag_value(args, &mut i, "--frame-deadline")?;
                 options.frame_deadline = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--no-trace" => {
+                options.tracing = false;
+            }
+            "--slow-log-capacity" => {
+                options.slow_log_capacity =
+                    flag_value(args, &mut i, "--slow-log-capacity")? as usize;
+            }
+            "--slow-threshold-ms" => {
+                options.slow_threshold = std::time::Duration::from_millis(flag_value(
+                    args,
+                    &mut i,
+                    "--slow-threshold-ms",
+                )?);
+            }
+            "--log-level" => {
+                i += 1;
+                options.log_level = args.get(i).and_then(|v| Level::parse(v)).ok_or_else(|| {
+                    "--log-level needs one of: debug, info, warn, error, off".to_string()
+                })?;
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with('-') => {
@@ -178,6 +217,12 @@ fn run_client(args: &[String]) -> Result<(), String> {
                     s.shed_requests, s.idle_disconnects, s.deadline_cuts, s.deduped_mutations
                 );
             }
+            if s.slow_requests + s.slow_log_entries + s.metrics_scrapes > 0 {
+                println!(
+                    "observability: slow requests {}  slow-log entries {}  metrics scrapes {}",
+                    s.slow_requests, s.slow_log_entries, s.metrics_scrapes
+                );
+            }
             if !s.last_fsync_error.is_empty() {
                 println!("DEGRADED: last fsync error: {}", s.last_fsync_error);
             }
@@ -198,6 +243,54 @@ fn run_client(args: &[String]) -> Result<(), String> {
                         fmt_ns(l.quantile_ns(0.99)),
                         fmt_ns(l.quantile_ns(0.999))
                     );
+                }
+            }
+            if !s.stage_latencies.is_empty() {
+                println!("stage attribution (share of each kind's total wall time):");
+                println!(
+                    "  {:<28} {:>9} {:>10} {:>10} {:>7}",
+                    "kind/stage", "count", "total", "mean", "share"
+                );
+                for stage in &s.stage_latencies {
+                    let kind = stage.kind.split('/').next().unwrap_or("");
+                    let kind_total_ns = s
+                        .latencies
+                        .iter()
+                        .find(|l| l.kind == kind)
+                        .map(|l| l.total_ns)
+                        .unwrap_or(0);
+                    let share = if kind_total_ns > 0 {
+                        100.0 * stage.total_ns as f64 / kind_total_ns as f64
+                    } else {
+                        0.0
+                    };
+                    println!(
+                        "  {:<28} {:>9} {:>10} {:>10} {:>6.1}%",
+                        stage.kind,
+                        stage.count,
+                        fmt_ns(stage.total_ns),
+                        fmt_ns(stage.mean_ns()),
+                        share
+                    );
+                }
+            }
+        }
+        ("slowlog", []) => {
+            let entries = client.slow_log().map_err(remote)?;
+            if entries.is_empty() {
+                println!("slow log is empty (no request cleared the daemon's threshold)");
+            }
+            for e in &entries {
+                println!("trace {}  {}  total {}", e.trace_id, e.kind, fmt_ns(e.total_ns));
+                for (name, &ns) in STAGE_NAMES.iter().zip(&e.stage_ns) {
+                    if ns > 0 {
+                        println!(
+                            "  {:<16} {:>10}  {:>5.1}%",
+                            name,
+                            fmt_ns(ns),
+                            100.0 * ns as f64 / e.total_ns.max(1) as f64
+                        );
+                    }
                 }
             }
         }

@@ -30,10 +30,14 @@
 use std::io::{Read, Write};
 
 use cupid_core::MatchSummary;
-use cupid_model::wire::{BATCH_REQUEST, BATCH_RESPONSE, MUTATE_REQUEST, OVERLOADED_RESPONSE};
+use cupid_model::wire::{
+    BATCH_REQUEST, BATCH_RESPONSE, MUTATE_REQUEST, OVERLOADED_RESPONSE, SLOW_LOG_REQUEST,
+    SLOW_LOG_RESPONSE,
+};
 use cupid_model::{read_frame, write_frame, FrameError, WireError, WireReader, WireWriter};
 
 use crate::histogram::KindLatency;
+use crate::trace::TraceRecord;
 
 /// A request a client sends to the daemon.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +98,10 @@ pub enum Request {
         /// The mutation itself.
         op: MutationOp,
     },
+    /// Query the daemon's slow-log ring (DESIGN.md §13.2): the
+    /// slowest-N requests seen so far, each carried whole with its
+    /// per-stage latency breakdown, slowest first.
+    SlowLog,
 }
 
 /// The operation inside a [`Request::Mutate`] frame — the same three
@@ -210,10 +218,21 @@ pub struct StatsReport {
     /// Mutations answered from the request-id dedup table instead of
     /// re-applied — each one a retry whose original ack was lost.
     pub deduped_mutations: u64,
+    /// Requests slower than the slow-log threshold since daemon start
+    /// (whether or not they are still resident in the ring).
+    pub slow_requests: u64,
+    /// Traces currently held in the slow-log ring.
+    pub slow_log_entries: u64,
+    /// HTTP `/metrics` scrapes answered since daemon start.
+    pub metrics_scrapes: u64,
     /// Per-request-kind latency histograms (log2 buckets; DESIGN.md
     /// §11), one entry per kind the daemon records, in the daemon's
     /// fixed kind order.
     pub latencies: Vec<KindLatency>,
+    /// Per-(request kind, stage) attribution histograms (DESIGN.md
+    /// §13.1), labeled `"<kind>/<stage>"`, non-empty cells only —
+    /// where each kind's wall time actually goes.
+    pub stage_latencies: Vec<KindLatency>,
 }
 
 /// A response the daemon sends back. Every request gets exactly one.
@@ -283,6 +302,13 @@ pub enum Response {
     Batch {
         /// Per-entry statuses, in worklist order.
         entries: Vec<Result<BatchOutcome, String>>,
+    },
+    /// The result of a [`Request::SlowLog`]: the ring contents,
+    /// slowest first.
+    SlowLog {
+        /// The slowest requests the daemon has retained, each with its
+        /// full stage breakdown.
+        entries: Vec<TraceRecord>,
     },
 }
 
@@ -376,6 +402,7 @@ impl Request {
                 }
                 MUTATE_REQUEST
             }
+            Request::SlowLog => SLOW_LOG_REQUEST,
         };
         (kind, w.into_bytes())
     }
@@ -411,6 +438,7 @@ impl Request {
                 };
                 Request::Mutate { request_id, op }
             }
+            SLOW_LOG_REQUEST => Request::SlowLog,
             other => return Err(r.err(format!("unknown request kind {other:#04x}"))),
         };
         r.finish()?;
@@ -530,6 +558,39 @@ impl BatchOutcome {
     }
 }
 
+/// Shared encoding of a latency-histogram list (the per-kind wall
+/// histograms and the per-(kind, stage) attribution histograms use the
+/// same shape).
+fn write_latencies(w: &mut WireWriter, latencies: &[KindLatency]) {
+    w.put_len(latencies.len());
+    for l in latencies {
+        w.put_str(&l.kind);
+        w.put_u64(l.count);
+        w.put_u64(l.total_ns);
+        w.put_len(l.buckets.len());
+        for &b in &l.buckets {
+            w.put_u64(b);
+        }
+    }
+}
+
+fn read_latencies(r: &mut WireReader<'_>) -> Result<Vec<KindLatency>, WireError> {
+    let n = r.get_len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kind = r.get_str()?;
+        let count = r.get_u64()?;
+        let total_ns = r.get_u64()?;
+        let buckets_len = r.get_len()?;
+        let mut buckets = Vec::with_capacity(buckets_len);
+        for _ in 0..buckets_len {
+            buckets.push(r.get_u64()?);
+        }
+        out.push(KindLatency { kind, count, total_ns, buckets });
+    }
+    Ok(out)
+}
+
 impl StatsReport {
     fn write_wire(&self, w: &mut WireWriter) {
         for v in [
@@ -549,20 +610,15 @@ impl StatsReport {
             self.idle_disconnects,
             self.deadline_cuts,
             self.deduped_mutations,
+            self.slow_requests,
+            self.slow_log_entries,
+            self.metrics_scrapes,
         ] {
             w.put_u64(v);
         }
         w.put_str(&self.last_fsync_error);
-        w.put_len(self.latencies.len());
-        for l in &self.latencies {
-            w.put_str(&l.kind);
-            w.put_u64(l.count);
-            w.put_u64(l.total_ns);
-            w.put_len(l.buckets.len());
-            for &b in &l.buckets {
-                w.put_u64(b);
-            }
-        }
+        write_latencies(w, &self.latencies);
+        write_latencies(w, &self.stage_latencies);
     }
 
     fn read_wire(r: &mut WireReader<'_>) -> Result<StatsReport, WireError> {
@@ -583,20 +639,39 @@ impl StatsReport {
             idle_disconnects: r.get_u64()?,
             deadline_cuts: r.get_u64()?,
             deduped_mutations: r.get_u64()?,
+            slow_requests: r.get_u64()?,
+            slow_log_entries: r.get_u64()?,
+            metrics_scrapes: r.get_u64()?,
             last_fsync_error: r.get_str()?,
-            latencies: {
+            latencies: read_latencies(r)?,
+            stage_latencies: read_latencies(r)?,
+        })
+    }
+}
+
+impl TraceRecord {
+    fn write_wire(&self, w: &mut WireWriter) {
+        w.put_u64(self.trace_id);
+        w.put_str(&self.kind);
+        w.put_u64(self.total_ns);
+        w.put_u64(self.finished_unix_ms);
+        w.put_len(self.stage_ns.len());
+        for &ns in &self.stage_ns {
+            w.put_u64(ns);
+        }
+    }
+
+    fn read_wire(r: &mut WireReader<'_>) -> Result<TraceRecord, WireError> {
+        Ok(TraceRecord {
+            trace_id: r.get_u64()?,
+            kind: r.get_str()?,
+            total_ns: r.get_u64()?,
+            finished_unix_ms: r.get_u64()?,
+            stage_ns: {
                 let n = r.get_len()?;
                 let mut out = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let kind = r.get_str()?;
-                    let count = r.get_u64()?;
-                    let total_ns = r.get_u64()?;
-                    let buckets_len = r.get_len()?;
-                    let mut buckets = Vec::with_capacity(buckets_len);
-                    for _ in 0..buckets_len {
-                        buckets.push(r.get_u64()?);
-                    }
-                    out.push(KindLatency { kind, count, total_ns, buckets });
+                    out.push(r.get_u64()?);
                 }
                 out
             },
@@ -656,6 +731,13 @@ impl Response {
                 }
                 BATCH_RESPONSE
             }
+            Response::SlowLog { entries } => {
+                w.put_len(entries.len());
+                for entry in entries {
+                    entry.write_wire(&mut w);
+                }
+                SLOW_LOG_RESPONSE
+            }
         };
         (kind, w.into_bytes())
     }
@@ -691,6 +773,14 @@ impl Response {
                     entries.push(BatchOutcome::read_entry(&mut r)?);
                 }
                 Response::Batch { entries }
+            }
+            SLOW_LOG_RESPONSE => {
+                let n = r.get_len()?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(TraceRecord::read_wire(&mut r)?);
+                }
+                Response::SlowLog { entries }
             }
             other => return Err(r.err(format!("unknown response kind {other:#04x}"))),
         };
@@ -744,6 +834,7 @@ mod tests {
             },
             Request::Mutate { request_id: 0, op: MutationOp::Replace { sdl: String::new() } },
             Request::Mutate { request_id: u64::MAX, op: MutationOp::Remove { name: "S".into() } },
+            Request::SlowLog,
         ];
         let mut buf = Vec::new();
         for req in &requests {
@@ -810,6 +901,38 @@ mod tests {
         // An unknown entry tag is a loud decode error.
         let (kind, mut payload) = Response::Batch { entries: vec![Err("x".into())] }.encode();
         payload[4] = 0x7f; // the first entry's tag byte (after the u32 count)
+        assert!(Response::decode(kind, &payload).is_err());
+    }
+
+    #[test]
+    fn slow_log_response_round_trips() {
+        let want = Response::SlowLog {
+            entries: vec![
+                TraceRecord {
+                    trace_id: 42,
+                    kind: "batch".into(),
+                    total_ns: 2_000_000,
+                    finished_unix_ms: 1_754_000_000_000,
+                    stage_ns: vec![0, 1_000, 0, 0, 1_900_000, 0, 50_000, 49_000],
+                },
+                TraceRecord {
+                    trace_id: 7,
+                    kind: "match_pair".into(),
+                    total_ns: 1_200_000,
+                    finished_unix_ms: 0,
+                    stage_ns: Vec::new(),
+                },
+            ],
+        };
+        let (kind, payload) = want.encode();
+        assert_eq!(Response::decode(kind, &payload).unwrap(), want);
+        // Empty ring round-trips too.
+        let empty = Response::SlowLog { entries: Vec::new() };
+        let (kind, payload) = empty.encode();
+        assert_eq!(Response::decode(kind, &payload).unwrap(), empty);
+        // Trailing bytes are rejected, like every frame.
+        let (kind, mut payload) = want.encode();
+        payload.push(0);
         assert!(Response::decode(kind, &payload).is_err());
     }
 }

@@ -16,7 +16,8 @@ use cupid::core::session::SimilarityEntry;
 use cupid::core::{MappingElement, MatchSummary, SchemaId};
 use cupid::model::{read_frame, NodeId};
 use cupid::serve::{
-    BatchItem, BatchOutcome, KindLatency, MutationOp, Request, Response, StatsReport,
+    BatchItem, BatchOutcome, KindLatency, MutationOp, Request, Response, StatsReport, TraceRecord,
+    STAGES,
 };
 use proptest::prelude::*;
 
@@ -140,6 +141,7 @@ fn requests(sdl: &str, a: &str, b: &str, k: u32) -> Vec<Request> {
             op: MutationOp::Replace { sdl: sdl.to_string() },
         },
         Request::Mutate { request_id: k as u64, op: MutationOp::Remove { name: a.to_string() } },
+        Request::SlowLog,
     ]
 }
 
@@ -184,6 +186,9 @@ fn report_from(a: &str, n: u64) -> StatsReport {
         idle_disconnects: n % 29,
         deadline_cuts: n % 31,
         deduped_mutations: n.rotate_left(11),
+        slow_requests: n % 411,
+        slow_log_entries: n % 33,
+        metrics_scrapes: n.rotate_left(13),
         last_fsync_error: if n % 2 == 0 {
             String::new()
         } else {
@@ -198,6 +203,31 @@ fn report_from(a: &str, n: u64) -> StatsReport {
             },
             KindLatency::empty("save"),
         ],
+        stage_latencies: vec![
+            KindLatency {
+                kind: "batch/exec_uncached".to_string(),
+                count: n % 500,
+                total_ns: n.wrapping_mul(11),
+                buckets: (0..40u32).map(|i| n.rotate_right(i) & 0x7f).collect(),
+            },
+            KindLatency {
+                kind: "match_pair/lock_wait_read".to_string(),
+                count: 1 + n % 9,
+                total_ns: n.wrapping_mul(3),
+                buckets: (0..40u32).map(|i| (n >> (i % 17)) & 0x3).collect(),
+            },
+        ],
+    }
+}
+
+/// A slow-log trace with a full stage breakdown.
+fn trace_record(a: &str, n: u64) -> TraceRecord {
+    TraceRecord {
+        trace_id: n,
+        kind: a.to_string(),
+        total_ns: n.rotate_left(17),
+        stage_ns: (0..STAGES as u64).map(|i| n.rotate_left(i as u32) & 0xffff_ffff).collect(),
+        finished_unix_ms: n.rotate_right(21),
     }
 }
 
@@ -223,6 +253,8 @@ fn responses(a: &str, b: &str, summary: &MatchSummary, n: u64) -> Vec<Response> 
         Response::Batch { entries: batch_entries(a, b, summary, &report_from(a, n)) },
         Response::Batch { entries: Vec::new() },
         Response::Overloaded { max_inflight: n % 4096, queue_deadline_ms: n.rotate_left(7) },
+        Response::SlowLog { entries: vec![trace_record(a, n), trace_record(b, n.wrapping_add(1))] },
+        Response::SlowLog { entries: Vec::new() },
     ]
 }
 
