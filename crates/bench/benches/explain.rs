@@ -1,0 +1,84 @@
+//! Explainability overhead (DESIGN.md §14.4): what provenance capture
+//! costs, and what the zero-explain hot path pays for its existence.
+//!
+//! Explanations are produced by a separate entry point
+//! (`MatchSession::explain_pair`), so the match path itself should be
+//! untouched by the feature. Two legs over the same warm session make
+//! both halves of that claim measurable:
+//!
+//! - `match_pair/off` — the plain match path with explanations never
+//!   requested. The acceptance bar for PR 10 is a mean within
+//!   run-to-run noise of the pre-change baseline
+//!   (`benchmarks/pr10-before/BENCH_explain.json`).
+//! - `explain_pair/on` — the instrumented re-execution, measuring the
+//!   full provenance capture (score decomposition, token-pair
+//!   attribution, structural context) per pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cupid_core::MatchSession;
+use cupid_corpus::synthetic::{generate, SyntheticConfig};
+use cupid_eval::configs;
+use cupid_model::Schema;
+use std::hint::black_box;
+
+const SCHEMAS: usize = 16;
+const LEAVES: usize = 24;
+
+fn corpus() -> Vec<Schema> {
+    let mut out = Vec::with_capacity(SCHEMAS);
+    for seed in 0..(SCHEMAS as u64 / 2) {
+        let pair = generate(&SyntheticConfig::sized(LEAVES, 1000 + seed));
+        for (half, mut s) in [("a", pair.source), ("b", pair.target)] {
+            s.rename(format!("S{seed}{half}"));
+            out.push(s);
+        }
+    }
+    out
+}
+
+fn bench_explain(c: &mut Criterion) {
+    let cfg = configs::synthetic();
+    let th = generate(&SyntheticConfig::sized(LEAVES, 1000)).thesaurus;
+    let corpus = corpus();
+    let mut session = MatchSession::new(&cfg, &th);
+    let ids = session.add_corpus(&corpus).expect("corpus prepares");
+    let worklist: Vec<_> =
+        (0..ids.len()).flat_map(|i| ((i + 1)..ids.len()).map(move |j| (i, j))).collect();
+    // Warm the token-similarity memo so both legs measure pair
+    // execution, not first-touch memoization.
+    for &(i, j) in &worklist {
+        black_box(session.match_pair(ids[i], ids[j]));
+    }
+
+    let mut g = c.benchmark_group("explain");
+    g.sample_size(10);
+    g.bench_function("match_pair/off", |b| {
+        b.iter(|| {
+            let mut best = 0.0f64;
+            for &(i, j) in &worklist {
+                let summary = session.match_pair(ids[i], ids[j]);
+                best = best.max(summary.best_wsim());
+            }
+            black_box(best)
+        })
+    });
+    g.bench_function("explain_pair/on", |b| {
+        b.iter(|| {
+            let mut mappings = 0usize;
+            for &(i, j) in &worklist {
+                let ex = session.explain_pair(ids[i], ids[j]);
+                assert!(ex.recomposes_exactly());
+                mappings += ex.mappings.len();
+            }
+            black_box(mappings)
+        })
+    });
+    g.finish();
+
+    criterion::set_context("schemas", SCHEMAS);
+    criterion::set_context("leaves_per_schema", LEAVES);
+    criterion::set_context("pairs_per_iter", worklist.len());
+}
+
+criterion_group!(benches, bench_explain);
+criterion_main!(benches);

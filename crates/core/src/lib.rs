@@ -53,6 +53,7 @@
 pub mod bitset;
 pub mod categories;
 pub mod config;
+pub mod explain;
 pub mod lazy;
 pub mod learning;
 pub mod linguistic;
@@ -64,6 +65,7 @@ pub mod treematch;
 pub mod types_compat;
 
 pub use config::{CupidConfig, TokenTypeWeights};
+pub use explain::{Explanation, PairExplanation, StructuralContext, TokenPairScore};
 pub use learning::{Proposal, ThesaurusLearner};
 pub use linguistic::{LinguisticAnalysis, LsimTable};
 pub use mapping::{Cardinality, MappingElement};

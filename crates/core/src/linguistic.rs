@@ -151,7 +151,7 @@ impl TypedIds {
     }
 
     #[inline]
-    fn of_type(&self, k: usize) -> &[TokenId] {
+    pub(crate) fn of_type(&self, k: usize) -> &[TokenId] {
         &self.ids[self.starts[k] as usize..self.starts[k + 1] as usize]
     }
 
@@ -313,6 +313,21 @@ impl SchemaLing {
     /// True if the schema had no elements.
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
+    }
+
+    /// Per-type interned ids of element `i` (explanation capture).
+    pub(crate) fn typed(&self, i: usize) -> &TypedIds {
+        &self.typed[i]
+    }
+
+    /// Per-category comparable keyword ids (explanation capture).
+    pub(crate) fn keyword_ids(&self) -> &[Vec<TokenId>] {
+        &self.keyword_ids
+    }
+
+    /// Whether element `i` participates in linguistic matching.
+    pub(crate) fn is_comparable(&self, i: usize) -> bool {
+        self.comparable[i]
     }
 
     /// Encode the complete precompute verbatim — names, categories,

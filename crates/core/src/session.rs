@@ -252,6 +252,10 @@ pub struct SessionStats {
     pub pairs_matched: usize,
     /// Distinct interned tokens across the whole corpus (`|V|`).
     pub vocab_size: usize,
+    /// Approximate heap bytes held by the session's [`TokenTable`]
+    /// (entry text + index keys + fixed overhead) — the interner's
+    /// memory footprint gauge.
+    pub vocab_bytes: usize,
     /// Distinct token pairs whose similarity is memoized in the session
     /// store — every further comparison anywhere in the corpus is a
     /// lookup.
@@ -489,6 +493,7 @@ impl<'a> MatchSession<'a> {
             schemas: self.schemas.len(),
             pairs_matched: self.pairs_matched,
             vocab_size: self.table.len(),
+            vocab_bytes: self.table.approx_bytes(),
             distinct_pairs_computed: self.store.distinct_pairs_computed(),
             sim_chunks: self.store.allocated_chunks(),
             sim_bytes: self.store.allocated_bytes(),
@@ -578,6 +583,58 @@ impl<'a> MatchSession<'a> {
     pub fn absorb(&mut self, store: SimStore, pairs: usize) {
         self.store.merge(store);
         self.pairs_matched += pairs;
+    }
+
+    /// Explain one prepared pair: re-execute it with instrumentation and
+    /// return per-mapping score provenance (DESIGN.md §14). The match
+    /// itself never pays for this — explanations are produced by this
+    /// separate entry point, and pair execution is a pure function of
+    /// frozen prepared state, so the captured scores are bit-identical
+    /// to what [`MatchSession::match_pair`] reports.
+    pub fn explain_pair(
+        &mut self,
+        source: SchemaId,
+        target: SchemaId,
+    ) -> crate::explain::PairExplanation {
+        let store = std::mem::take(&mut self.store);
+        let mut cache =
+            TokenSimCache::with_store(&self.table, self.thesaurus, &self.config.affix, store);
+        let ex = crate::explain::explain_pair(
+            self.config,
+            &self.schemas[source.0],
+            &self.schemas[target.0],
+            &self.table,
+            self.thesaurus,
+            &mut cache,
+        );
+        self.store = cache.into_store();
+        ex
+    }
+
+    /// The shared (`&self`) form of [`MatchSession::explain_pair`],
+    /// mirroring [`MatchSession::match_pair_shared`]: the pair is
+    /// explained over a clone of the warm similarity memo, which is
+    /// returned for the caller to [`MatchSession::absorb`] (or drop).
+    pub fn explain_pair_shared(
+        &self,
+        source: SchemaId,
+        target: SchemaId,
+    ) -> (crate::explain::PairExplanation, SimStore) {
+        let mut cache = TokenSimCache::with_store(
+            &self.table,
+            self.thesaurus,
+            &self.config.affix,
+            self.store.clone(),
+        );
+        let ex = crate::explain::explain_pair(
+            self.config,
+            &self.schemas[source.0],
+            &self.schemas[target.0],
+            &self.table,
+            self.thesaurus,
+            &mut cache,
+        );
+        (ex, cache.into_store())
     }
 
     /// The linguistic similarity table of a prepared pair, computed

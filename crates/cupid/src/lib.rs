@@ -73,8 +73,8 @@ pub use cupid_serve as serve;
 /// The commonly used types, for glob import.
 pub mod prelude {
     pub use cupid_core::{
-        Cardinality, CorpusMatch, Cupid, CupidConfig, MappingElement, MatchOutcome, MatchSession,
-        MatchSummary, SchemaId, SessionStats,
+        Cardinality, CorpusMatch, Cupid, CupidConfig, Explanation, MappingElement, MatchOutcome,
+        MatchSession, MatchSummary, PairExplanation, SchemaId, SessionStats,
     };
     pub use cupid_lexical::{Thesaurus, ThesaurusBuilder};
     pub use cupid_model::{

@@ -1,0 +1,173 @@
+//! Explainability audit (DESIGN.md §14): score provenance over the
+//! whole paper corpus.
+//!
+//! The explain path re-executes a prepared pair with instrumentation,
+//! so its value rests on one invariant: the decomposition it reports
+//! must be the *actual* arithmetic of the match, not a story about it.
+//! This experiment explains every pair of the paper corpus and checks
+//! the invariant two ways, both bitwise:
+//!
+//! 1. **Recomposition** — for every explained mapping,
+//!    `w·ssim + (1−w)·lsim` reproduces the reported `wsim` bit-exactly
+//!    ([`cupid_core::Explanation::recomposes_exactly`]).
+//! 2. **Agreement** — the explained mappings are exactly the mappings
+//!    [`MatchSession::match_pair`] reports for the same pair, path for
+//!    path, with `wsim` equal down to the float bits.
+//!
+//! A breakdown table for the paper's introductory pair (Figure 1,
+//! PO ↔ POrder) shows what the provenance looks like: per-mapping
+//! wsim/ssim/lsim at the final weight, the top contributing token pair
+//! with its provenance, and the structural context TreeMatch saw.
+
+use cupid_core::{Explanation, MatchSession, TokenPairScore};
+use cupid_corpus::thesauri;
+use cupid_lexical::TokenSimProvenance;
+
+use crate::configs;
+use crate::experiments::discovery;
+use crate::table::TextTable;
+use crate::Report;
+
+/// Render the provenance of a mapping's strongest token pair.
+fn token_note(pairs: &[TokenPairScore]) -> String {
+    match pairs.first() {
+        None => "-".to_string(),
+        Some(p) => format!(
+            "{}~{} {:.2} ({})",
+            p.source_token,
+            p.target_token,
+            p.sim,
+            match &p.provenance {
+                TokenSimProvenance::ExactSymbol => "exact".to_string(),
+                TokenSimProvenance::Thesaurus => "thesaurus".to_string(),
+                TokenSimProvenance::Affix { prefix_len, suffix_len, .. } => {
+                    format!("affix {prefix_len}+{suffix_len}")
+                }
+                TokenSimProvenance::NoMatch => "no match".to_string(),
+            }
+        ),
+    }
+}
+
+/// Label for which TreeMatch passes touched a pair.
+fn passes_label(e: &Explanation) -> &'static str {
+    match (e.structure.pruned, e.structure.increased, e.structure.decreased) {
+        (true, _, _) => "pruned",
+        (_, true, false) => "increased",
+        (_, false, true) => "decreased",
+        (_, true, true) => "both",
+        _ => "unchanged",
+    }
+}
+
+/// Run the explainability audit.
+pub fn run() -> Report {
+    let mut report = Report::new("explain — score provenance audit (DESIGN.md §14)");
+    let config = configs::shallow_xml();
+    let thesaurus = thesauri::paper_thesaurus();
+    let corpus = discovery::corpus();
+    let schemas: Vec<_> = corpus.iter().map(|(_, s)| s.clone()).collect();
+    let mut session = MatchSession::new(&config, &thesaurus);
+    let ids = session.add_corpus(&schemas).expect("corpus prepares");
+
+    let mut mappings_checked = 0usize;
+    let mut recompose_failures = 0usize;
+    let mut agreement_failures = 0usize;
+    let mut pairs_explained = 0usize;
+    let mut audit = TextTable::new(
+        "Per-pair audit (recomposition and match agreement are bitwise)",
+        vec!["pair", "mappings", "recomposes", "agrees with match"],
+    );
+    for i in 0..ids.len() {
+        for j in (i + 1)..ids.len() {
+            let summary = session.match_pair(ids[i], ids[j]);
+            let ex = session.explain_pair(ids[i], ids[j]);
+            pairs_explained += 1;
+            mappings_checked += ex.mappings.len();
+
+            let bad = ex.mappings.iter().filter(|m| !m.recomposes_exactly()).count();
+            recompose_failures += bad;
+
+            // The explained mappings must be the match's mappings:
+            // same order (leaf generator first, then non-leaf), same
+            // paths, same wsim bits.
+            let reported: Vec<_> =
+                summary.leaf_mappings.iter().chain(&summary.nonleaf_mappings).collect();
+            let agrees = reported.len() == ex.mappings.len()
+                && reported.iter().zip(&ex.mappings).all(|(m, e)| {
+                    m.source_path == e.source_path
+                        && m.target_path == e.target_path
+                        && m.wsim.to_bits() == e.wsim.to_bits()
+                });
+            agreement_failures += usize::from(!agrees);
+
+            audit.row(vec![
+                format!("{} ~ {}", corpus[i].0, corpus[j].0),
+                ex.mappings.len().to_string(),
+                if bad == 0 { "yes".to_string() } else { format!("NO ({bad} off)") },
+                if agrees { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    report.tables.push(audit);
+
+    // The introductory pair in full: what an explanation carries.
+    let ex = session.explain_pair(ids[0], ids[1]);
+    let mut t = TextTable::new(
+        format!(
+            "Figure 1 breakdown — {} ~ {} ({} of {} element pairs compared)",
+            ex.source_name, ex.target_name, ex.compared_pairs, ex.total_pairs
+        ),
+        vec!["mapping", "wsim", "ssim", "lsim", "w", "top token pair", "links", "passes"],
+    );
+    for m in &ex.mappings {
+        t.row(vec![
+            format!("{} -> {}", m.source_path, m.target_path),
+            format!("{:.3}", m.wsim),
+            format!("{:.3}", m.ssim),
+            format!("{:.3}", m.lsim),
+            format!("{:.2}", m.w_struct),
+            token_note(&m.token_pairs),
+            format!(
+                "{}/{} {}/{}",
+                m.structure.source_strong_links,
+                m.structure.source_leaves,
+                m.structure.target_strong_links,
+                m.structure.target_leaves
+            ),
+            passes_label(m).to_string(),
+        ]);
+    }
+    report.tables.push(t);
+
+    report.notes.push(format!(
+        "recomposition wsim = w*ssim + (1-w)*lsim bit-exact: {} ({} mappings across {} pairs)",
+        if recompose_failures == 0 {
+            "HOLDS".to_string()
+        } else {
+            format!("VIOLATED for {recompose_failures}")
+        },
+        mappings_checked,
+        pairs_explained,
+    ));
+    report.notes.push(format!(
+        "explanations agree with match_pair (paths + wsim bits): {}",
+        if agreement_failures == 0 {
+            "HOLDS".to_string()
+        } else {
+            format!("VIOLATED for {agreement_failures} pairs")
+        },
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provenance_invariants_hold_over_the_corpus() {
+        let r = run();
+        assert!(r.notes.iter().filter(|n| n.contains("HOLDS")).count() == 2, "{}", r.render());
+    }
+}

@@ -6,6 +6,7 @@ use crate::Report;
 pub mod ablation;
 pub mod daemon;
 pub mod discovery;
+pub mod explain;
 pub mod fig1;
 pub mod fig2;
 pub mod fig8;
@@ -32,6 +33,7 @@ pub const ALL: &[&str] = &[
     "discovery",
     "retrieval",
     "daemon",
+    "explain",
 ];
 
 /// Run an experiment by id.
@@ -51,6 +53,7 @@ pub fn run(id: &str) -> Option<Report> {
         "discovery" => Some(discovery::run()),
         "retrieval" => Some(retrieval::run()),
         "daemon" => Some(daemon::run()),
+        "explain" => Some(explain::run()),
         _ => None,
     }
 }

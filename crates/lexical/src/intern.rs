@@ -103,6 +103,20 @@ impl TokenTable {
         self.entries.is_empty()
     }
 
+    /// Estimated heap bytes held by the table: entry texts and index
+    /// keys plus their fixed per-entry overheads. A deterministic
+    /// diagnostics gauge (served through the daemon's `Stats` frame and
+    /// `/metrics`), not an allocator audit — hash-map capacity slack is
+    /// not counted.
+    pub fn approx_bytes(&self) -> usize {
+        let entry_fixed = std::mem::size_of::<(SimClass, String)>();
+        let key_fixed = std::mem::size_of::<String>() + std::mem::size_of::<u32>();
+        let entries: usize = self.entries.iter().map(|(_, t)| t.len() + entry_fixed).sum();
+        let index: usize =
+            self.index.iter().flat_map(|m| m.keys()).map(|k| k.len() + key_fixed).sum();
+        entries + index
+    }
+
     /// Intern a `(class, text)` pair, returning its dense id.
     pub fn intern(&mut self, class: SimClass, text: &str) -> TokenId {
         let map = &mut self.index[class.index()];
@@ -445,6 +459,21 @@ mod tests {
         assert_eq!(table.class(d), SimClass::Number);
         assert_eq!(table.lookup(SimClass::Word, "city"), Some(a));
         assert_eq!(table.lookup(SimClass::Word, "street"), None);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_interned_text() {
+        let mut table = TokenTable::new();
+        assert_eq!(table.approx_bytes(), 0);
+        table.intern(SimClass::Word, "street");
+        let one = table.approx_bytes();
+        // Text is held twice (entry + index key) plus fixed overheads.
+        assert!(one > 2 * "street".len(), "{one}");
+        // Re-interning the same token allocates nothing new.
+        table.intern(SimClass::Word, "street");
+        assert_eq!(table.approx_bytes(), one);
+        table.intern(SimClass::Word, "avenue");
+        assert!(table.approx_bytes() > one);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod tokenizer;
 pub use intern::{token_id_from_wire, SimStore, TokenId, TokenSimCache, TokenTable};
 pub use normalize::{NormalizedName, Normalizer};
 pub use stem::stem;
-pub use strsim::token_similarity;
+pub use strsim::{class_similarity_explained, token_similarity, TokenSimProvenance};
 pub use thesaurus::{Thesaurus, ThesaurusBuilder};
 pub use token::{SimClass, Token, TokenType};
 pub use tokenizer::{Tokenizer, TokenizerConfig};

@@ -130,6 +130,71 @@ pub fn token_similarity(t1: &Token, t2: &Token, thesaurus: &Thesaurus, cfg: &Aff
     class_similarity(t1.ttype.sim_class(), &t1.text, t2.ttype.sim_class(), &t2.text, thesaurus, cfg)
 }
 
+/// Where one token-pair similarity score came from — the per-pair
+/// provenance the explain layer (`cupid-core`) surfaces. Every variant
+/// corresponds to exactly one arm of [`class_similarity`], so a
+/// `(score, provenance)` pair fully reconstructs the decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenSimProvenance {
+    /// `Number`/`Special` tokens matched exactly (score 1.0).
+    ExactSymbol,
+    /// The thesaurus answered (synonym, hypernym, or abbreviation
+    /// chain) — the affix fallback never ran.
+    Thesaurus,
+    /// Affix fallback: the longest common prefix/suffix lengths that
+    /// produced the score, and whether [`AffixConfig::max_score`]
+    /// clipped it.
+    Affix {
+        /// Length of the longest common prefix, in bytes.
+        prefix_len: u32,
+        /// Length of the longest common suffix, in bytes.
+        suffix_len: u32,
+        /// True when the raw affix ratio exceeded the cap.
+        capped: bool,
+    },
+    /// Score 0: incompatible similarity classes, unequal symbols, or
+    /// affixes below [`AffixConfig::min_affix_len`].
+    NoMatch,
+}
+
+/// [`class_similarity`] with provenance: the identical score (bit for
+/// bit — both paths run the same arithmetic) plus which rule produced
+/// it. Kept separate from the hot path so explain requests pay for the
+/// extra bookkeeping and ordinary matching does not.
+pub fn class_similarity_explained(
+    c1: SimClass,
+    a: &str,
+    c2: SimClass,
+    b: &str,
+    thesaurus: &Thesaurus,
+    cfg: &AffixConfig,
+) -> (f64, TokenSimProvenance) {
+    match (c1, c2) {
+        (SimClass::Number, SimClass::Number) | (SimClass::Special, SimClass::Special) if a == b => {
+            (1.0, TokenSimProvenance::ExactSymbol)
+        }
+        (SimClass::Word, SimClass::Word) => {
+            if let Some(s) = thesaurus.token_sim(a, b) {
+                return (s, TokenSimProvenance::Thesaurus);
+            }
+            let score = affix_similarity(a, b, cfg);
+            if score == 0.0 {
+                return (0.0, TokenSimProvenance::NoMatch);
+            }
+            let lcp = common_prefix(a.as_bytes(), b.as_bytes());
+            let lcs = common_suffix(a.as_bytes(), b.as_bytes());
+            let raw = (2.0 * lcp.max(lcs) as f64) / (a.len() + b.len()) as f64;
+            let provenance = TokenSimProvenance::Affix {
+                prefix_len: lcp as u32,
+                suffix_len: lcs as u32,
+                capped: raw > cfg.max_score,
+            };
+            (score, provenance)
+        }
+        _ => (0.0, TokenSimProvenance::NoMatch),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +318,57 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn explained_scores_are_bit_identical_with_full_provenance() {
+        let t = ThesaurusBuilder::new()
+            .synonym("bill", "invoice", 1.0)
+            .hypernym("customer", "person", 0.8)
+            .build()
+            .unwrap();
+        let cfg = AffixConfig::default();
+        let cases = [
+            (SimClass::Word, "bill", SimClass::Word, "invoice"),
+            (SimClass::Word, "customer", SimClass::Word, "person"),
+            (SimClass::Word, "postalcode", SimClass::Word, "zipcode"),
+            (SimClass::Word, "street", SimClass::Word, "streets"),
+            (SimClass::Word, "co", SimClass::Word, "code"),
+            (SimClass::Word, "city", SimClass::Word, "thing"),
+            (SimClass::Number, "4", SimClass::Number, "4"),
+            (SimClass::Number, "4", SimClass::Number, "3"),
+            (SimClass::Special, "#", SimClass::Special, "#"),
+            (SimClass::Number, "4", SimClass::Word, "four"),
+            (SimClass::Word, "", SimClass::Word, "abc"),
+        ];
+        for (c1, a, c2, b) in cases {
+            let plain = class_similarity(c1, a, c2, b, &t, &cfg);
+            let (explained, _) = class_similarity_explained(c1, a, c2, b, &t, &cfg);
+            assert_eq!(plain.to_bits(), explained.to_bits(), "{a} vs {b}");
+        }
+        let prov = |a: &str, b: &str| {
+            class_similarity_explained(SimClass::Word, a, SimClass::Word, b, &t, &cfg).1
+        };
+        assert_eq!(prov("bill", "invoice"), TokenSimProvenance::Thesaurus);
+        assert_eq!(
+            prov("postalcode", "zipcode"),
+            TokenSimProvenance::Affix { prefix_len: 0, suffix_len: 4, capped: false }
+        );
+        assert_eq!(prov("co", "code"), TokenSimProvenance::NoMatch);
+        // identical words not in the thesaurus: exact canonical match
+        // answers 1.0 through the thesaurus path.
+        assert_eq!(prov("street", "street"), TokenSimProvenance::Thesaurus);
+        // "streets" vs "streetss": raw ratio 2*7/15 is under the cap;
+        // a full-prefix pair like "street"/"streetx" stays uncapped too,
+        // but "abcdefgh" vs "abcdefghi" (16/17) exceeds 0.9 and clips.
+        assert_eq!(
+            prov("abcdefgh", "abcdefghi"),
+            TokenSimProvenance::Affix { prefix_len: 8, suffix_len: 0, capped: true }
+        );
+        assert_eq!(
+            class_similarity_explained(SimClass::Number, "4", SimClass::Number, "4", &t, &cfg).1,
+            TokenSimProvenance::ExactSymbol
+        );
     }
 
     #[test]

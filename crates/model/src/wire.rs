@@ -411,6 +411,20 @@ pub const SLOW_LOG_REQUEST: u8 = 0x0B;
 /// breakdowns included, slowest first.
 pub const SLOW_LOG_RESPONSE: u8 = 0x8C;
 
+// --- match explainability frame kinds -----------------------------------
+//
+// The explainability layer (`cupid-serve`, DESIGN.md §14) adds one
+// exchange: a query for one pair's per-mapping score provenance — the
+// lsim/ssim/wsim breakdown at the final weights, top contributing token
+// pairs with provenance, structural context, and threshold decisions.
+// Every served explanation recomposes to its reported `wsim` bit-exactly.
+
+/// Explain query frame: source and target schema names; answers with
+/// per-mapping score provenance for the pair.
+pub const EXPLAIN_REQUEST: u8 = 0x0C;
+/// Explain response frame: a `PairExplanation` payload.
+pub const EXPLAIN_RESPONSE: u8 = 0x8D;
+
 const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 

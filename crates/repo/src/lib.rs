@@ -83,7 +83,8 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use cupid_core::{
-    Cupid, CupidConfig, LsimTable, MatchSession, MatchSummary, SchemaId, SessionStats,
+    Cupid, CupidConfig, LsimTable, MatchSession, MatchSummary, PairExplanation, SchemaId,
+    SessionStats,
 };
 use cupid_lexical::{SimStore, Thesaurus};
 use cupid_model::{fnv1a, ModelError, Schema};
@@ -820,6 +821,40 @@ impl<'a> Repository<'a> {
             Some(s) => Ok(SharedMatch::Cached(s)),
             None => Ok(SharedMatch::Executed(self.execute_pairs_shared(&[(i, j)]))),
         }
+    }
+
+    /// Explain one named pair: per-mapping score provenance (lsim/ssim/
+    /// wsim breakdown, top token pairs, structural context, threshold
+    /// decisions; DESIGN.md §14). Always re-executes the pair — an
+    /// explanation carries strictly more than the cached summary — but
+    /// the scores are bit-identical to what the summary reports, and
+    /// every explanation recomposes to its `wsim` bit-exactly.
+    pub fn explain(&mut self, source: &str, target: &str) -> Result<PairExplanation, RepoError> {
+        let i = self.index_of(source)?;
+        let j = self.index_of(target)?;
+        Ok(self.session.explain_pair(SchemaId::from_index(i), SchemaId::from_index(j)))
+    }
+
+    /// The shared (`&self`) form of [`Repository::explain`], mirroring
+    /// [`Repository::match_pair_shared`]: the pair is explained over a
+    /// clone of the warm session memo, which is returned for the caller
+    /// to publish via [`Repository::absorb_store`] (or drop).
+    pub fn explain_shared(
+        &self,
+        source: &str,
+        target: &str,
+    ) -> Result<(PairExplanation, SimStore), RepoError> {
+        let i = self.index_of(source)?;
+        let j = self.index_of(target)?;
+        Ok(self.session.explain_pair_shared(SchemaId::from_index(i), SchemaId::from_index(j)))
+    }
+
+    /// Merge a warmed memo clone from [`Repository::explain_shared`]
+    /// back into the session. Unlike [`Repository::absorb`] this
+    /// publishes no summaries and counts no executions — explanations
+    /// are diagnostics, not matches.
+    pub fn absorb_store(&mut self, store: SimStore) {
+        self.session.absorb(store, 0);
     }
 
     /// Execute a worklist of pairs (by repository indices) over **one**

@@ -37,7 +37,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use cupid_core::MatchSummary;
+use cupid_core::{MatchSummary, PairExplanation};
 
 use crate::protocol::{BatchItem, BatchOutcome, MutationOp, Request, Response, StatsReport};
 use crate::retry::{splitmix64, RetryPolicy};
@@ -405,6 +405,19 @@ impl ServeClient {
         }
     }
 
+    /// Per-mapping score provenance for one stored pair (DESIGN.md
+    /// §14): the lsim/ssim/wsim breakdown, top contributing token
+    /// pairs, and the structural context behind every kept mapping.
+    /// Every mapping in the answer recomposes to its reported `wsim`
+    /// bit-exactly.
+    pub fn explain(&mut self, source: &str, target: &str) -> Result<PairExplanation, ServeError> {
+        let request = Request::Explain { source: source.to_string(), target: target.to_string() };
+        match self.call(&request)? {
+            Response::Explanation(explanation) => Ok(explanation),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
     /// The daemon's slow-log ring: its slowest retained request traces,
     /// slowest first, each with a full per-stage breakdown.
     pub fn slow_log(&mut self) -> Result<Vec<TraceRecord>, ServeError> {
@@ -457,6 +470,7 @@ fn retryable_request(request: &Request) -> bool {
             | Request::TopK { .. }
             | Request::Stats
             | Request::SlowLog
+            | Request::Explain { .. }
             | Request::Batch { .. }
             | Request::Save
             | Request::Mutate { .. }

@@ -58,8 +58,8 @@ use crate::ServeError;
 /// [`latency_kind`]). The three schema mutations share one "mutate"
 /// histogram — they share the same write-lock + journal path, so their
 /// latency profile is one conversation.
-const LATENCY_KINDS: [&str; 8] =
-    ["mutate", "match_pair", "top_k", "stats", "save", "batch", "shutdown", "slow_log"];
+const LATENCY_KINDS: [&str; 9] =
+    ["mutate", "match_pair", "top_k", "stats", "save", "batch", "shutdown", "slow_log", "explain"];
 
 /// Which histogram a request records into.
 fn latency_kind(request: &Request) -> usize {
@@ -75,6 +75,7 @@ fn latency_kind(request: &Request) -> usize {
         Request::Batch { .. } => 5,
         Request::Shutdown => 6,
         Request::SlowLog => 7,
+        Request::Explain { .. } => 8,
     }
 }
 
@@ -289,6 +290,8 @@ struct Shared<'a> {
     next_trace_id: AtomicU64,
     /// HTTP `/metrics` scrapes answered.
     metrics_scrapes: AtomicU64,
+    /// Explain requests answered (DESIGN.md §14).
+    explanations: AtomicU64,
 }
 
 /// A bound, not-yet-running match daemon. [`Server::bind`] opens the
@@ -353,6 +356,7 @@ impl<'a> Server<'a> {
                 logger,
                 next_trace_id: AtomicU64::new(1),
                 metrics_scrapes: AtomicU64::new(0),
+                explanations: AtomicU64::new(0),
             },
         })
     }
@@ -944,6 +948,32 @@ fn handle_request(request: &Request, shared: &Shared<'_>, trace: &mut RequestTra
             Response::Saved { bytes }
         }
         Request::SlowLog => Response::SlowLog { entries: shared.slow_log.snapshot() },
+        Request::Explain { source, target } => {
+            // Same read/write split as an uncached MatchPair: the
+            // re-execution runs under the read lock over a clone of the
+            // warm token-similarity memo, and only merging the warmed
+            // clone back takes the write lock. Explanations never touch
+            // the pair cache — they are diagnostics, not matches.
+            let wait = trace.start(Stage::LockWaitRead);
+            let guard = shared.repo.read().unwrap_or_else(|e| e.into_inner());
+            wait.stop(trace);
+            let exec = trace.start(Stage::ExecUncached);
+            let explained = guard.explain_shared(source, target);
+            drop(guard);
+            exec.stop(trace);
+            let (explanation, store) = match explained {
+                Ok(e) => e,
+                Err(e) => return Response::Error { message: e.to_string() },
+            };
+            debug_assert!(explanation.recomposes_exactly());
+            let wait = trace.start(Stage::LockWaitWrite);
+            let mut guard = shared.repo.write().unwrap_or_else(|e| e.into_inner());
+            wait.stop(trace);
+            guard.absorb_store(store);
+            drop(guard);
+            shared.explanations.fetch_add(1, Ordering::Relaxed);
+            Response::Explanation(explanation)
+        }
         Request::Shutdown => Response::ShuttingDown,
     }
 }
@@ -959,6 +989,7 @@ fn stats_report(guard: &Repository<'_>, shared: &Shared<'_>) -> StatsReport {
         cached_pairs: stats.cached_pairs as u64,
         pairs_executed: stats.pairs_executed as u64,
         vocab_size: stats.session.vocab_size as u64,
+        vocab_bytes: stats.session.vocab_bytes as u64,
         distinct_pairs_computed: stats.session.distinct_pairs_computed as u64,
         sim_chunks: stats.session.sim_chunks as u64,
         sim_bytes: stats.session.sim_bytes as u64,
@@ -975,6 +1006,7 @@ fn stats_report(guard: &Repository<'_>, shared: &Shared<'_>) -> StatsReport {
         slow_requests: shared.slow_log.over_threshold(),
         slow_log_entries: shared.slow_log.len() as u64,
         metrics_scrapes: shared.metrics_scrapes.load(Ordering::Relaxed),
+        explanations_served: shared.explanations.load(Ordering::Relaxed),
         latencies: LATENCY_KINDS
             .iter()
             .zip(&shared.latencies)

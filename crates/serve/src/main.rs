@@ -29,6 +29,7 @@
 //! cupid-serve --client <addr> replace <schema.sdl>
 //! cupid-serve --client <addr> remove <name>
 //! cupid-serve --client <addr> match <source> <target>
+//! cupid-serve --client <addr> explain <source> <target>
 //! cupid-serve --client <addr> topk <k>
 //! cupid-serve --client <addr> save
 //! cupid-serve --client <addr> shutdown
@@ -75,6 +76,7 @@ client commands:
   replace <schema.sdl>       replace the schema with the same name
   remove <name>              remove a schema
   match <source> <target>    match one stored pair
+  explain <source> <target>  per-mapping score provenance for one pair
   topk <k>                   index-pruned top-k discovery
   save                       persist the snapshot now
   shutdown                   stop the daemon (it saves on the way out)";
@@ -179,6 +181,19 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
+/// Render a token-pair similarity's source for the explain table.
+fn provenance_label(p: &cupid_lexical::TokenSimProvenance) -> String {
+    match p {
+        cupid_lexical::TokenSimProvenance::ExactSymbol => "exact symbol".into(),
+        cupid_lexical::TokenSimProvenance::Thesaurus => "thesaurus".into(),
+        cupid_lexical::TokenSimProvenance::Affix { prefix_len, suffix_len, capped } => format!(
+            "affix (prefix {prefix_len}, suffix {suffix_len}{})",
+            if *capped { ", capped" } else { "" }
+        ),
+        cupid_lexical::TokenSimProvenance::NoMatch => "no match".into(),
+    }
+}
+
 fn flag_value(args: &[String], i: &mut usize, flag: &str) -> Result<u64, String> {
     *i += 1;
     args.get(*i).and_then(|v| v.parse().ok()).ok_or_else(|| format!("{flag} needs a numeric value"))
@@ -195,20 +210,24 @@ fn run_client(args: &[String]) -> Result<(), String> {
             let s = client.stats().map_err(remote)?;
             println!(
                 "schemas {}  cached pairs {}  pairs executed {}\n\
-                 vocabulary {} tokens  memoized token pairs {}  memo {} KiB\n\
+                 vocabulary {} tokens ({} KiB)  memoized token pairs {}  \
+                 memo {} chunks ({} KiB)\n\
                  journal {} records ({} bytes)  replayed {}  compactions {}\n\
-                 requests served {}",
+                 requests served {}  explanations served {}",
                 s.schemas,
                 s.cached_pairs,
                 s.pairs_executed,
                 s.vocab_size,
+                s.vocab_bytes / 1024,
                 s.distinct_pairs_computed,
+                s.sim_chunks,
                 s.sim_bytes / 1024,
                 s.journal_records,
                 s.journal_bytes,
                 s.replayed_records,
                 s.compactions,
-                s.requests_served
+                s.requests_served,
+                s.explanations_served
             );
             if s.shed_requests + s.idle_disconnects + s.deadline_cuts + s.deduped_mutations > 0 {
                 println!(
@@ -281,7 +300,13 @@ fn run_client(args: &[String]) -> Result<(), String> {
                 println!("slow log is empty (no request cleared the daemon's threshold)");
             }
             for e in &entries {
-                println!("trace {}  {}  total {}", e.trace_id, e.kind, fmt_ns(e.total_ns));
+                println!(
+                    "trace {}  {}  total {}  finished@{}ms",
+                    e.trace_id,
+                    e.kind,
+                    fmt_ns(e.total_ns),
+                    e.finished_unix_ms
+                );
                 for (name, &ns) in STAGE_NAMES.iter().zip(&e.stage_ns) {
                     if ns > 0 {
                         println!(
@@ -315,6 +340,75 @@ fn run_client(args: &[String]) -> Result<(), String> {
             );
             for m in summary.leaf_mappings.iter().take(10) {
                 println!("  {} -> {}  (wsim {:.3})", m.source_path, m.target_path, m.wsim);
+            }
+        }
+        ("explain", [source, target]) => {
+            let x = client.explain(source, target).map_err(remote)?;
+            println!(
+                "{} ~ {}: {} mappings explained  \
+                 (compared {} of {} element pairs; {} increases, {} decreases)",
+                x.source_name,
+                x.target_name,
+                x.mappings.len(),
+                x.compared_pairs,
+                x.total_pairs,
+                x.increases,
+                x.decreases
+            );
+            for m in &x.mappings {
+                println!(
+                    "{} -> {}  {}",
+                    m.source_path,
+                    m.target_path,
+                    if m.leaf { "[leaf]" } else { "[non-leaf]" }
+                );
+                println!(
+                    "  wsim {:.4} = {:.2}*ssim {:.4} + {:.2}*lsim {:.4}  \
+                     (th_accept {:.2}, recomposes {})",
+                    m.wsim,
+                    m.w_struct,
+                    m.ssim,
+                    1.0 - m.w_struct,
+                    m.lsim,
+                    m.th_accept,
+                    if m.recomposes_exactly() { "bit-exactly" } else { "INEXACTLY" }
+                );
+                println!(
+                    "  lsim = ns {:.4} x category scale {:.4}",
+                    m.name_similarity, m.category_scale
+                );
+                let s = &m.structure;
+                let passes = match (s.pruned, s.increased, s.decreased) {
+                    (true, ..) => "pruned",
+                    (_, true, _) => "increased",
+                    (_, _, true) => "decreased",
+                    _ => "unchanged",
+                };
+                println!(
+                    "  structure: leaves {}/{}  strong links {}/{}  \
+                     main-pass wsim {:.4} ({passes})",
+                    s.source_leaves,
+                    s.target_leaves,
+                    s.source_strong_links,
+                    s.target_strong_links,
+                    s.main_pass_wsim
+                );
+                if !m.token_pairs.is_empty() {
+                    println!(
+                        "  {:<16} {:<16} {:<8} {:>7}  provenance",
+                        "source token", "target token", "type", "sim"
+                    );
+                    for t in &m.token_pairs {
+                        println!(
+                            "  {:<16} {:<16} {:<8} {:>7.4}  {}",
+                            t.source_token,
+                            t.target_token,
+                            format!("{:?}", t.token_type).to_lowercase(),
+                            t.sim,
+                            provenance_label(&t.provenance)
+                        );
+                    }
+                }
             }
         }
         ("topk", [k]) => {

@@ -34,6 +34,11 @@ pub fn render_prometheus(report: &StatsReport) -> String {
     gauge("cupid_cached_pairs", "Pair summaries currently cached.", report.cached_pairs);
     gauge("cupid_vocab_size", "Distinct interned tokens across the corpus.", report.vocab_size);
     gauge(
+        "cupid_vocab_bytes",
+        "Approximate heap bytes held by the interned token table.",
+        report.vocab_bytes,
+    );
+    gauge(
         "cupid_distinct_token_pairs",
         "Distinct token pairs memoized in the similarity store.",
         report.distinct_pairs_computed,
@@ -108,6 +113,11 @@ pub fn render_prometheus(report: &StatsReport) -> String {
         "cupid_metrics_scrapes_total",
         "HTTP /metrics scrapes answered since daemon start.",
         report.metrics_scrapes,
+    );
+    counter(
+        "cupid_explanations_served_total",
+        "Explain requests answered since daemon start.",
+        report.explanations_served,
     );
 
     histogram_family(
@@ -202,6 +212,7 @@ mod tests {
             cached_pairs: 6,
             pairs_executed: 6,
             vocab_size: 100,
+            vocab_bytes: 4096,
             distinct_pairs_computed: 50,
             sim_chunks: 2,
             sim_bytes: 65536,
@@ -218,6 +229,7 @@ mod tests {
             slow_requests: 1,
             slow_log_entries: 1,
             metrics_scrapes: 0,
+            explanations_served: 2,
             latencies: vec![wall.snapshot("match_pair"), KindLatency::empty("save")],
             stage_latencies: vec![stage.snapshot("match_pair/decode")],
         }
@@ -231,6 +243,7 @@ mod tests {
             "cupid_cached_pairs",
             "cupid_pairs_executed_total",
             "cupid_vocab_size",
+            "cupid_vocab_bytes",
             "cupid_distinct_token_pairs",
             "cupid_sim_chunks",
             "cupid_sim_bytes",
@@ -246,6 +259,7 @@ mod tests {
             "cupid_slow_requests_total",
             "cupid_slow_log_entries",
             "cupid_metrics_scrapes_total",
+            "cupid_explanations_served_total",
             "cupid_durability_degraded",
             "cupid_request_duration_seconds",
             "cupid_stage_duration_seconds",

@@ -29,10 +29,10 @@
 
 use std::io::{Read, Write};
 
-use cupid_core::MatchSummary;
+use cupid_core::{MatchSummary, PairExplanation};
 use cupid_model::wire::{
-    BATCH_REQUEST, BATCH_RESPONSE, MUTATE_REQUEST, OVERLOADED_RESPONSE, SLOW_LOG_REQUEST,
-    SLOW_LOG_RESPONSE,
+    BATCH_REQUEST, BATCH_RESPONSE, EXPLAIN_REQUEST, EXPLAIN_RESPONSE, MUTATE_REQUEST,
+    OVERLOADED_RESPONSE, SLOW_LOG_REQUEST, SLOW_LOG_RESPONSE,
 };
 use cupid_model::{read_frame, write_frame, FrameError, WireError, WireReader, WireWriter};
 
@@ -102,6 +102,17 @@ pub enum Request {
     /// slowest-N requests seen so far, each carried whole with its
     /// per-stage latency breakdown, slowest first.
     SlowLog,
+    /// Explain one stored pair by name (DESIGN.md §14): per-mapping
+    /// score provenance — the lsim/ssim/wsim breakdown, top token
+    /// pairs with their similarity sources, and the structural context
+    /// behind each kept mapping. Never consults or fills the pair
+    /// cache; the match hot path is untouched.
+    Explain {
+        /// Source schema name.
+        source: String,
+        /// Target schema name.
+        target: String,
+    },
 }
 
 /// The operation inside a [`Request::Mutate`] frame — the same three
@@ -185,6 +196,9 @@ pub struct StatsReport {
     pub pairs_executed: u64,
     /// Distinct interned tokens across the corpus.
     pub vocab_size: u64,
+    /// Approximate heap bytes held by the interned token table
+    /// (strings, ids and the canonical-form map).
+    pub vocab_bytes: u64,
     /// Distinct token pairs memoized in the session store.
     pub distinct_pairs_computed: u64,
     /// Chunks allocated by the similarity memo.
@@ -225,6 +239,8 @@ pub struct StatsReport {
     pub slow_log_entries: u64,
     /// HTTP `/metrics` scrapes answered since daemon start.
     pub metrics_scrapes: u64,
+    /// Explain requests answered since daemon start (DESIGN.md §14).
+    pub explanations_served: u64,
     /// Per-request-kind latency histograms (log2 buckets; DESIGN.md
     /// §11), one entry per kind the daemon records, in the daemon's
     /// fixed kind order.
@@ -310,6 +326,11 @@ pub enum Response {
         /// full stage breakdown.
         entries: Vec<TraceRecord>,
     },
+    /// The result of a [`Request::Explain`]: per-mapping score
+    /// provenance for the pair. Every mapping's explanation recomposes
+    /// to its reported `wsim` bit-exactly
+    /// ([`PairExplanation::recomposes_exactly`]).
+    Explanation(PairExplanation),
 }
 
 // Frame kind codes. Append-only, like every enum code in the wire
@@ -403,6 +424,11 @@ impl Request {
                 MUTATE_REQUEST
             }
             Request::SlowLog => SLOW_LOG_REQUEST,
+            Request::Explain { source, target } => {
+                w.put_str(source);
+                w.put_str(target);
+                EXPLAIN_REQUEST
+            }
         };
         (kind, w.into_bytes())
     }
@@ -439,6 +465,7 @@ impl Request {
                 Request::Mutate { request_id, op }
             }
             SLOW_LOG_REQUEST => Request::SlowLog,
+            EXPLAIN_REQUEST => Request::Explain { source: r.get_str()?, target: r.get_str()? },
             other => return Err(r.err(format!("unknown request kind {other:#04x}"))),
         };
         r.finish()?;
@@ -613,6 +640,10 @@ impl StatsReport {
             self.slow_requests,
             self.slow_log_entries,
             self.metrics_scrapes,
+            // Appended fields keep the append-only discipline: new
+            // counters go after every older one.
+            self.vocab_bytes,
+            self.explanations_served,
         ] {
             w.put_u64(v);
         }
@@ -642,6 +673,10 @@ impl StatsReport {
             slow_requests: r.get_u64()?,
             slow_log_entries: r.get_u64()?,
             metrics_scrapes: r.get_u64()?,
+            // Struct-literal order is evaluation order: the appended
+            // counters decode after the older ones, matching the wire.
+            vocab_bytes: r.get_u64()?,
+            explanations_served: r.get_u64()?,
             last_fsync_error: r.get_str()?,
             latencies: read_latencies(r)?,
             stage_latencies: read_latencies(r)?,
@@ -738,6 +773,10 @@ impl Response {
                 }
                 SLOW_LOG_RESPONSE
             }
+            Response::Explanation(explanation) => {
+                explanation.write_wire(&mut w);
+                EXPLAIN_RESPONSE
+            }
         };
         (kind, w.into_bytes())
     }
@@ -782,6 +821,7 @@ impl Response {
                 }
                 Response::SlowLog { entries }
             }
+            EXPLAIN_RESPONSE => Response::Explanation(PairExplanation::read_wire(&mut r)?),
             other => return Err(r.err(format!("unknown response kind {other:#04x}"))),
         };
         r.finish()?;
@@ -808,6 +848,85 @@ impl Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cupid_core::{Explanation, StructuralContext, TokenPairScore};
+    use cupid_lexical::{TokenSimProvenance, TokenType};
+    use cupid_model::NodeId;
+
+    /// A hand-built explanation exercising every payload shape: token
+    /// pairs with distinct provenances, structural flags, and the
+    /// pair-level counters.
+    fn sample_explanation() -> PairExplanation {
+        PairExplanation {
+            source_name: "PO".into(),
+            target_name: "Order".into(),
+            mappings: vec![Explanation {
+                source: NodeId::from_index(2),
+                target: NodeId::from_index(3),
+                source_path: "PO.Item.Qty".into(),
+                target_path: "Order.Item.Quantity".into(),
+                leaf: true,
+                wsim: 0.75,
+                ssim: 0.9,
+                lsim: 0.6,
+                w_struct: 0.5,
+                th_accept: 0.5,
+                name_similarity: 0.6,
+                category_scale: 1.0,
+                token_pairs: vec![
+                    TokenPairScore {
+                        source_token: "quantity".into(),
+                        target_token: "quantity".into(),
+                        token_type: TokenType::Concept,
+                        sim: 1.0,
+                        provenance: TokenSimProvenance::Thesaurus,
+                    },
+                    TokenPairScore {
+                        source_token: "addr".into(),
+                        target_token: "address".into(),
+                        token_type: TokenType::Content,
+                        sim: 0.55,
+                        provenance: TokenSimProvenance::Affix {
+                            prefix_len: 4,
+                            suffix_len: 0,
+                            capped: true,
+                        },
+                    },
+                ],
+                structure: StructuralContext {
+                    source_leaves: 2,
+                    target_leaves: 2,
+                    source_strong_links: 2,
+                    target_strong_links: 1,
+                    main_pass_wsim: 0.7,
+                    pruned: false,
+                    increased: true,
+                    decreased: false,
+                },
+            }],
+            compared_pairs: 9,
+            total_pairs: 16,
+            increases: 1,
+            decreases: 0,
+        }
+    }
+
+    #[test]
+    fn explain_frames_round_trip() {
+        let req = Request::Explain { source: "PO".into(), target: "Order".into() };
+        let (kind, payload) = req.encode();
+        assert_eq!(Request::decode(kind, &payload).unwrap(), req);
+        // Request kind on a response stream must not decode.
+        assert!(Response::decode(kind, &payload).is_err());
+
+        let want = Response::Explanation(sample_explanation());
+        let (kind, payload) = want.encode();
+        assert_eq!(Response::decode(kind, &payload).unwrap(), want);
+        assert!(Request::decode(kind, &payload).is_err());
+        // Trailing bytes are rejected, like every frame.
+        let (kind, mut payload) = want.encode();
+        payload.push(0);
+        assert!(Response::decode(kind, &payload).is_err());
+    }
 
     #[test]
     fn request_kinds_round_trip() {
@@ -835,6 +954,7 @@ mod tests {
             Request::Mutate { request_id: 0, op: MutationOp::Replace { sdl: String::new() } },
             Request::Mutate { request_id: u64::MAX, op: MutationOp::Remove { name: "S".into() } },
             Request::SlowLog,
+            Request::Explain { source: "PO".into(), target: "Order".into() },
         ];
         let mut buf = Vec::new();
         for req in &requests {

@@ -644,3 +644,81 @@ fn autosave_journals_mutations_and_snapshots_at_shutdown() {
     assert_eq!(warm.len(), 2);
     assert_eq!(warm.durability().replayed_records, 0, "journal was folded at shutdown");
 }
+
+/// The explainability contract (DESIGN.md §14), one network hop out:
+/// a served explanation equals the in-process one field for field,
+/// every mapping recomposes to its reported `wsim` bit-exactly, and
+/// explain requests leave the match path untouched — they fill no pair
+/// cache, count no pair executions, and the summaries served afterward
+/// are bit-identical to the explain-free ground truth.
+#[test]
+fn explanations_recompose_and_leave_match_output_untouched() {
+    let tmp = TempSnap::new();
+    let config = CupidConfig::default();
+    let th = thesaurus();
+    let want_pairs = expected_pairs(&config, &th);
+
+    // In-process explanation ground truth over the same corpus.
+    let want_explained = {
+        let corpus = corpus();
+        let mut session = MatchSession::new(&config, &th);
+        let ids = session.add_corpus(&corpus).unwrap();
+        session.explain_pair(ids[0], ids[1])
+    };
+    assert!(!want_explained.mappings.is_empty(), "PO~Order explains at least one mapping");
+
+    let server =
+        Server::bind("127.0.0.1:0", &tmp.0, &config, &th, ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    std::thread::scope(|scope| {
+        scope.spawn(move || server.run().unwrap());
+        let _guard = DrainOnPanic(handle);
+        let mut client = ServeClient::connect(addr).unwrap();
+        for sdl in CORPUS_SDL {
+            client.add_sdl(sdl).unwrap();
+        }
+
+        // Explain before any match: the wire-decoded explanation is the
+        // in-process one, similarity bits included, and recomposes.
+        let got = client.explain("PO", "Order").unwrap();
+        assert_eq!(got, want_explained, "served explanation diverged from in-process");
+        assert!(got.recomposes_exactly(), "every mapping must recompose to its wsim bit-exactly");
+        for m in &got.mappings {
+            assert!(m.wsim >= m.th_accept, "kept mappings cleared the acceptance threshold");
+        }
+
+        // Unknown names are loud errors, connection stays usable.
+        assert!(matches!(client.explain("PO", "Nope"), Err(ServeError::Remote(_))));
+
+        // Diagnostics, not matches: nothing was executed or cached, but
+        // the explain counters and latency kind did move.
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.pairs_executed, 0, "explain must not count as pair execution");
+        assert_eq!(stats.cached_pairs, 0, "explain must not fill the pair cache");
+        assert_eq!(stats.explanations_served, 1);
+        assert!(stats.vocab_bytes > 0, "token-table gauge is live");
+        let explain_latency =
+            stats.latencies.iter().find(|l| l.kind == "explain").expect("explain kind recorded");
+        // The latency kind counts requests, successful or not: the
+        // explain that worked plus the unknown-name error.
+        assert_eq!(explain_latency.count, 2);
+
+        // The match path is untouched: every summary still equals the
+        // explain-free in-process ground truth bit for bit.
+        for ((source, target), want) in &want_pairs {
+            let got = client.match_pair(source, target).unwrap();
+            assert_eq!(&got, want, "summary for {source}~{target} diverged after explain");
+        }
+
+        // Explaining a now-cached pair still answers (and still does
+        // not disturb the cache counters).
+        let again = client.explain("PO", "Order").unwrap();
+        assert_eq!(again, want_explained);
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.explanations_served, 2);
+        assert_eq!(stats.cached_pairs as usize, want_pairs.len());
+
+        client.shutdown().unwrap();
+    });
+}

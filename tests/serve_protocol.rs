@@ -13,7 +13,11 @@
 //!   corruption, so a daemon never serves a damaged summary.
 
 use cupid::core::session::SimilarityEntry;
-use cupid::core::{MappingElement, MatchSummary, SchemaId};
+use cupid::core::{
+    Explanation, MappingElement, MatchSummary, PairExplanation, SchemaId, StructuralContext,
+    TokenPairScore,
+};
+use cupid::lexical::{TokenSimProvenance, TokenType};
 use cupid::model::{read_frame, NodeId};
 use cupid::serve::{
     BatchItem, BatchOutcome, KindLatency, MutationOp, Request, Response, StatsReport, TraceRecord,
@@ -113,6 +117,117 @@ fn summary_bits_eq(a: &MatchSummary, b: &MatchSummary) -> bool {
         && a.total_pairs == b.total_pairs
 }
 
+/// A structurally arbitrary explanation: mapping breakdowns with raw
+/// `f64` bit patterns, every provenance tag, and boundary counters.
+fn explanation_from(a: &str, b: &str, seed: u64) -> PairExplanation {
+    let mut mix = Mix(seed);
+    let f = |mix: &mut Mix| {
+        let bits = mix.next();
+        match bits & 0b111 {
+            0 => f64::from_bits(bits | 0x7ff8_0000_0000_0000), // NaN payloads
+            1 => -0.0,
+            _ => f64::from_bits(bits),
+        }
+    };
+    let provenance = |mix: &mut Mix| match mix.next() % 4 {
+        0 => TokenSimProvenance::ExactSymbol,
+        1 => TokenSimProvenance::Thesaurus,
+        2 => TokenSimProvenance::Affix {
+            prefix_len: (mix.next() & 0xff) as u32,
+            suffix_len: (mix.next() & 0xff) as u32,
+            capped: mix.next() % 2 == 0,
+        },
+        _ => TokenSimProvenance::NoMatch,
+    };
+    let mappings = (0..(mix.next() % 4) as usize)
+        .map(|i| Explanation {
+            source: NodeId::from_index(i),
+            target: NodeId::from_index(i + 2),
+            source_path: mix.word(),
+            target_path: mix.word(),
+            leaf: mix.next() % 2 == 0,
+            wsim: f(&mut mix),
+            ssim: f(&mut mix),
+            lsim: f(&mut mix),
+            w_struct: f(&mut mix),
+            th_accept: f(&mut mix),
+            name_similarity: f(&mut mix),
+            category_scale: f(&mut mix),
+            token_pairs: (0..(mix.next() % 3) as usize)
+                .map(|_| TokenPairScore {
+                    source_token: mix.word(),
+                    target_token: mix.word(),
+                    token_type: TokenType::ALL[(mix.next() % 5) as usize],
+                    sim: f(&mut mix),
+                    provenance: provenance(&mut mix),
+                })
+                .collect(),
+            structure: StructuralContext {
+                source_leaves: (mix.next() % 1_000) as usize,
+                target_leaves: (mix.next() % 1_000) as usize,
+                source_strong_links: (mix.next() % 1_000) as usize,
+                target_strong_links: (mix.next() % 1_000) as usize,
+                main_pass_wsim: f(&mut mix),
+                pruned: mix.next() % 2 == 0,
+                increased: mix.next() % 2 == 0,
+                decreased: mix.next() % 2 == 0,
+            },
+        })
+        .collect();
+    PairExplanation {
+        source_name: a.to_string(),
+        target_name: b.to_string(),
+        mappings,
+        compared_pairs: (mix.next() % 1_000_000) as usize,
+        total_pairs: (mix.next() % 3_000_000) as usize,
+        increases: (mix.next() % 10_000) as usize,
+        decreases: (mix.next() % 10_000) as usize,
+    }
+}
+
+/// Explanations compare equal iff their similarity *bits* agree (plain
+/// `==` would treat NaN ≠ NaN), everything else by `==`.
+fn explanation_bits_eq(a: &PairExplanation, b: &PairExplanation) -> bool {
+    let f_eq = |x: f64, y: f64| x.to_bits() == y.to_bits();
+    a.source_name == b.source_name
+        && a.target_name == b.target_name
+        && a.compared_pairs == b.compared_pairs
+        && a.total_pairs == b.total_pairs
+        && a.increases == b.increases
+        && a.decreases == b.decreases
+        && a.mappings.len() == b.mappings.len()
+        && a.mappings.iter().zip(&b.mappings).all(|(x, y)| {
+            x.source == y.source
+                && x.target == y.target
+                && x.source_path == y.source_path
+                && x.target_path == y.target_path
+                && x.leaf == y.leaf
+                && f_eq(x.wsim, y.wsim)
+                && f_eq(x.ssim, y.ssim)
+                && f_eq(x.lsim, y.lsim)
+                && f_eq(x.w_struct, y.w_struct)
+                && f_eq(x.th_accept, y.th_accept)
+                && f_eq(x.name_similarity, y.name_similarity)
+                && f_eq(x.category_scale, y.category_scale)
+                && x.token_pairs.len() == y.token_pairs.len()
+                && x.token_pairs.iter().zip(&y.token_pairs).all(|(s, t)| {
+                    s.source_token == t.source_token
+                        && s.target_token == t.target_token
+                        && s.token_type == t.token_type
+                        && f_eq(s.sim, t.sim)
+                        && s.provenance == t.provenance
+                })
+                && x.structure.source_leaves == y.structure.source_leaves
+                && x.structure.target_leaves == y.structure.target_leaves
+                && x.structure.source_strong_links == y.structure.source_strong_links
+                && x.structure.target_strong_links == y.structure.target_strong_links
+                && f_eq(x.structure.main_pass_wsim, y.structure.main_pass_wsim)
+                && x.structure.pruned == y.structure.pruned
+                && x.structure.increased == y.structure.increased
+                && x.structure.decreased == y.structure.decreased
+        })
+}
+
 /// Every request variant, parameterized by the drawn values.
 fn requests(sdl: &str, a: &str, b: &str, k: u32) -> Vec<Request> {
     vec![
@@ -142,6 +257,7 @@ fn requests(sdl: &str, a: &str, b: &str, k: u32) -> Vec<Request> {
         },
         Request::Mutate { request_id: k as u64, op: MutationOp::Remove { name: a.to_string() } },
         Request::SlowLog,
+        Request::Explain { source: a.to_string(), target: b.to_string() },
     ]
 }
 
@@ -189,6 +305,8 @@ fn report_from(a: &str, n: u64) -> StatsReport {
         slow_requests: n % 411,
         slow_log_entries: n % 33,
         metrics_scrapes: n.rotate_left(13),
+        vocab_bytes: n.wrapping_mul(57),
+        explanations_served: n % 203,
         last_fsync_error: if n % 2 == 0 {
             String::new()
         } else {
@@ -255,6 +373,8 @@ fn responses(a: &str, b: &str, summary: &MatchSummary, n: u64) -> Vec<Response> 
         Response::Overloaded { max_inflight: n % 4096, queue_deadline_ms: n.rotate_left(7) },
         Response::SlowLog { entries: vec![trace_record(a, n), trace_record(b, n.wrapping_add(1))] },
         Response::SlowLog { entries: Vec::new() },
+        Response::Explanation(explanation_from(a, b, n)),
+        Response::Explanation(explanation_from(b, a, n.wrapping_add(7))),
     ]
 }
 
@@ -349,6 +469,9 @@ proptest! {
                             (x, y) => prop_assert_eq!(x, y),
                         }
                     }
+                }
+                (Response::Explanation(g), Response::Explanation(w)) => {
+                    prop_assert!(explanation_bits_eq(g, w), "explanation bits diverged");
                 }
                 (got, want) => prop_assert_eq!(got, want),
             }
